@@ -1,0 +1,40 @@
+//! §II complexity claim: the per-slot decision is `O(N)` in the number of
+//! candidate depths `N = |R|`.
+//!
+//! We time `ProposedDpp::select_depth` over synthetic profiles with
+//! `|R| ∈ {2, 4, 8, 16, 32, 64}`; Criterion's per-size estimates should grow
+//! linearly (and stay in the tens of nanoseconds — "low-complexity
+//! real-time computation").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use arvis_core::controller::{DepthController, ProposedDpp};
+use arvis_quality::DepthProfile;
+
+fn profile_with_candidates(n: usize) -> DepthProfile {
+    let arrivals: Vec<f64> = (0..n).map(|i| 100.0 * 2f64.powi(i as i32)).collect();
+    let quality: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64).collect();
+    DepthProfile::from_parts(1, arrivals, quality)
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpp_decision");
+    for n in [2usize, 4, 8, 16, 32, 64] {
+        let profile = profile_with_candidates(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &profile, |b, p| {
+            let mut ctl = ProposedDpp::new(1e6);
+            let mut q = 0.0f64;
+            b.iter(|| {
+                // Vary the backlog so the branch pattern is realistic.
+                q = (q + 137.0) % 10_000.0;
+                black_box(ctl.select_depth(0, black_box(q), p))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! End-to-end experiment throughput: full Fig. 2-style closed-loop runs
+//! (800 slots, three controllers) and the per-slot cost of the proposed
+//! scheduler inside the loop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use arvis_bench::{fig2_config, paper_profile};
+use arvis_core::controller::{MaxDepth, MinDepth, ProposedDpp};
+use arvis_core::experiment::Experiment;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // Profile measured once; the runs themselves are what we time.
+    let profile = paper_profile(30_000, 7);
+    let cfg = fig2_config(profile);
+    let exp = Experiment::new(cfg.clone());
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(cfg.slots));
+
+    group.bench_function("fig2_run_proposed_800slots", |b| {
+        b.iter(|| black_box(exp.run(&mut ProposedDpp::new(cfg.controller_v))));
+    });
+    group.bench_function("fig2_run_max_800slots", |b| {
+        b.iter(|| black_box(exp.run(&mut MaxDepth)));
+    });
+    group.bench_function("fig2_run_min_800slots", |b| {
+        b.iter(|| black_box(exp.run(&mut MinDepth)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

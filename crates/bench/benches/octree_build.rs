@@ -1,0 +1,42 @@
+//! Octree construction cost versus point count and depth — the
+//! "time-consuming computation" the paper's scheduler is trading against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use arvis_octree::{Octree, OctreeConfig};
+use arvis_pointcloud::synth::{SubjectProfile, SynthBodyConfig};
+
+fn bench_build_vs_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("octree_build_points");
+    group.sample_size(20);
+    for points in [10_000usize, 50_000, 200_000] {
+        let cloud = SynthBodyConfig::new(SubjectProfile::Soldier)
+            .with_target_points(points)
+            .with_seed(1)
+            .generate();
+        group.throughput(Throughput::Elements(points as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(points), &cloud, |b, cl| {
+            b.iter(|| black_box(Octree::build(cl, &OctreeConfig::with_max_depth(8)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_vs_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("octree_build_depth");
+    group.sample_size(20);
+    let cloud = SynthBodyConfig::new(SubjectProfile::Soldier)
+        .with_target_points(50_000)
+        .with_seed(1)
+        .generate();
+    for depth in [5u8, 7, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| black_box(Octree::build(&cloud, &OctreeConfig::with_max_depth(d)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_vs_points, bench_build_vs_depth);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Quality-metric costs: kd-tree construction, D1 PSNR, and full profile
+//! measurement — the offline calibration pass a deployment runs per content
+//! class.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use arvis_octree::{LodMode, Octree, OctreeConfig};
+use arvis_pointcloud::kdtree::KdTree;
+use arvis_pointcloud::synth::{SubjectProfile, SynthBodyConfig};
+use arvis_quality::profile::{DepthProfile, QualityMetric};
+use arvis_quality::psnr::geometry_distortion;
+
+fn bench_quality(c: &mut Criterion) {
+    let cloud = SynthBodyConfig::new(SubjectProfile::RedAndBlack)
+        .with_target_points(20_000)
+        .with_seed(3)
+        .generate();
+    let tree = Octree::build(&cloud, &OctreeConfig::with_max_depth(8)).unwrap();
+    let lod = tree.extract_lod(6, LodMode::VoxelCenters);
+
+    let mut group = c.benchmark_group("quality");
+    group.sample_size(20);
+
+    group.bench_function("kdtree_build_20k", |b| {
+        b.iter(|| black_box(KdTree::build(cloud.positions())))
+    });
+
+    group.bench_function("psnr_d1_20k_vs_d6", |b| {
+        b.iter(|| black_box(geometry_distortion(&cloud, &lod.cloud).unwrap().psnr_db()))
+    });
+
+    for (name, metric) in [
+        ("profile_logpoints", QualityMetric::LogPointCount),
+        ("profile_psnr", QualityMetric::GeometryPsnr),
+    ] {
+        group.bench_with_input(BenchmarkId::new("measure", name), &metric, |b, &m| {
+            b.iter(|| black_box(DepthProfile::measure_with(&cloud, 4..=8, m).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality);
+criterion_main!(benches);

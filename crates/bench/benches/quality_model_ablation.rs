@@ -1,0 +1,59 @@
+//! Ablation bench (DESIGN.md §6, choice 1): decision cost under different
+//! quality models `p_a(d)`. The *outcome* ablation (knee position, mean
+//! quality) lives in `experiments -- ablation`; this bench verifies the
+//! model choice does not change the per-slot cost either.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use arvis_core::controller::{DepthController, ProposedDpp};
+use arvis_quality::model::{LinearDepthModel, QualityModel, SaturatingModel};
+use arvis_quality::DepthProfile;
+
+fn profile_from_model<M: QualityModel>(model: &M, arrivals: &[f64]) -> DepthProfile {
+    let (lo, hi) = model.domain();
+    let quality: Vec<f64> = (lo..=hi).map(|d| model.quality(d)).collect();
+    assert_eq!(quality.len(), arrivals.len());
+    DepthProfile::from_parts(lo, arrivals.to_vec(), quality)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let arrivals: Vec<f64> = (0..6).map(|i| 100.0 * 4f64.powi(i)).collect();
+    let profiles = vec![
+        (
+            "linear",
+            profile_from_model(&LinearDepthModel::new(5, 10), &arrivals),
+        ),
+        (
+            "saturating",
+            profile_from_model(&SaturatingModel::new(5, 10, 0.8), &arrivals),
+        ),
+        (
+            "log_points",
+            DepthProfile::from_parts(
+                5,
+                arrivals.clone(),
+                arrivals
+                    .iter()
+                    .map(|a| (a / arrivals[0]).ln() / (arrivals[5] / arrivals[0]).ln())
+                    .collect(),
+            ),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("quality_model_decision");
+    for (name, profile) in &profiles {
+        group.bench_with_input(BenchmarkId::from_parameter(name), profile, |b, p| {
+            let mut ctl = ProposedDpp::new(1e6);
+            let mut q = 0.0f64;
+            b.iter(|| {
+                q = (q + 211.0) % 20_000.0;
+                black_box(ctl.select_depth(0, q, p))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Queueing-substrate micro-benchmarks: Lindley steps, virtual-queue steps
+//! and event-queue operations. These bound the simulator's own overhead so
+//! experiment wall-times can be attributed correctly.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use arvis_lyapunov::vq::VirtualQueue;
+use arvis_sim::event::EventQueue;
+use arvis_sim::queue::WorkQueue;
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_ops");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("work_queue_step", |b| {
+        let mut q = WorkQueue::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(q.step((i % 7) as f64, (i % 5) as f64))
+        });
+    });
+
+    group.bench_function("work_queue_step_finite", |b| {
+        let mut q = WorkQueue::with_capacity(1_000.0);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(q.step((i % 97) as f64, (i % 53) as f64))
+        });
+    });
+
+    group.bench_function("virtual_queue_step", |b| {
+        let mut z = VirtualQueue::new(3.0);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            z.step((i % 7) as f64);
+            black_box(z.backlog())
+        });
+    });
+
+    group.bench_function("event_queue_schedule_pop", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t += 1.0;
+            q.schedule(t, black_box(1));
+            black_box(q.pop())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,446 @@
+//! Regenerates every table and figure of the paper's evaluation, plus the
+//! extension experiments from DESIGN.md.
+//!
+//! ```bash
+//! cargo run -p arvis-bench --bin experiments --release -- all
+//! cargo run -p arvis-bench --bin experiments --release -- fig2a --points 200000
+//! ```
+//!
+//! Subcommands: `fig1`, `fig2a`, `fig2b`, `vsweep`, `ratesweep`,
+//! `distributed`, `ablation`, `energy`, `latency`, `all`. Outputs land in `results/` (override
+//! with `ARVIS_RESULTS_DIR`).
+
+use std::time::Instant;
+
+use arvis_bench::{fig2_config, paper_profile, results_dir, PAPER_DEPTHS, PAPER_SLOTS};
+use arvis_core::controller::{MaxDepth, MinDepth, ProposedDpp};
+use arvis_core::distributed::{fleet_csv, run_fleet, FleetSpec};
+use arvis_core::experiment::{Experiment, ExperimentResult};
+use arvis_core::sweep::{log_grid, rate_sweep, rate_sweep_csv, v_sweep, v_sweep_csv};
+use arvis_octree::{LodMode, Octree, OctreeConfig};
+use arvis_pointcloud::synth::{SubjectProfile, SynthBodyConfig};
+use arvis_quality::profile::{DepthProfile, QualityMetric};
+use arvis_quality::psnr::geometry_distortion;
+use arvis_sim::stats::{series_to_csv, write_csv_file, TimeSeries};
+
+#[derive(Debug, Clone)]
+struct Options {
+    command: String,
+    points: usize,
+    slots: u64,
+    seed: u64,
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "all".to_string());
+    let mut opts = Options {
+        command,
+        points: 200_000,
+        slots: PAPER_SLOTS,
+        seed: 1,
+    };
+    while let Some(flag) = args.next() {
+        let value = args.next().unwrap_or_else(|| {
+            eprintln!("flag {flag} needs a value");
+            std::process::exit(2);
+        });
+        match flag.as_str() {
+            "--points" => opts.points = value.parse().expect("--points expects an integer"),
+            "--slots" => opts.slots = value.parse().expect("--slots expects an integer"),
+            "--seed" => opts.seed = value.parse().expect("--seed expects an integer"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let start = Instant::now();
+    match opts.command.as_str() {
+        "fig1" => fig1(&opts),
+        "fig2a" | "fig2b" | "fig2" => fig2(&opts),
+        "vsweep" => vsweep(&opts),
+        "ratesweep" => ratesweep(&opts),
+        "distributed" => distributed(&opts),
+        "ablation" => ablation(&opts),
+        "energy" => energy(&opts),
+        "latency" => latency(&opts),
+        "all" => {
+            fig1(&opts);
+            fig2(&opts);
+            vsweep(&opts);
+            ratesweep(&opts);
+            distributed(&opts);
+            ablation(&opts);
+            energy(&opts);
+            latency(&opts);
+        }
+        other => {
+            eprintln!(
+                "unknown command {other}; expected fig1|fig2a|fig2b|vsweep|ratesweep|distributed|ablation|energy|latency|all"
+            );
+            std::process::exit(2);
+        }
+    }
+    eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
+}
+
+/// Fig. 1: AR visualization resolution depending on octree depth.
+///
+/// The paper shows renders at depths 5/6/7; the quantitative equivalent is
+/// this per-depth table: occupied voxels (points drawn), voxel size, build
+/// time and D1 PSNR against the full-resolution frame.
+fn fig1(opts: &Options) {
+    println!("== Fig. 1: resolution vs octree depth ==");
+    let cloud = SynthBodyConfig::new(SubjectProfile::Longdress)
+        .with_target_points(opts.points)
+        .with_seed(opts.seed)
+        .generate();
+    let build_start = Instant::now();
+    let tree = Octree::build(&cloud, &OctreeConfig::with_max_depth(*PAPER_DEPTHS.end()))
+        .expect("octree build");
+    let build_time = build_start.elapsed();
+
+    let mut csv = String::from("depth,occupied_voxels,voxel_size_m,psnr_db,lod_extract_ms\n");
+    println!(
+        "{:>5} {:>16} {:>14} {:>10} {:>12}",
+        "depth", "occupied_voxels", "voxel_size_m", "psnr_db", "extract_ms"
+    );
+    for d in PAPER_DEPTHS {
+        let t0 = Instant::now();
+        let lod = tree.extract_lod(d, LodMode::VoxelCenters);
+        let extract_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let psnr = geometry_distortion(&cloud, &lod.cloud)
+            .expect("non-empty clouds")
+            .psnr_db();
+        println!(
+            "{:>5} {:>16} {:>14.5} {:>10.2} {:>12.2}",
+            d,
+            lod.cloud.len(),
+            lod.voxel_size,
+            psnr,
+            extract_ms
+        );
+        csv.push_str(&format!(
+            "{},{},{},{:.3},{:.3}\n",
+            d,
+            lod.cloud.len(),
+            lod.voxel_size,
+            psnr,
+            extract_ms
+        ));
+    }
+    println!(
+        "(source frame: {} points; depth-{} octree built in {:.0} ms)",
+        cloud.len(),
+        PAPER_DEPTHS.end(),
+        build_time.as_secs_f64() * 1e3
+    );
+    let path = results_dir().join("fig1_depth_table.csv");
+    write_csv_file(&path, &csv).expect("write fig1 csv");
+    println!("wrote {}\n", path.display());
+}
+
+/// Figs. 2(a) and 2(b): queue/stability dynamics and control actions for
+/// proposed vs only-max-depth vs only-min-depth.
+fn fig2(opts: &Options) {
+    println!("== Fig. 2: queue dynamics & control actions ==");
+    let profile = paper_profile(opts.points, opts.seed);
+    let mut cfg = fig2_config(profile);
+    cfg.slots = opts.slots;
+    println!(
+        "service rate: {:.0} points/slot; calibrated V = {:.3e}; {} slots",
+        cfg.service.mean_rate(),
+        cfg.controller_v,
+        cfg.slots
+    );
+
+    let exp = Experiment::new(cfg.clone());
+    let proposed = exp.run(&mut ProposedDpp::new(cfg.controller_v));
+    let max_run = exp.run(&mut MaxDepth);
+    let min_run = exp.run(&mut MinDepth);
+
+    let renamed =
+        |series: &TimeSeries, name: &str| TimeSeries::from_values(name, series.values().to_vec());
+
+    let fig2a = series_to_csv(&[
+        &renamed(&proposed.backlog, "proposed"),
+        &renamed(&max_run.backlog, "only_max_depth"),
+        &renamed(&min_run.backlog, "only_min_depth"),
+    ]);
+    let path_a = results_dir().join("fig2a_queue_backlog.csv");
+    write_csv_file(&path_a, &fig2a).expect("write fig2a");
+
+    let fig2b = series_to_csv(&[
+        &renamed(&proposed.depth, "proposed"),
+        &renamed(&max_run.depth, "only_max_depth"),
+        &renamed(&min_run.depth, "only_min_depth"),
+    ]);
+    let path_b = results_dir().join("fig2b_control_action.csv");
+    write_csv_file(&path_b, &fig2b).expect("write fig2b");
+
+    // Headline numbers matching the paper's discussion.
+    let knee = proposed
+        .depth
+        .values()
+        .iter()
+        .position(|&d| d < f64::from(*PAPER_DEPTHS.end()))
+        .map(|k| k as f64)
+        .unwrap_or(f64::NAN);
+    println!("{}", ExperimentResult::summary_csv_header());
+    for r in [&proposed, &max_run, &min_run] {
+        println!("{}", r.summary_csv_row());
+    }
+    println!("proposed knee (first depth drop): slot {knee}");
+    println!(
+        "final backlogs: proposed {:.0}, max {:.0}, min {:.0}",
+        proposed.backlog.values().last().unwrap(),
+        max_run.backlog.values().last().unwrap(),
+        min_run.backlog.values().last().unwrap()
+    );
+    let mut summary = String::from(ExperimentResult::summary_csv_header());
+    summary.push('\n');
+    for r in [&proposed, &max_run, &min_run] {
+        summary.push_str(&r.summary_csv_row());
+        summary.push('\n');
+    }
+    summary.push_str(&format!("knee_slot,{knee}\n"));
+    write_csv_file(results_dir().join("fig2_summary.csv"), &summary).expect("write summary");
+    println!("wrote {} and {}\n", path_a.display(), path_b.display());
+}
+
+/// Extension E1: the quality–delay trade-off traced by sweeping V.
+fn vsweep(opts: &Options) {
+    println!("== Extension E1: V sweep (quality-delay trade-off) ==");
+    let profile = paper_profile(opts.points, opts.seed);
+    let mut cfg = fig2_config(profile);
+    cfg.slots = opts.slots.max(1_600);
+    let center_v = cfg.controller_v;
+    let vs = log_grid(center_v / 100.0, center_v * 100.0, 13);
+    let points = v_sweep(&cfg, &vs);
+    println!(
+        "{:>12} {:>12} {:>14} {:>7}",
+        "V", "mean_quality", "mean_backlog", "stable"
+    );
+    for p in &points {
+        println!(
+            "{:>12.3e} {:>12.4} {:>14.1} {:>7}",
+            p.v, p.mean_quality, p.mean_backlog, p.stable
+        );
+    }
+    let path = results_dir().join("ext_v_sweep.csv");
+    write_csv_file(&path, &v_sweep_csv(&points)).expect("write vsweep");
+    println!("wrote {}\n", path.display());
+}
+
+/// Extension E3: robustness across service rates.
+fn ratesweep(opts: &Options) {
+    println!("== Extension E3: service-rate sweep ==");
+    let profile = paper_profile(opts.points, opts.seed);
+    let a5 = profile.arrival(5);
+    let a10 = profile.arrival(10);
+    let mut cfg = fig2_config(profile);
+    // Away from the calibrated rate the backlog plateau moves, so give the
+    // transient room to finish or the stability verdicts are horizon noise.
+    cfg.slots = opts.slots.max(6_400);
+    cfg.warmup = cfg.slots / 2;
+    let rates = log_grid(a5 * 1.2, a10 * 1.2, 11);
+    let points = rate_sweep(&cfg, &rates);
+    println!(
+        "{:>14} {:>12} {:>14} {:>7}",
+        "service_rate", "mean_quality", "mean_backlog", "stable"
+    );
+    for p in &points {
+        println!(
+            "{:>14.0} {:>12.4} {:>14.1} {:>7}",
+            p.service_rate, p.mean_quality, p.mean_backlog, p.stable
+        );
+    }
+    let path = results_dir().join("ext_rate_sweep.csv");
+    write_csv_file(&path, &rate_sweep_csv(&points)).expect("write ratesweep");
+    println!("wrote {}\n", path.display());
+}
+
+/// Extension E2: the fully-distributed claim — M independent devices.
+fn distributed(opts: &Options) {
+    println!("== Extension E2: distributed fleet ==");
+    let profile = paper_profile(opts.points, opts.seed);
+    let mut cfg = fig2_config(profile);
+    // Slow fleet members have higher backlog plateaus; stretch the horizon
+    // so their stability verdicts reflect steady state, not the transient.
+    cfg.slots = opts.slots.max(6_400);
+    cfg.warmup = cfg.slots / 2;
+    for m in [1usize, 4, 16] {
+        let spread = if m == 1 { 0.0 } else { 0.8 };
+        let outcomes = run_fleet(&cfg, FleetSpec::heterogeneous(m, spread));
+        let stable = outcomes.iter().filter(|o| o.result.stable).count();
+        let mean_q: f64 = outcomes.iter().map(|o| o.result.mean_quality).sum::<f64>() / m as f64;
+        println!("fleet of {m:>2}: {stable}/{m} devices stable, mean quality {mean_q:.4}");
+        if m == 16 {
+            let path = results_dir().join("ext_distributed.csv");
+            write_csv_file(&path, &fleet_csv(&outcomes)).expect("write distributed");
+            println!("wrote {}", path.display());
+        }
+    }
+    println!();
+}
+
+/// Ablation A1 (DESIGN.md §6): the quality-model choice.
+fn ablation(opts: &Options) {
+    println!("== Ablation: quality model p_a(d) ==");
+    let measured = paper_profile(opts.points, opts.seed);
+    let arrivals: Vec<f64> = PAPER_DEPTHS.map(|d| measured.arrival(d)).collect();
+
+    let span = f64::from(PAPER_DEPTHS.end() - PAPER_DEPTHS.start());
+    let linear: Vec<f64> = (0..arrivals.len()).map(|i| i as f64 / span).collect();
+    let saturating: Vec<f64> = (0..arrivals.len())
+        .map(|i| {
+            let x = i as f64;
+            (1.0 - (-0.8 * x).exp()) / (1.0 - (-0.8 * span).exp())
+        })
+        .collect();
+    let log_pc: Vec<f64> = PAPER_DEPTHS.map(|d| measured.quality(d)).collect();
+
+    let mut csv = String::from("model,v,knee_slot,mean_quality,mean_backlog,stable\n");
+    println!(
+        "{:>12} {:>12} {:>10} {:>12} {:>14} {:>7}",
+        "model", "V", "knee", "mean_quality", "mean_backlog", "stable"
+    );
+    for (name, quality) in [
+        ("linear", linear),
+        ("log_points", log_pc),
+        ("saturating", saturating),
+    ] {
+        let profile = DepthProfile::from_parts(*PAPER_DEPTHS.start(), arrivals.clone(), quality);
+        let mut cfg = fig2_config(profile);
+        cfg.slots = opts.slots.max(1_600);
+        let r = Experiment::new(cfg.clone()).run(&mut ProposedDpp::new(cfg.controller_v));
+        let knee = r
+            .depth
+            .values()
+            .iter()
+            .position(|&d| d < f64::from(*PAPER_DEPTHS.end()))
+            .map(|k| k as f64)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:>12} {:>12.3e} {:>10.0} {:>12.4} {:>14.1} {:>7}",
+            name, cfg.controller_v, knee, r.mean_quality, r.mean_backlog, r.stable
+        );
+        csv.push_str(&format!(
+            "{},{:.6e},{},{:.6},{:.3},{}\n",
+            name, cfg.controller_v, knee, r.mean_quality, r.mean_backlog, r.stable
+        ));
+    }
+    let path = results_dir().join("ext_ablation_quality_model.csv");
+    write_csv_file(&path, &csv).expect("write ablation");
+    println!("wrote {}\n", path.display());
+
+    // The PSNR-measured profile as a fourth, most-faithful model, on a
+    // smaller frame (PSNR measurement is O(n log n) per depth).
+    let small = SynthBodyConfig::new(SubjectProfile::Longdress)
+        .with_target_points(opts.points.min(50_000))
+        .with_seed(opts.seed)
+        .generate();
+    let psnr_profile =
+        DepthProfile::measure_with(&small, PAPER_DEPTHS, QualityMetric::GeometryPsnr)
+            .expect("psnr profile");
+    let mut cfg = fig2_config(psnr_profile);
+    cfg.slots = opts.slots.max(1_600);
+    let r = Experiment::new(cfg.clone()).run(&mut ProposedDpp::new(cfg.controller_v));
+    println!(
+        "psnr-measured model: mean_quality {:.4}, mean_backlog {:.1}, stable {}\n",
+        r.mean_quality, r.mean_backlog, r.stable
+    );
+}
+
+/// Extension E4: the average-energy-constrained scheduler
+/// (`arvis_core::energy`) across power budgets.
+fn energy(opts: &Options) {
+    use arvis_core::energy::{EnergyAwareDpp, EnergyModel};
+    println!("== Extension E4: average-energy budget sweep ==");
+    let profile = paper_profile(opts.points, opts.seed);
+    let mut cfg = fig2_config(profile.clone());
+    cfg.slots = opts.slots.max(12_800);
+    cfg.warmup = cfg.slots / 2;
+
+    // Energy proportional to rendered points (e(d) = a(d)): the virtual
+    // queue Z then acts on the same scale as Q, so the budget binds within
+    // O(knee) slots at the Fig. 2 V. (A mis-scaled unit — say joules with
+    // e ≈ 10⁻⁴·a — would need ~10⁴× longer horizons for Z to bind; scaling
+    // constraint units to the queue is standard DPP practice.)
+    let model = EnergyModel::new(0.0, 1.0);
+    // The unconstrained controller renders at ≈ the service rate, so
+    // budgets are expressed as fractions of it.
+    let unconstrained_energy = model.energy(cfg.service.mean_rate());
+    let budgets: Vec<f64> = [1.5, 1.0, 0.8, 0.6, 0.4, 0.2]
+        .iter()
+        .map(|f| f * unconstrained_energy)
+        .collect();
+
+    let mut csv = String::from("budget,avg_energy,mean_quality,mean_backlog,stable\n");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>7}",
+        "budget", "avg_energy", "mean_quality", "mean_backlog", "stable"
+    );
+    for &budget in &budgets {
+        let mut ctl = EnergyAwareDpp::new(cfg.controller_v, model, budget);
+        let r = Experiment::new(cfg.clone()).run(&mut ctl);
+        println!(
+            "{:>10.2} {:>12.2} {:>12.4} {:>14.1} {:>7}",
+            budget,
+            ctl.average_energy(),
+            r.mean_quality,
+            r.mean_backlog,
+            r.stable
+        );
+        csv.push_str(&format!(
+            "{:.3},{:.3},{:.6},{:.3},{}\n",
+            budget,
+            ctl.average_energy(),
+            r.mean_quality,
+            r.mean_backlog,
+            r.stable
+        ));
+    }
+    let path = results_dir().join("ext_energy_budget.csv");
+    write_csv_file(&path, &csv).expect("write energy csv");
+    println!("wrote {}\n", path.display());
+}
+
+/// Extension E5: exact per-frame latency distributions for the Fig. 2 runs.
+fn latency(opts: &Options) {
+    println!("== Extension E5: per-frame latency ==");
+    let profile = paper_profile(opts.points, opts.seed);
+    let mut cfg = fig2_config(profile);
+    cfg.slots = opts.slots.max(3_200);
+    cfg.warmup = cfg.slots / 2;
+    let exp = Experiment::new(cfg.clone());
+
+    let mut csv = String::from("controller,mean,median,p95,p99,max,frames\n");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "controller", "mean", "median", "p95", "p99", "max"
+    );
+    let proposed = exp.run(&mut ProposedDpp::new(cfg.controller_v));
+    let max_run = exp.run(&mut MaxDepth);
+    let min_run = exp.run(&mut MinDepth);
+    for r in [&proposed, &max_run, &min_run] {
+        let s = &r.frame_latency;
+        println!(
+            "{:<16} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            r.controller, s.mean, s.median, s.p95, s.p99, s.max
+        );
+        csv.push_str(&format!(
+            "{},{:.3},{:.3},{:.3},{:.3},{:.3},{}\n",
+            r.controller, s.mean, s.median, s.p95, s.p99, s.max, s.count
+        ));
+    }
+    let path = results_dir().join("ext_frame_latency.csv");
+    write_csv_file(&path, &csv).expect("write latency csv");
+    println!("wrote {}\n", path.display());
+}

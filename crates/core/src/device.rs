@@ -1,0 +1,188 @@
+//! Mobile-device rendering capacity models.
+//!
+//! The paper's motivation is "intensive time-consuming computations for AR
+//! visualization in mobile devices". This module calibrates the abstract
+//! service process in points-per-slot for representative device classes; the
+//! figures' shapes only require that the capacity sit strictly between the
+//! min-depth and max-depth arrival rates, which all presets satisfy for the
+//! default synthetic bodies.
+
+use arvis_sim::service::{ConstantRate, DutyCycledRate, JitteredRate, ServiceProcess};
+use serde::{Deserialize, Serialize};
+
+/// A device class with a nominal rendering throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable device-class name.
+    pub name: &'static str,
+    /// Nominal points rendered per time slot.
+    pub points_per_slot: f64,
+    /// Relative frame-time jitter (σ of the multiplicative noise).
+    pub jitter_sigma: f64,
+}
+
+impl DeviceProfile {
+    /// A budget phone: low throughput, high thermal jitter.
+    pub const BUDGET_PHONE: DeviceProfile = DeviceProfile {
+        name: "budget_phone",
+        points_per_slot: 20_000.0,
+        jitter_sigma: 0.25,
+    };
+
+    /// A flagship phone.
+    pub const FLAGSHIP_PHONE: DeviceProfile = DeviceProfile {
+        name: "flagship_phone",
+        points_per_slot: 60_000.0,
+        jitter_sigma: 0.15,
+    };
+
+    /// A tethered AR headset with active cooling.
+    pub const HEADSET: DeviceProfile = DeviceProfile {
+        name: "headset",
+        points_per_slot: 150_000.0,
+        jitter_sigma: 0.08,
+    };
+
+    /// All presets, slowest first.
+    pub const ALL: [DeviceProfile; 3] = [
+        DeviceProfile::BUDGET_PHONE,
+        DeviceProfile::FLAGSHIP_PHONE,
+        DeviceProfile::HEADSET,
+    ];
+
+    /// A custom profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points_per_slot < 0` or `jitter_sigma < 0`.
+    pub fn custom(points_per_slot: f64, jitter_sigma: f64) -> DeviceProfile {
+        assert!(points_per_slot >= 0.0, "throughput must be >= 0");
+        assert!(jitter_sigma >= 0.0, "jitter must be >= 0");
+        DeviceProfile {
+            name: "custom",
+            points_per_slot,
+            jitter_sigma,
+        }
+    }
+
+    /// An ideal (deterministic) service process at the nominal rate.
+    pub fn ideal_service(&self) -> ConstantRate {
+        ConstantRate::new(self.points_per_slot)
+    }
+
+    /// A jittered service process reflecting frame-time variance.
+    pub fn jittered_service(&self, seed: u64) -> JitteredRate {
+        JitteredRate::new(self.points_per_slot, self.jitter_sigma, seed)
+    }
+
+    /// A thermally throttled service: full rate for `high_slots`, then
+    /// `throttle_factor × rate` for `low_slots`, repeating.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `throttle_factor ∉ [0, 1]` or the cycle is empty.
+    pub fn throttled_service(
+        &self,
+        throttle_factor: f64,
+        high_slots: u64,
+        low_slots: u64,
+    ) -> DutyCycledRate {
+        assert!(
+            (0.0..=1.0).contains(&throttle_factor),
+            "throttle factor must be in [0, 1]"
+        );
+        DutyCycledRate::new(
+            self.points_per_slot,
+            self.points_per_slot * throttle_factor,
+            high_slots,
+            low_slots,
+        )
+    }
+}
+
+/// Boxes the right service process for a device given a robustness scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ServiceScenario {
+    /// Deterministic nominal rate.
+    #[default]
+    Ideal,
+    /// Frame-time jitter.
+    Jittered,
+    /// Periodic thermal throttling to 40% for 100 of every 400 slots.
+    Throttled,
+}
+
+impl ServiceScenario {
+    /// Builds the service process for `device` under this scenario.
+    pub fn build(self, device: &DeviceProfile, seed: u64) -> Box<dyn ServiceProcess + Send> {
+        match self {
+            ServiceScenario::Ideal => Box::new(device.ideal_service()),
+            ServiceScenario::Jittered => Box::new(device.jittered_service(seed)),
+            ServiceScenario::Throttled => Box::new(device.throttled_service(0.4, 300, 100)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_throughput() {
+        let all = DeviceProfile::ALL;
+        for w in all.windows(2) {
+            assert!(w[0].points_per_slot < w[1].points_per_slot);
+        }
+    }
+
+    #[test]
+    fn ideal_service_is_nominal() {
+        let mut s = DeviceProfile::HEADSET.ideal_service();
+        assert_eq!(s.capacity(0), 150_000.0);
+    }
+
+    #[test]
+    fn jittered_service_varies_around_nominal() {
+        let d = DeviceProfile::FLAGSHIP_PHONE;
+        let mut s = d.jittered_service(3);
+        let samples: Vec<f64> = (0..5_000).map(|i| s.capacity(i)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - d.points_per_slot).abs() / d.points_per_slot < 0.05);
+        assert!(samples.iter().any(|&c| c != d.points_per_slot));
+    }
+
+    #[test]
+    fn throttled_service_cycles() {
+        let d = DeviceProfile::BUDGET_PHONE;
+        let mut s = d.throttled_service(0.5, 2, 2);
+        assert_eq!(s.capacity(0), 20_000.0);
+        assert_eq!(s.capacity(2), 10_000.0);
+        assert_eq!(s.capacity(4), 20_000.0);
+    }
+
+    #[test]
+    fn scenario_builder_produces_working_processes() {
+        let d = DeviceProfile::FLAGSHIP_PHONE;
+        for scenario in [
+            ServiceScenario::Ideal,
+            ServiceScenario::Jittered,
+            ServiceScenario::Throttled,
+        ] {
+            let mut s = scenario.build(&d, 1);
+            assert!(s.capacity(0) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "throttle factor")]
+    fn bad_throttle_rejected() {
+        let _ = DeviceProfile::HEADSET.throttled_service(1.5, 1, 1);
+    }
+
+    #[test]
+    fn custom_profile() {
+        let d = DeviceProfile::custom(1234.0, 0.0);
+        assert_eq!(d.points_per_slot, 1234.0);
+        assert_eq!(d.name, "custom");
+    }
+}

@@ -1,0 +1,541 @@
+//! The closed-loop slotted experiment reproducing the paper's evaluation.
+//!
+//! Per slot τ: observe `Q(τ)` → the controller picks `d(τ)` → the workload
+//! `a(d(τ))` of the current frame enters the queue → the device serves up to
+//! its capacity → record backlog, chosen depth and quality. Figs. 2(a) and
+//! 2(b) of the paper are exactly the `backlog` and `depth` series of three
+//! runs (proposed / only-max / only-min) over 800 slots.
+
+use arvis_sim::latency::FifoLatencyTracker;
+use arvis_sim::queue::WorkQueue;
+use arvis_sim::service::{ConstantRate, DutyCycledRate, JitteredRate, ServiceProcess};
+use arvis_sim::stats::{SummaryStats, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+use crate::controller::{DepthController, ProposedDpp};
+use crate::stream::ArStream;
+use arvis_quality::DepthProfile;
+
+/// Cloneable specification of a service process (built per run so repeated
+/// and parallel runs stay independent and reproducible).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServiceSpec {
+    /// Deterministic rate (points/slot).
+    Constant(f64),
+    /// Rate with multiplicative Gaussian jitter.
+    Jittered {
+        /// Nominal rate.
+        rate: f64,
+        /// Relative σ of the jitter.
+        sigma: f64,
+    },
+    /// Periodic throttling.
+    DutyCycled {
+        /// Unthrottled rate.
+        high: f64,
+        /// Throttled rate.
+        low: f64,
+        /// Slots at `high` per cycle.
+        high_slots: u64,
+        /// Slots at `low` per cycle.
+        low_slots: u64,
+    },
+}
+
+impl ServiceSpec {
+    /// Builds the service process (seeded for the stochastic variants).
+    pub fn build(&self, seed: u64) -> Box<dyn ServiceProcess + Send> {
+        match *self {
+            ServiceSpec::Constant(rate) => Box::new(ConstantRate::new(rate)),
+            ServiceSpec::Jittered { rate, sigma } => Box::new(JitteredRate::new(rate, sigma, seed)),
+            ServiceSpec::DutyCycled {
+                high,
+                low,
+                high_slots,
+                low_slots,
+            } => Box::new(DutyCycledRate::new(high, low, high_slots, low_slots)),
+        }
+    }
+
+    /// The long-run mean service rate.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ServiceSpec::Constant(rate) => rate,
+            ServiceSpec::Jittered { rate, .. } => rate,
+            ServiceSpec::DutyCycled {
+                high,
+                low,
+                high_slots,
+                low_slots,
+            } => {
+                (high * high_slots as f64 + low * low_slots as f64)
+                    / (high_slots + low_slots) as f64
+            }
+        }
+    }
+}
+
+/// Configuration of one closed-loop run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The frame source.
+    pub stream: ArStream,
+    /// The device's service model.
+    pub service: ServiceSpec,
+    /// Number of slots to simulate (the paper uses 800).
+    pub slots: u64,
+    /// RNG seed for stochastic components.
+    pub seed: u64,
+    /// Optional finite queue capacity (drops beyond it are counted).
+    pub queue_capacity: Option<f64>,
+    /// Slots excluded from time-average metrics (transient warm-up).
+    pub warmup: u64,
+    /// Trade-off coefficient used by [`Experiment::run_proposed`].
+    pub controller_v: f64,
+}
+
+impl ExperimentConfig {
+    /// A stationary-stream experiment over `slots` slots with a constant
+    /// service of `service_rate` points/slot.
+    pub fn new(profile: DepthProfile, service_rate: f64, slots: u64) -> Self {
+        ExperimentConfig {
+            stream: ArStream::constant(profile),
+            service: ServiceSpec::Constant(service_rate),
+            slots,
+            seed: 0,
+            queue_capacity: None,
+            warmup: slots / 4,
+            controller_v: 1e6,
+        }
+    }
+
+    /// Replaces the stream.
+    #[must_use]
+    pub fn with_stream(mut self, stream: ArStream) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Replaces the service specification.
+    #[must_use]
+    pub fn with_service(mut self, service: ServiceSpec) -> Self {
+        self.service = service;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets a finite queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: f64) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the warm-up slot count for time-average metrics.
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the `V` used by [`Experiment::run_proposed`].
+    #[must_use]
+    pub fn with_controller_v(mut self, v: f64) -> Self {
+        self.controller_v = v;
+        self
+    }
+}
+
+/// Per-run output: full time series plus derived metrics.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Name of the controller that produced the run.
+    pub controller: String,
+    /// `Q(τ)` after each slot — Fig. 2(a)'s y-axis.
+    pub backlog: TimeSeries,
+    /// Chosen depth per slot — Fig. 2(b)'s y-axis.
+    pub depth: TimeSeries,
+    /// Quality `p_a(d(τ))` per slot.
+    pub quality: TimeSeries,
+    /// Injected arrivals `a(d(τ))` per slot.
+    pub arrivals: TimeSeries,
+    /// Offered service capacity per slot.
+    pub service: TimeSeries,
+    /// Total work dropped by a finite queue (0 for infinite).
+    pub dropped_total: f64,
+    /// Time-average quality after warm-up — the paper's objective (Eq. 1).
+    pub mean_quality: f64,
+    /// Time-average backlog after warm-up — the constraint proxy (Eq. 2).
+    pub mean_backlog: f64,
+    /// Little's-law delay estimate in slots.
+    pub littles_delay: Option<f64>,
+    /// Exact per-frame FIFO sojourn times (slots), over frames completed
+    /// within the horizon — the per-frame view of the paper's delay
+    /// constraint.
+    pub frame_latency: SummaryStats,
+    /// Fraction of slots whose chosen depth differs from the previous
+    /// slot's — the *flicker* rate. Depth oscillation is the perceptual
+    /// price of DPP time-sharing; 0 for the fixed baselines.
+    pub depth_switch_rate: f64,
+    /// Stability verdict of the backlog tail.
+    pub stable: bool,
+}
+
+impl ExperimentResult {
+    /// All series as CSV (slot-indexed columns).
+    pub fn to_csv(&self) -> String {
+        arvis_sim::stats::series_to_csv(&[
+            &self.backlog,
+            &self.depth,
+            &self.quality,
+            &self.arrivals,
+            &self.service,
+        ])
+    }
+
+    /// One summary line: `controller,mean_quality,mean_backlog,stable,...`.
+    pub fn summary_csv_row(&self) -> String {
+        format!(
+            "{},{:.6},{:.3},{},{:.3},{:.3},{:.3},{:.1}",
+            self.controller,
+            self.mean_quality,
+            self.mean_backlog,
+            self.stable,
+            self.littles_delay.unwrap_or(f64::NAN),
+            self.frame_latency.mean,
+            self.frame_latency.p95,
+            self.dropped_total,
+        )
+    }
+
+    /// Header matching [`ExperimentResult::summary_csv_row`].
+    pub fn summary_csv_header() -> &'static str {
+        "controller,mean_quality,mean_backlog,stable,littles_delay,frame_latency_mean,frame_latency_p95,dropped_total"
+    }
+}
+
+/// The closed-loop runner.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    config: ExperimentConfig,
+}
+
+impl Experiment {
+    /// Creates a runner for the given configuration.
+    pub fn new(config: ExperimentConfig) -> Self {
+        Experiment { config }
+    }
+
+    /// Borrows the configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Runs the closed loop with the given controller.
+    pub fn run(&self, controller: &mut dyn DepthController) -> ExperimentResult {
+        let cfg = &self.config;
+        let mut service = cfg.service.build(cfg.seed);
+        let mut queue = match cfg.queue_capacity {
+            Some(c) => WorkQueue::with_capacity(c),
+            None => WorkQueue::new(),
+        };
+
+        let mut backlog = TimeSeries::new("queue_backlog");
+        let mut depth = TimeSeries::new("control_action_depth");
+        let mut quality = TimeSeries::new("quality");
+        let mut arrivals_series = TimeSeries::new("arrivals");
+        let mut service_series = TimeSeries::new("service");
+
+        let mut latency = FifoLatencyTracker::new();
+        for slot in 0..cfg.slots {
+            let profile = cfg.stream.profile_at(slot);
+            // Observe Q(t) (paper Algorithm 1 line 4), decide (lines 6–11).
+            let q = queue.backlog();
+            let d = controller.select_depth(slot, q, &profile);
+            let a = profile.arrival(d);
+            let p = profile.quality(d);
+            let b = service.capacity(slot);
+            let step = queue.step(a, b);
+            // Track the admitted work as one frame (drops shrink the frame).
+            latency.step(slot, a - step.dropped, step.served);
+
+            backlog.push(queue.backlog());
+            depth.push(f64::from(d));
+            quality.push(p);
+            arrivals_series.push(a);
+            service_series.push(b);
+        }
+
+        let warm = cfg.warmup.min(cfg.slots) as usize;
+        let mean_quality = quality.mean_from(warm).unwrap_or(0.0);
+        let mean_backlog = backlog.mean_from(warm).unwrap_or(0.0);
+        let stable = backlog.is_stable((cfg.slots / 2).max(2) as usize, 1e-3);
+        let switches = depth
+            .values()
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count();
+        let depth_switch_rate = if cfg.slots > 1 {
+            switches as f64 / (cfg.slots - 1) as f64
+        } else {
+            0.0
+        };
+
+        ExperimentResult {
+            controller: controller.name().to_string(),
+            dropped_total: queue.total_dropped(),
+            littles_delay: queue.littles_law_delay(),
+            frame_latency: latency.summary(),
+            depth_switch_rate,
+            backlog,
+            depth,
+            quality,
+            arrivals: arrivals_series,
+            service: service_series,
+            mean_quality,
+            mean_backlog,
+            stable,
+        }
+    }
+
+    /// Convenience: runs the proposed scheduler with the configured `V`.
+    pub fn run_proposed(&self) -> ExperimentResult {
+        self.run(&mut ProposedDpp::new(self.config.controller_v))
+    }
+}
+
+/// Calibrates `V` so the proposed scheduler's backlog knee (the slot where it
+/// first abandons the maximum depth) lands near `knee_slots`, assuming a
+/// stationary profile and constant service.
+///
+/// Derivation: while `Q` is small the maximizer is `d_max`; the backlog
+/// climbs at `δ = a(d_max) − b` per slot. Depth `d` overtakes `d_max` once
+/// `Q > V·(p_max − p(d)) / (a_max − a(d))`; the binding depth is the one
+/// minimizing that ratio, so the first switch happens at
+/// `t* ≈ V·ρ_min / δ` with `ρ_min = min_d (p_max−p(d))/(a_max−a(d))`.
+/// Inverting gives `V = t*·δ / ρ_min`.
+///
+/// Returns `None` when the service rate already covers the max-depth
+/// arrival (no knee: max depth is sustainable forever).
+pub fn v_for_knee(profile: &DepthProfile, service_rate: f64, knee_slots: f64) -> Option<f64> {
+    let d_max = profile.max_depth();
+    let (a_max, p_max) = (profile.arrival(d_max), profile.quality(d_max));
+    let delta = a_max - service_rate;
+    if delta <= 0.0 || knee_slots <= 0.0 {
+        return None;
+    }
+    let rho_min = profile
+        .depths()
+        .filter(|&d| d != d_max)
+        .map(|d| (p_max - profile.quality(d)) / (a_max - profile.arrival(d)))
+        .fold(f64::INFINITY, f64::min);
+    if !rho_min.is_finite() || rho_min <= 0.0 {
+        return None;
+    }
+    Some(knee_slots * delta / rho_min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{MaxDepth, MinDepth};
+
+    fn profile() -> DepthProfile {
+        DepthProfile::from_parts(
+            5,
+            vec![100.0, 400.0, 1600.0, 6400.0, 25600.0, 102400.0],
+            vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+        )
+    }
+
+    fn config(rate: f64, slots: u64) -> ExperimentConfig {
+        ExperimentConfig::new(profile(), rate, slots)
+    }
+
+    #[test]
+    fn max_depth_diverges_when_undersized() {
+        // Service 2000 < a(10)=102400: linear divergence, Fig. 2(a) red curve.
+        let r = Experiment::new(config(2_000.0, 800)).run(&mut MaxDepth);
+        assert!(!r.stable, "max-depth must diverge");
+        let final_q = *r.backlog.values().last().unwrap();
+        // Drift ≈ 100400/slot.
+        assert!(final_q > 7e7, "final backlog {final_q}");
+        assert!(r.mean_quality == 1.0);
+    }
+
+    #[test]
+    fn min_depth_converges_to_zero() {
+        let r = Experiment::new(config(2_000.0, 800)).run(&mut MinDepth);
+        assert!(r.stable);
+        // Arrivals 100 < service 2000: backlog ends each slot at exactly a(5).
+        assert!(*r.backlog.values().last().unwrap() <= 100.0 + 1e-9);
+        assert_eq!(r.mean_quality, 0.0);
+    }
+
+    #[test]
+    fn proposed_is_stable_with_intermediate_quality() {
+        let cfg = config(2_000.0, 2_000).with_controller_v(1e7);
+        let r = Experiment::new(cfg).run_proposed();
+        assert!(r.stable, "proposed must stabilize");
+        assert!(
+            r.mean_quality > 0.05 && r.mean_quality < 1.0,
+            "quality {} must be strictly between baselines",
+            r.mean_quality
+        );
+        assert_eq!(r.controller, "proposed");
+    }
+
+    #[test]
+    fn proposed_beats_threshold_ordering() {
+        // Time-average quality: min-depth ≤ proposed ≤ max-depth.
+        let q = |r: &ExperimentResult| r.mean_quality;
+        let min_r = Experiment::new(config(2_000.0, 800)).run(&mut MinDepth);
+        let max_r = Experiment::new(config(2_000.0, 800)).run(&mut MaxDepth);
+        let prop = Experiment::new(config(2_000.0, 800).with_controller_v(1e7)).run_proposed();
+        assert!(q(&min_r) <= q(&prop));
+        assert!(q(&prop) <= q(&max_r));
+    }
+
+    #[test]
+    fn series_lengths_match_slots() {
+        let r = Experiment::new(config(2_000.0, 123)).run(&mut MaxDepth);
+        for s in [&r.backlog, &r.depth, &r.quality, &r.arrivals, &r.service] {
+            assert_eq!(s.len(), 123);
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let cfg = config(2_000.0, 300)
+            .with_service(ServiceSpec::Jittered {
+                rate: 2_000.0,
+                sigma: 0.2,
+            })
+            .with_seed(42);
+        let a = Experiment::new(cfg.clone()).run_proposed();
+        let b = Experiment::new(cfg).run_proposed();
+        assert_eq!(a.backlog, b.backlog);
+        assert_eq!(a.depth, b.depth);
+    }
+
+    #[test]
+    fn different_seeds_differ_under_jitter() {
+        let base = config(2_000.0, 300).with_service(ServiceSpec::Jittered {
+            rate: 2_000.0,
+            sigma: 0.2,
+        });
+        let a = Experiment::new(base.clone().with_seed(1)).run_proposed();
+        let b = Experiment::new(base.with_seed(2)).run_proposed();
+        assert_ne!(a.backlog, b.backlog);
+    }
+
+    #[test]
+    fn finite_queue_drops_under_overload() {
+        let cfg = config(2_000.0, 400).with_queue_capacity(50_000.0);
+        let r = Experiment::new(cfg).run(&mut MaxDepth);
+        assert!(r.dropped_total > 0.0, "overloaded finite queue must drop");
+        assert!(r.backlog.summary().max <= 50_000.0 + 1e-9);
+    }
+
+    #[test]
+    fn v_zero_behaves_like_min_depth() {
+        let cfg = config(2_000.0, 400).with_controller_v(0.0);
+        let r = Experiment::new(cfg).run_proposed();
+        // With V=0, once backlog > 0 the controller minimizes arrivals.
+        let depths = r.depth.values();
+        assert!(depths.iter().skip(1).all(|&d| d == 5.0));
+    }
+
+    #[test]
+    fn service_spec_mean_rates() {
+        assert_eq!(ServiceSpec::Constant(5.0).mean_rate(), 5.0);
+        assert_eq!(
+            ServiceSpec::Jittered {
+                rate: 5.0,
+                sigma: 0.1
+            }
+            .mean_rate(),
+            5.0
+        );
+        let duty = ServiceSpec::DutyCycled {
+            high: 10.0,
+            low: 0.0,
+            high_slots: 1,
+            low_slots: 1,
+        };
+        assert_eq!(duty.mean_rate(), 5.0);
+    }
+
+    #[test]
+    fn knee_calibration_places_the_knee() {
+        let p = profile();
+        let rate = 2_000.0;
+        for target in [200.0f64, 400.0] {
+            let v = v_for_knee(&p, rate, target).unwrap();
+            let cfg = ExperimentConfig::new(p.clone(), rate, 1_600).with_controller_v(v);
+            let r = Experiment::new(cfg).run_proposed();
+            // Find the first slot where the depth leaves the maximum.
+            let knee = r
+                .depth
+                .values()
+                .iter()
+                .position(|&d| d < 10.0)
+                .expect("depth must eventually drop") as f64;
+            assert!(
+                (knee - target).abs() / target < 0.25,
+                "target {target}, measured knee {knee}"
+            );
+        }
+    }
+
+    #[test]
+    fn knee_calibration_refuses_sustainable_rates() {
+        let p = profile();
+        assert!(v_for_knee(&p, 200_000.0, 400.0).is_none());
+        assert!(v_for_knee(&p, 2_000.0, -1.0).is_none());
+    }
+
+    #[test]
+    fn csv_outputs() {
+        let r = Experiment::new(config(2_000.0, 10)).run(&mut MaxDepth);
+        let csv = r.to_csv();
+        assert!(csv.starts_with("slot,queue_backlog,control_action_depth"));
+        assert_eq!(csv.trim().lines().count(), 11);
+        let row = r.summary_csv_row();
+        assert!(row.starts_with("only_max_depth,"));
+        assert_eq!(
+            row.split(',').count(),
+            ExperimentResult::summary_csv_header().split(',').count()
+        );
+    }
+
+    #[test]
+    fn depth_switch_rate_of_baselines_is_zero() {
+        let r = Experiment::new(config(2_000.0, 400)).run(&mut MaxDepth);
+        assert_eq!(r.depth_switch_rate, 0.0);
+        let r = Experiment::new(config(2_000.0, 400)).run(&mut MinDepth);
+        assert_eq!(r.depth_switch_rate, 0.0);
+    }
+
+    #[test]
+    fn proposed_flickers_only_after_the_knee() {
+        // Pre-knee the proposed scheduler holds max depth; oscillation is
+        // confined to the time-sharing phase, so the switch rate is well
+        // below 1 but positive.
+        let cfg = config(2_000.0, 2_000).with_controller_v(1e7);
+        let r = Experiment::new(cfg).run_proposed();
+        assert!(r.depth_switch_rate > 0.0, "time-sharing must switch depths");
+        assert!(
+            r.depth_switch_rate < 0.9,
+            "switch rate {} suspiciously high",
+            r.depth_switch_rate
+        );
+    }
+}
+

@@ -1,0 +1,61 @@
+//! # arvis-core — quality-aware real-time AR visualization under delay constraints
+//!
+//! The paper's primary contribution: a Lyapunov drift-plus-penalty scheduler
+//! that picks, each time slot, the octree depth `d*(t)` used to visualize the
+//! next point-cloud frame,
+//!
+//! ```text
+//! d*(t) = argmax_{d ∈ R} [ V · p_a(d) − Q(t) · a(d) ]        (paper Eq. 3)
+//! ```
+//!
+//! maximizing time-average visual quality subject to the stability of the
+//! visualization queue `Q(t)`.
+//!
+//! ## Layout
+//!
+//! - [`controller`]: the proposed scheduler (Algorithm 1) and all baselines
+//!   (only-max-depth, only-min-depth, fixed, random, queue-threshold,
+//!   adaptive-V);
+//! - [`device`]: mobile-device rendering capacity models;
+//! - [`stream`]: AR frame sources feeding per-slot depth profiles;
+//! - [`experiment`]: the slotted closed-loop simulation that reproduces the
+//!   paper's Fig. 2, plus analytic calibration helpers;
+//! - [`sweep`]: parallel parameter sweeps (V, service rate) for the
+//!   trade-off extensions;
+//! - [`distributed`]: the multi-device experiment backing the paper's
+//!   "fully distributed" claim.
+//!
+//! ## Example
+//!
+//! ```
+//! use arvis_core::controller::{DepthController, ProposedDpp};
+//! use arvis_core::experiment::{Experiment, ExperimentConfig};
+//! use arvis_quality::DepthProfile;
+//!
+//! // A synthetic per-depth profile: arrivals quadruple, quality saturates.
+//! let profile = DepthProfile::from_parts(
+//!     5,
+//!     vec![100.0, 400.0, 1600.0, 6400.0, 25600.0, 102400.0],
+//!     vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+//! );
+//! let config = ExperimentConfig::new(profile, 2_000.0, 800)
+//!     .with_controller_v(1e7)
+//!     .with_seed(1);
+//! let result = Experiment::new(config).run(&mut ProposedDpp::default());
+//! assert!(result.backlog.is_stable(400, 1e-3));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod controller;
+pub mod device;
+pub mod distributed;
+pub mod energy;
+pub mod experiment;
+pub mod pipeline;
+pub mod stream;
+pub mod sweep;
+
+pub use controller::{DepthController, ProposedDpp};
+pub use experiment::{Experiment, ExperimentConfig, ExperimentResult};

@@ -1,0 +1,236 @@
+//! AR stream sources: where each slot's depth profile comes from.
+//!
+//! Each time slot the scheduler consults the current frame's
+//! [`DepthProfile`] (per-depth arrivals and quality). Sources:
+//!
+//! - [`ArStream::constant`]: one profile for every slot (the paper's setup —
+//!   a stationary stream whose per-depth statistics are those of the 8i
+//!   bodies);
+//! - [`ArStream::cycle`]: per-frame measured profiles of a dynamic sequence,
+//!   replayed cyclically;
+//! - [`ArStream::modulated`]: the constant profile with a sinusoidal
+//!   arrival modulation (subject moving closer/farther), for robustness
+//!   experiments.
+
+use std::borrow::Cow;
+
+use arvis_pointcloud::synth::FrameSequence;
+use arvis_quality::profile::{DepthProfile, ProfileError, QualityMetric};
+
+/// A source of per-slot depth profiles.
+#[derive(Debug, Clone)]
+pub struct ArStream {
+    kind: StreamKind,
+}
+
+#[derive(Debug, Clone)]
+enum StreamKind {
+    Constant(DepthProfile),
+    Cycle(Vec<DepthProfile>),
+    Modulated {
+        base: DepthProfile,
+        amplitude: f64,
+        period_slots: f64,
+    },
+}
+
+impl ArStream {
+    /// A stationary stream: the same profile every slot.
+    pub fn constant(profile: DepthProfile) -> ArStream {
+        ArStream {
+            kind: StreamKind::Constant(profile),
+        }
+    }
+
+    /// Replays measured per-frame profiles cyclically.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `profiles` is empty or the frames disagree on the depth
+    /// range.
+    pub fn cycle(profiles: Vec<DepthProfile>) -> ArStream {
+        assert!(!profiles.is_empty(), "need at least one frame profile");
+        let r = profiles[0].depths();
+        assert!(
+            profiles.iter().all(|p| p.depths() == r),
+            "all frame profiles must share the same depth range"
+        );
+        ArStream {
+            kind: StreamKind::Cycle(profiles),
+        }
+    }
+
+    /// The base profile with arrivals scaled by
+    /// `1 + amplitude · sin(2π · slot / period_slots)` — models the subject
+    /// approaching and receding from the capture volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `amplitude ∉ [0, 1)` or `period_slots <= 0`.
+    pub fn modulated(base: DepthProfile, amplitude: f64, period_slots: f64) -> ArStream {
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0, 1)"
+        );
+        assert!(period_slots > 0.0, "period must be positive");
+        ArStream {
+            kind: StreamKind::Modulated {
+                base,
+                amplitude,
+                period_slots,
+            },
+        }
+    }
+
+    /// Measures per-frame profiles of a synthetic [`FrameSequence`] and
+    /// builds a cycling stream. `frame_stride` measures every `stride`-th
+    /// frame (profiles are expensive at full resolution).
+    ///
+    /// # Errors
+    ///
+    /// Propagates profile-measurement failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `frame_stride == 0` or the sequence is empty.
+    pub fn from_sequence(
+        sequence: &FrameSequence,
+        depths: std::ops::RangeInclusive<u8>,
+        frame_stride: usize,
+    ) -> Result<ArStream, ProfileError> {
+        assert!(frame_stride >= 1, "stride must be >= 1");
+        assert!(!sequence.is_empty(), "sequence must have frames");
+        let mut profiles = Vec::new();
+        let mut i = 0;
+        while i < sequence.len() {
+            let frame = sequence.frame(i);
+            profiles.push(DepthProfile::measure_with(
+                &frame,
+                depths.clone(),
+                QualityMetric::LogPointCount,
+            )?);
+            i += frame_stride;
+        }
+        Ok(ArStream::cycle(profiles))
+    }
+
+    /// The profile in effect at `slot`.
+    pub fn profile_at(&self, slot: u64) -> Cow<'_, DepthProfile> {
+        match &self.kind {
+            StreamKind::Constant(p) => Cow::Borrowed(p),
+            StreamKind::Cycle(ps) => Cow::Borrowed(&ps[(slot as usize) % ps.len()]),
+            StreamKind::Modulated {
+                base,
+                amplitude,
+                period_slots,
+            } => {
+                let phase = std::f64::consts::TAU * slot as f64 / period_slots;
+                let scale = 1.0 + amplitude * phase.sin();
+                let arrivals = base
+                    .depths()
+                    .map(|d| base.arrival(d) * scale)
+                    .collect::<Vec<_>>();
+                let quality = base.depths().map(|d| base.quality(d)).collect();
+                Cow::Owned(DepthProfile::from_parts(
+                    base.min_depth(),
+                    arrivals,
+                    quality,
+                ))
+            }
+        }
+    }
+
+    /// The long-run mean arrival at depth `d` across the stream.
+    pub fn mean_arrival(&self, depth: u8) -> f64 {
+        match &self.kind {
+            StreamKind::Constant(p) => p.arrival(depth),
+            StreamKind::Cycle(ps) => {
+                ps.iter().map(|p| p.arrival(depth)).sum::<f64>() / ps.len() as f64
+            }
+            // Sinusoid has zero mean over a period.
+            StreamKind::Modulated { base, .. } => base.arrival(depth),
+        }
+    }
+
+    /// The depth range served by this stream.
+    pub fn depths(&self) -> std::ops::RangeInclusive<u8> {
+        match &self.kind {
+            StreamKind::Constant(p) => p.depths(),
+            StreamKind::Cycle(ps) => ps[0].depths(),
+            StreamKind::Modulated { base, .. } => base.depths(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvis_pointcloud::synth::SubjectProfile;
+
+    fn profile(scale: f64) -> DepthProfile {
+        DepthProfile::from_parts(
+            5,
+            vec![scale * 100.0, scale * 400.0, scale * 1600.0],
+            vec![0.0, 0.5, 1.0],
+        )
+    }
+
+    #[test]
+    fn constant_stream_is_constant() {
+        let s = ArStream::constant(profile(1.0));
+        assert_eq!(s.profile_at(0).arrival(5), 100.0);
+        assert_eq!(s.profile_at(999).arrival(5), 100.0);
+        assert_eq!(s.mean_arrival(6), 400.0);
+        assert_eq!(s.depths(), 5..=7);
+    }
+
+    #[test]
+    fn cycle_stream_rotates() {
+        let s = ArStream::cycle(vec![profile(1.0), profile(2.0)]);
+        assert_eq!(s.profile_at(0).arrival(5), 100.0);
+        assert_eq!(s.profile_at(1).arrival(5), 200.0);
+        assert_eq!(s.profile_at(2).arrival(5), 100.0);
+        assert_eq!(s.mean_arrival(5), 150.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same depth range")]
+    fn cycle_rejects_mismatched_ranges() {
+        let other = DepthProfile::from_parts(4, vec![1.0, 2.0], vec![0.0, 1.0]);
+        let _ = ArStream::cycle(vec![profile(1.0), other]);
+    }
+
+    #[test]
+    fn modulated_oscillates_and_preserves_quality() {
+        let s = ArStream::modulated(profile(1.0), 0.5, 100.0);
+        let at_zero = s.profile_at(0);
+        let at_quarter = s.profile_at(25); // sin = 1 -> ×1.5
+        let at_three_quarters = s.profile_at(75); // sin = -1 -> ×0.5
+        assert!((at_zero.arrival(5) - 100.0).abs() < 1e-9);
+        assert!((at_quarter.arrival(5) - 150.0).abs() < 1e-9);
+        assert!((at_three_quarters.arrival(5) - 50.0).abs() < 1e-9);
+        // Quality untouched by modulation.
+        assert_eq!(at_quarter.quality(7), 1.0);
+        assert_eq!(s.mean_arrival(5), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn modulated_rejects_full_amplitude() {
+        let _ = ArStream::modulated(profile(1.0), 1.0, 10.0);
+    }
+
+    #[test]
+    fn from_sequence_measures_frames() {
+        let seq = FrameSequence::new(SubjectProfile::Loot, 4).with_target_points(2_000);
+        let s = ArStream::from_sequence(&seq, 3..=5, 2).unwrap();
+        // Frames 0 and 2 measured.
+        let p0 = s.profile_at(0);
+        let p1 = s.profile_at(1);
+        assert_eq!(p0.depths(), 3..=5);
+        // Different poses -> different occupancy (almost surely).
+        assert_ne!(p0.arrival(5), p1.arrival(5));
+        // Cycles with period 2.
+        assert_eq!(s.profile_at(0).arrival(5), s.profile_at(2).arrival(5));
+    }
+}

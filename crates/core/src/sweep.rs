@@ -1,0 +1,220 @@
+//! Parallel parameter sweeps: the quality–delay trade-off over `V` and
+//! robustness over service rates.
+//!
+//! Eq. (3)'s `V` buys quality at the price of backlog (`O(1/V)` utility gap,
+//! `O(V)` backlog — see [`arvis_lyapunov::bounds`]). These sweeps measure
+//! that trade-off empirically; they back the extension experiments E1 and
+//! E3 of DESIGN.md.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+
+use crate::controller::ProposedDpp;
+use crate::experiment::{Experiment, ExperimentConfig};
+
+/// One point of a V-sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VSweepPoint {
+    /// The trade-off coefficient.
+    pub v: f64,
+    /// Time-average quality after warm-up.
+    pub mean_quality: f64,
+    /// Time-average backlog after warm-up.
+    pub mean_backlog: f64,
+    /// Stability verdict.
+    pub stable: bool,
+}
+
+/// Runs the proposed scheduler for every `V` in `vs` (in parallel) against
+/// the same base configuration.
+pub fn v_sweep(base: &ExperimentConfig, vs: &[f64]) -> Vec<VSweepPoint> {
+    let results: Mutex<Vec<(usize, VSweepPoint)>> = Mutex::new(Vec::with_capacity(vs.len()));
+    thread::scope(|scope| {
+        for (i, &v) in vs.iter().enumerate() {
+            let base = base.clone();
+            let results = &results;
+            scope.spawn(move |_| {
+                let cfg = base.with_controller_v(v);
+                let r = Experiment::new(cfg).run(&mut ProposedDpp::new(v));
+                results.lock().push((
+                    i,
+                    VSweepPoint {
+                        v,
+                        mean_quality: r.mean_quality,
+                        mean_backlog: r.mean_backlog,
+                        stable: r.stable,
+                    },
+                ));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    let mut out = results.into_inner();
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, p)| p).collect()
+}
+
+/// Renders a V-sweep as CSV.
+pub fn v_sweep_csv(points: &[VSweepPoint]) -> String {
+    let mut out = String::from("v,mean_quality,mean_backlog,stable\n");
+    for p in points {
+        out.push_str(&format!(
+            "{},{:.6},{:.3},{}\n",
+            p.v, p.mean_quality, p.mean_backlog, p.stable
+        ));
+    }
+    out
+}
+
+/// A logarithmic grid of `n` values from `lo` to `hi` (inclusive).
+///
+/// # Panics
+///
+/// Panics when `lo <= 0`, `hi < lo`, or `n < 2`.
+pub fn log_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi >= lo, "need 0 < lo <= hi");
+    assert!(n >= 2, "need at least two grid points");
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    (0..n)
+        .map(|i| (llo + (lhi - llo) * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+/// One point of a service-rate sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSweepPoint {
+    /// The constant service rate used.
+    pub service_rate: f64,
+    /// Time-average quality after warm-up.
+    pub mean_quality: f64,
+    /// Time-average backlog after warm-up.
+    pub mean_backlog: f64,
+    /// Stability verdict.
+    pub stable: bool,
+}
+
+/// Runs the proposed scheduler across service rates (in parallel), holding
+/// `V` fixed at `base.controller_v`.
+pub fn rate_sweep(base: &ExperimentConfig, rates: &[f64]) -> Vec<RateSweepPoint> {
+    let results: Mutex<Vec<(usize, RateSweepPoint)>> = Mutex::new(Vec::with_capacity(rates.len()));
+    thread::scope(|scope| {
+        for (i, &rate) in rates.iter().enumerate() {
+            let base = base.clone();
+            let results = &results;
+            scope.spawn(move |_| {
+                let v = base.controller_v;
+                let cfg = base.with_service(crate::experiment::ServiceSpec::Constant(rate));
+                let r = Experiment::new(cfg).run(&mut ProposedDpp::new(v));
+                results.lock().push((
+                    i,
+                    RateSweepPoint {
+                        service_rate: rate,
+                        mean_quality: r.mean_quality,
+                        mean_backlog: r.mean_backlog,
+                        stable: r.stable,
+                    },
+                ));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    let mut out = results.into_inner();
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, p)| p).collect()
+}
+
+/// Renders a rate sweep as CSV.
+pub fn rate_sweep_csv(points: &[RateSweepPoint]) -> String {
+    let mut out = String::from("service_rate,mean_quality,mean_backlog,stable\n");
+    for p in points {
+        out.push_str(&format!(
+            "{},{:.6},{:.3},{}\n",
+            p.service_rate, p.mean_quality, p.mean_backlog, p.stable
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvis_quality::DepthProfile;
+
+    fn base() -> ExperimentConfig {
+        let profile = DepthProfile::from_parts(
+            5,
+            vec![100.0, 400.0, 1600.0, 6400.0, 25600.0, 102400.0],
+            vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+        );
+        ExperimentConfig::new(profile, 2_000.0, 1_000)
+    }
+
+    #[test]
+    fn log_grid_endpoints_and_monotonicity() {
+        let g = log_grid(10.0, 1000.0, 5);
+        assert_eq!(g.len(), 5);
+        assert!((g[0] - 10.0).abs() < 1e-9);
+        assert!((g[4] - 1000.0).abs() < 1e-6);
+        for w in g.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!((g[2] - 100.0).abs() < 1e-6, "log-midpoint");
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo")]
+    fn log_grid_rejects_nonpositive() {
+        let _ = log_grid(0.0, 1.0, 3);
+    }
+
+    #[test]
+    fn v_sweep_shows_quality_delay_tradeoff() {
+        let vs = log_grid(1e4, 1e8, 5);
+        let points = v_sweep(&base(), &vs);
+        assert_eq!(points.len(), 5);
+        // Quality non-decreasing in V; backlog non-decreasing in V.
+        for w in points.windows(2) {
+            assert!(
+                w[1].mean_quality >= w[0].mean_quality - 1e-9,
+                "quality must grow with V: {points:?}"
+            );
+            assert!(
+                w[1].mean_backlog >= w[0].mean_backlog - 1e-9,
+                "backlog must grow with V: {points:?}"
+            );
+        }
+        // Preserves input order.
+        for (p, &v) in points.iter().zip(&vs) {
+            assert_eq!(p.v, v);
+        }
+    }
+
+    #[test]
+    fn rate_sweep_quality_grows_with_capacity() {
+        let rates = [500.0, 2_000.0, 8_000.0, 32_000.0];
+        let points = rate_sweep(&base().with_controller_v(1e7), &rates);
+        assert_eq!(points.len(), 4);
+        for w in points.windows(2) {
+            assert!(
+                w[1].mean_quality >= w[0].mean_quality - 1e-9,
+                "more capacity, more quality: {points:?}"
+            );
+        }
+        // All runs remain stable (DPP adapts to the rate).
+        assert!(points.iter().all(|p| p.stable));
+    }
+
+    #[test]
+    fn sweep_csvs() {
+        let vs = [1e5, 1e6];
+        let points = v_sweep(&base(), &vs);
+        let csv = v_sweep_csv(&points);
+        assert!(csv.starts_with("v,"));
+        assert_eq!(csv.trim().lines().count(), 3);
+
+        let rp = rate_sweep(&base(), &[1_000.0]);
+        let rcsv = rate_sweep_csv(&rp);
+        assert!(rcsv.starts_with("service_rate,"));
+        assert_eq!(rcsv.trim().lines().count(), 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Adaptive-`V` control: track a backlog target by adjusting `V` online.
+//!
+//! The paper uses a fixed `V`. Choosing it requires knowing the arrival and
+//! service scales; this extension removes that tuning burden by treating the
+//! time-average backlog itself as a feedback signal: multiplicatively
+//! decrease `V` when the smoothed backlog exceeds the target (prioritize
+//! stability), increase it when below (spend the slack on quality). This is
+//! the standard practical companion to DPP deployments.
+
+use serde::{Deserialize, Serialize};
+
+/// Multiplicative-increase / multiplicative-decrease adaptation of `V`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveV {
+    v: f64,
+    target_backlog: f64,
+    gain: f64,
+    min_v: f64,
+    max_v: f64,
+    smoothed_backlog: f64,
+    alpha: f64,
+    initialized: bool,
+}
+
+impl AdaptiveV {
+    /// Creates an adaptive controller.
+    ///
+    /// * `initial_v` — starting coefficient;
+    /// * `target_backlog` — the backlog level to regulate around;
+    /// * `gain` — adaptation aggressiveness per slot (e.g. `0.01` adjusts
+    ///   `V` by up to 1% per slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any parameter is non-positive or non-finite.
+    pub fn new(initial_v: f64, target_backlog: f64, gain: f64) -> Self {
+        assert!(
+            initial_v.is_finite() && initial_v > 0.0,
+            "initial V must be > 0"
+        );
+        assert!(
+            target_backlog.is_finite() && target_backlog > 0.0,
+            "target backlog must be > 0"
+        );
+        assert!(
+            gain.is_finite() && gain > 0.0 && gain < 1.0,
+            "gain must be in (0, 1)"
+        );
+        AdaptiveV {
+            v: initial_v,
+            target_backlog,
+            gain,
+            min_v: initial_v * 1e-6,
+            max_v: initial_v * 1e6,
+            smoothed_backlog: 0.0,
+            alpha: 0.05,
+            initialized: false,
+        }
+    }
+
+    /// Bounds the adapted `V` to `[min_v, max_v]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min_v <= max_v`.
+    #[must_use]
+    pub fn with_bounds(mut self, min_v: f64, max_v: f64) -> Self {
+        assert!(min_v > 0.0 && min_v <= max_v, "need 0 < min_v <= max_v");
+        self.min_v = min_v;
+        self.max_v = max_v;
+        self.v = self.v.clamp(min_v, max_v);
+        self
+    }
+
+    /// The current `V`.
+    pub fn v(&self) -> f64 {
+        self.v
+    }
+
+    /// The regulated backlog target.
+    pub fn target_backlog(&self) -> f64 {
+        self.target_backlog
+    }
+
+    /// The exponentially smoothed backlog estimate.
+    pub fn smoothed_backlog(&self) -> f64 {
+        self.smoothed_backlog
+    }
+
+    /// Observes the backlog after a slot and adapts `V`. Returns the new `V`.
+    pub fn observe(&mut self, backlog: f64) -> f64 {
+        assert!(
+            backlog.is_finite() && backlog >= 0.0,
+            "backlog must be >= 0"
+        );
+        if self.initialized {
+            self.smoothed_backlog =
+                (1.0 - self.alpha) * self.smoothed_backlog + self.alpha * backlog;
+        } else {
+            self.smoothed_backlog = backlog;
+            self.initialized = true;
+        }
+        // Relative error in [-1, 1]-ish; positive = backlog too high.
+        let err = (self.smoothed_backlog - self.target_backlog) / self.target_backlog;
+        let factor = (-self.gain * err.clamp(-1.0, 1.0)).exp();
+        self.v = (self.v * factor).clamp(self.min_v, self.max_v);
+        self.v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v_decreases_when_backlog_high() {
+        let mut a = AdaptiveV::new(100.0, 50.0, 0.05);
+        let v0 = a.v();
+        for _ in 0..50 {
+            a.observe(500.0);
+        }
+        assert!(a.v() < v0, "V must shrink under backlog pressure");
+    }
+
+    #[test]
+    fn v_increases_when_backlog_low() {
+        let mut a = AdaptiveV::new(100.0, 50.0, 0.05);
+        let v0 = a.v();
+        for _ in 0..50 {
+            a.observe(1.0);
+        }
+        assert!(a.v() > v0, "V must grow when the queue is slack");
+    }
+
+    #[test]
+    fn v_stays_within_bounds() {
+        let mut a = AdaptiveV::new(100.0, 50.0, 0.3).with_bounds(50.0, 200.0);
+        for _ in 0..500 {
+            a.observe(1e6);
+        }
+        assert_eq!(a.v(), 50.0);
+        for _ in 0..500 {
+            a.observe(0.0);
+        }
+        assert_eq!(a.v(), 200.0);
+    }
+
+    #[test]
+    fn at_target_v_is_steady() {
+        let mut a = AdaptiveV::new(100.0, 50.0, 0.05);
+        for _ in 0..100 {
+            a.observe(50.0);
+        }
+        assert!((a.v() - 100.0).abs() / 100.0 < 1e-9);
+    }
+
+    #[test]
+    fn smoothing_filters_spikes() {
+        let mut a = AdaptiveV::new(100.0, 50.0, 0.05);
+        a.observe(50.0);
+        let before = a.smoothed_backlog();
+        a.observe(5000.0); // one spike
+        let after = a.smoothed_backlog();
+        assert!(after < 500.0, "one spike must not dominate: {after}");
+        assert!(after > before);
+    }
+
+    #[test]
+    #[should_panic(expected = "gain")]
+    fn bad_gain_rejected() {
+        let _ = AdaptiveV::new(1.0, 1.0, 1.5);
+    }
+}

@@ -1,0 +1,145 @@
+//! Theoretical drift-plus-penalty performance bounds.
+//!
+//! Standard Lyapunov-optimization theory (Neely) gives, for a DPP controller
+//! with coefficient `V` on a queue with bounded second moments:
+//!
+//! - **utility gap**: `p* − p̄ ≤ B / V` — time-average utility is within
+//!   `O(1/V)` of optimal;
+//! - **backlog bound**: `Q̄ ≤ (B + V·(p_max − p_min)) / ε` — time-average
+//!   backlog grows `O(V)`, where `ε` is the slack of the stabilizing policy
+//!   (service rate minus its arrival rate).
+//!
+//! Experiments use these to sanity-check measured sweeps: quality should
+//! approach its cap like `1/V` while backlog grows linearly in `V`.
+
+use serde::{Deserialize, Serialize};
+
+/// Inputs and derived bounds for a DPP configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DppBounds {
+    /// The Lyapunov drift constant `B ≥ E[(a² + b²)] / 2` (work units²).
+    pub b_constant: f64,
+    /// The trade-off coefficient `V`.
+    pub v: f64,
+    /// Stabilizing slack `ε > 0`: service rate minus the arrival rate of some
+    /// feasible stationary policy (work units / slot).
+    pub epsilon: f64,
+    /// Utility span `p_max − p_min` of the candidate set.
+    pub utility_span: f64,
+}
+
+impl DppBounds {
+    /// Creates a bound set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any input is non-finite, `b_constant < 0`,
+    /// `epsilon <= 0`, `v < 0`, or `utility_span < 0`.
+    pub fn new(b_constant: f64, v: f64, epsilon: f64, utility_span: f64) -> Self {
+        assert!(
+            b_constant.is_finite() && b_constant >= 0.0,
+            "B must be finite and >= 0"
+        );
+        assert!(v.is_finite() && v >= 0.0, "V must be finite and >= 0");
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be finite and > 0"
+        );
+        assert!(
+            utility_span.is_finite() && utility_span >= 0.0,
+            "utility span must be finite and >= 0"
+        );
+        DppBounds {
+            b_constant,
+            v,
+            epsilon,
+            utility_span,
+        }
+    }
+
+    /// Computes `B` from bounds on the per-slot arrival and service:
+    /// `B = (a_max² + b_max²) / 2`.
+    pub fn b_from_peaks(a_max: f64, b_max: f64) -> f64 {
+        assert!(a_max >= 0.0 && b_max >= 0.0, "peaks must be >= 0");
+        (a_max * a_max + b_max * b_max) / 2.0
+    }
+
+    /// Upper bound on the utility gap `p* − p̄ ≤ B / V`
+    /// (`f64::INFINITY` when `V = 0`).
+    pub fn utility_gap(&self) -> f64 {
+        if self.v == 0.0 {
+            f64::INFINITY
+        } else {
+            self.b_constant / self.v
+        }
+    }
+
+    /// Upper bound on time-average backlog
+    /// `Q̄ ≤ (B + V·utility_span) / ε`.
+    pub fn backlog_bound(&self) -> f64 {
+        (self.b_constant + self.v * self.utility_span) / self.epsilon
+    }
+
+    /// The `V` needed to shrink the utility gap below `gap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gap <= 0`.
+    pub fn v_for_utility_gap(b_constant: f64, gap: f64) -> f64 {
+        assert!(gap > 0.0, "gap must be > 0");
+        b_constant / gap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_shrinks_with_v() {
+        let b = 50.0;
+        let g1 = DppBounds::new(b, 10.0, 1.0, 1.0).utility_gap();
+        let g2 = DppBounds::new(b, 100.0, 1.0, 1.0).utility_gap();
+        assert!((g1 - 5.0).abs() < 1e-12);
+        assert!((g2 - 0.5).abs() < 1e-12);
+        assert!(g2 < g1);
+    }
+
+    #[test]
+    fn backlog_grows_linearly_with_v() {
+        let at = |v: f64| DppBounds::new(10.0, v, 2.0, 1.0).backlog_bound();
+        let q1 = at(100.0);
+        let q2 = at(200.0);
+        // (10 + 100)/2 = 55, (10+200)/2 = 105.
+        assert!((q1 - 55.0).abs() < 1e-12);
+        assert!((q2 - 105.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn v_zero_gap_is_infinite() {
+        assert_eq!(
+            DppBounds::new(1.0, 0.0, 1.0, 1.0).utility_gap(),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn b_from_peaks_formula() {
+        assert_eq!(DppBounds::b_from_peaks(3.0, 4.0), 12.5);
+        assert_eq!(DppBounds::b_from_peaks(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn v_for_gap_inverts() {
+        let b = 42.0;
+        let v = DppBounds::v_for_utility_gap(b, 0.1);
+        let gap = DppBounds::new(b, v, 1.0, 1.0).utility_gap();
+        assert!((gap - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn zero_epsilon_rejected() {
+        let _ = DppBounds::new(1.0, 1.0, 0.0, 1.0);
+    }
+}

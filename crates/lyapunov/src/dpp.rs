@@ -1,0 +1,270 @@
+//! The per-slot drift-plus-penalty decision (paper Eq. 3 / Algorithm 1).
+
+use serde::{Deserialize, Serialize};
+
+/// One candidate action with its utility and the arrival (workload) it would
+/// inject into the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate<A> {
+    /// The action itself (for the paper: an octree depth).
+    pub action: A,
+    /// Utility / penalty-negated term `p_a(action)`.
+    pub utility: f64,
+    /// Workload `a(action)` injected if chosen.
+    pub arrival: f64,
+}
+
+/// The outcome of a DPP decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Decision<A> {
+    /// The chosen action.
+    pub action: A,
+    /// Its DPP score `V·utility − Q·arrival`.
+    pub score: f64,
+    /// The utility of the chosen action.
+    pub utility: f64,
+    /// The arrival of the chosen action.
+    pub arrival: f64,
+}
+
+/// Which optimum the controller selects.
+///
+/// [`Objective::Maximize`] is the correct drift-plus-penalty rule (Eq. 3 of
+/// the paper is an `argmax`). [`Objective::PaperLiteralMinimize`] follows the
+/// paper's Algorithm 1 pseudo-code *literally* — it initializes `I* ← ∞` and
+/// keeps candidates with `I ≤ I*`, i.e. it minimizes the score. That is an
+/// evident typo in the paper (it would always pick the worst quality at empty
+/// queue); it is provided only so tests and the documentation can demonstrate
+/// the difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Objective {
+    /// `argmax` of the score (correct DPP).
+    #[default]
+    Maximize,
+    /// `argmin` of the score (Algorithm 1 as literally printed).
+    PaperLiteralMinimize,
+}
+
+/// A stateless drift-plus-penalty controller with trade-off coefficient `V`.
+///
+/// Per slot, given the current backlog `Q(t)` and the candidate set, it
+/// evaluates the closed form
+///
+/// ```text
+/// score(a) = V · utility(a) − Q(t) · arrival(a)
+/// ```
+///
+/// and returns the optimum. Complexity is `O(N)` in the number of candidates
+/// and requires no statistics of the arrival process — the properties the
+/// paper emphasizes (low-complexity, fully distributed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DppController {
+    v: f64,
+    objective: Objective,
+}
+
+impl DppController {
+    /// Creates a maximizing controller with trade-off coefficient `v`.
+    ///
+    /// Larger `v` weights utility more (higher quality, larger backlog);
+    /// `v → 0` minimizes delay only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is negative or non-finite.
+    pub fn new(v: f64) -> Self {
+        assert!(v.is_finite() && v >= 0.0, "V must be finite and >= 0");
+        DppController {
+            v,
+            objective: Objective::Maximize,
+        }
+    }
+
+    /// Creates a controller with an explicit [`Objective`].
+    pub fn with_objective(v: f64, objective: Objective) -> Self {
+        let mut c = Self::new(v);
+        c.objective = objective;
+        c
+    }
+
+    /// The trade-off coefficient `V`.
+    pub fn v(&self) -> f64 {
+        self.v
+    }
+
+    /// Replaces `V` (used by the adaptive-V extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is negative or non-finite.
+    pub fn set_v(&mut self, v: f64) {
+        assert!(v.is_finite() && v >= 0.0, "V must be finite and >= 0");
+        self.v = v;
+    }
+
+    /// The DPP score of a candidate at backlog `q`.
+    pub fn score<A>(&self, q: f64, candidate: &Candidate<A>) -> f64 {
+        self.v * candidate.utility - q * candidate.arrival
+    }
+
+    /// Evaluates all candidates at backlog `q` and returns the optimum, or
+    /// `None` for an empty candidate set.
+    ///
+    /// Ties break toward the *earlier* candidate (for the paper's depth sets,
+    /// enumerate depths in increasing order so ties prefer the lower,
+    /// stabler depth).
+    pub fn decide<A: Copy>(
+        &self,
+        q: f64,
+        candidates: impl IntoIterator<Item = Candidate<A>>,
+    ) -> Option<Decision<A>> {
+        let mut best: Option<Decision<A>> = None;
+        for c in candidates {
+            let score = self.score(q, &c);
+            let better = match (&best, self.objective) {
+                (None, _) => true,
+                (Some(b), Objective::Maximize) => score > b.score,
+                (Some(b), Objective::PaperLiteralMinimize) => score < b.score,
+            };
+            if better {
+                best = Some(Decision {
+                    action: c.action,
+                    score,
+                    utility: c.utility,
+                    arrival: c.arrival,
+                });
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn depth_candidates() -> Vec<Candidate<u8>> {
+        // Arrivals quadruple per depth; qualities linear.
+        (5u8..=10)
+            .map(|d| Candidate {
+                action: d,
+                utility: f64::from(d - 5) / 5.0,
+                arrival: 100.0 * 4f64.powi(i32::from(d - 5)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_queue_picks_max_utility() {
+        let ctl = DppController::new(10.0);
+        let d = ctl.decide(0.0, depth_candidates()).unwrap();
+        assert_eq!(d.action, 10);
+        assert_eq!(d.utility, 1.0);
+    }
+
+    #[test]
+    fn huge_backlog_picks_min_arrival() {
+        let ctl = DppController::new(10.0);
+        let d = ctl.decide(1e12, depth_candidates()).unwrap();
+        assert_eq!(d.action, 5);
+    }
+
+    #[test]
+    fn v_zero_always_minimizes_arrival() {
+        // With V = 0 the score is −Q·a; any positive backlog picks the
+        // smallest arrival. (At Q = 0 all scores tie at 0 and the first
+        // candidate wins — also the smallest arrival by construction.)
+        let ctl = DppController::new(0.0);
+        for q in [0.0, 1.0, 1e3, 1e9] {
+            assert_eq!(ctl.decide(q, depth_candidates()).unwrap().action, 5);
+        }
+    }
+
+    #[test]
+    fn decision_threshold_moves_with_backlog() {
+        // As Q grows from 0, the chosen depth must be non-increasing.
+        let ctl = DppController::new(1e5);
+        let mut last = u8::MAX;
+        for q in [0.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6] {
+            let d = ctl.decide(q, depth_candidates()).unwrap().action;
+            assert!(d <= last, "depth must not increase with backlog");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn larger_v_never_picks_lower_depth() {
+        // At a fixed backlog, increasing V weakly increases the chosen depth.
+        let q = 500.0;
+        let mut last = 0u8;
+        for v in [0.0, 1e2, 1e4, 1e6, 1e8, 1e10] {
+            let d = DppController::new(v)
+                .decide(q, depth_candidates())
+                .unwrap()
+                .action;
+            assert!(d >= last, "depth must not decrease with V");
+            last = d;
+        }
+        assert_eq!(last, 10, "huge V must reach max depth");
+    }
+
+    #[test]
+    fn score_formula() {
+        let ctl = DppController::new(2.0);
+        let c = Candidate {
+            action: (),
+            utility: 0.5,
+            arrival: 3.0,
+        };
+        assert_eq!(ctl.score(4.0, &c), 2.0 * 0.5 - 4.0 * 3.0);
+    }
+
+    #[test]
+    fn empty_candidates_give_none() {
+        let ctl = DppController::new(1.0);
+        assert!(ctl.decide::<u8>(0.0, []).is_none());
+    }
+
+    #[test]
+    fn ties_prefer_first_candidate() {
+        let ctl = DppController::new(0.0);
+        let candidates = [
+            Candidate {
+                action: "a",
+                utility: 0.1,
+                arrival: 0.0,
+            },
+            Candidate {
+                action: "b",
+                utility: 0.9,
+                arrival: 0.0,
+            },
+        ];
+        // Scores are both 0 at q=0.
+        assert_eq!(ctl.decide(0.0, candidates).unwrap().action, "a");
+    }
+
+    #[test]
+    fn paper_literal_min_inverts_the_choice() {
+        // The literal Algorithm-1 rule picks the *minimum* score — at an
+        // empty queue that is the lowest quality. This documents why the
+        // pseudo-code comparison is a typo.
+        let correct = DppController::new(10.0);
+        let literal = DppController::with_objective(10.0, Objective::PaperLiteralMinimize);
+        assert_eq!(correct.decide(0.0, depth_candidates()).unwrap().action, 10);
+        assert_eq!(literal.decide(0.0, depth_candidates()).unwrap().action, 5);
+    }
+
+    #[test]
+    fn set_v_updates() {
+        let mut ctl = DppController::new(1.0);
+        ctl.set_v(5.0);
+        assert_eq!(ctl.v(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "V must be finite")]
+    fn negative_v_rejected() {
+        let _ = DppController::new(-1.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Generic Lyapunov drift-plus-penalty (DPP) optimization framework.
+//!
+//! The paper instantiates Lyapunov optimization (Neely) for AR octree-depth
+//! control; this crate provides the reusable machinery, independent of the
+//! AR application:
+//!
+//! - [`dpp`]: the per-slot closed-form decision
+//!   `argmax_a [V·utility(a) − Q(t)·arrival(a)]` (paper Eq. 3) over an
+//!   arbitrary finite action set, plus the paper-literal (typo'd) variant
+//!   for comparison;
+//! - [`vq`]: virtual queues that turn time-average constraints into queue
+//!   stability;
+//! - [`bounds`]: the standard `O(1/V)` utility-gap and `O(V)` backlog bounds,
+//!   so experiments can check measurements against theory;
+//! - [`adaptive`]: an adaptive-`V` controller that tracks a backlog target
+//!   (an extension beyond the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use arvis_lyapunov::dpp::{Candidate, DppController};
+//!
+//! let ctl = DppController::new(100.0);
+//! let candidates = [
+//!     Candidate { action: "coarse", utility: 0.2, arrival: 10.0 },
+//!     Candidate { action: "fine", utility: 1.0, arrival: 100.0 },
+//! ];
+//! // Empty queue: quality term dominates, pick "fine".
+//! assert_eq!(ctl.decide(0.0, candidates).unwrap().action, "fine");
+//! // Huge backlog: stability term dominates, pick "coarse".
+//! assert_eq!(ctl.decide(1e6, candidates).unwrap().action, "coarse");
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod adaptive;
+pub mod bounds;
+pub mod dpp;
+pub mod vq;
+
+pub use adaptive::AdaptiveV;
+pub use bounds::DppBounds;
+pub use dpp::{Candidate, Decision, DppController, Objective};
+pub use vq::VirtualQueue;

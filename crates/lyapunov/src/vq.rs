@@ -1,0 +1,166 @@
+//! Virtual queues for time-average constraints.
+//!
+//! Lyapunov optimization turns a constraint `lim avg x(t) ≤ c` into the
+//! stability of a *virtual queue* `Z(t+1) = max(Z(t) + x(t) − c, 0)`:
+//! if `Z` is rate-stable, the constraint holds. The paper's Eq. 2 constrains
+//! the real backlog, but extensions (average power, average distortion)
+//! need virtual queues.
+
+use serde::{Deserialize, Serialize};
+
+/// A virtual queue enforcing `lim avg x(t) ≤ budget`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VirtualQueue {
+    backlog: f64,
+    budget: f64,
+    total_x: f64,
+    steps: u64,
+    backlog_integral: f64,
+}
+
+impl VirtualQueue {
+    /// Creates a virtual queue for a per-slot budget `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `budget` is negative or non-finite.
+    pub fn new(budget: f64) -> Self {
+        assert!(
+            budget.is_finite() && budget >= 0.0,
+            "budget must be finite and >= 0"
+        );
+        VirtualQueue {
+            backlog: 0.0,
+            budget,
+            total_x: 0.0,
+            steps: 0,
+            backlog_integral: 0.0,
+        }
+    }
+
+    /// Current virtual backlog `Z(t)` — use it as the `arrival` weight in a
+    /// DPP score to penalize constraint violation.
+    pub fn backlog(&self) -> f64 {
+        self.backlog
+    }
+
+    /// The per-slot budget `c`.
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// Advances one slot with consumption `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is negative or non-finite.
+    pub fn step(&mut self, x: f64) {
+        assert!(x.is_finite() && x >= 0.0, "x must be finite and >= 0");
+        self.backlog = (self.backlog + x - self.budget).max(0.0);
+        self.total_x += x;
+        self.steps += 1;
+        self.backlog_integral += self.backlog;
+    }
+
+    /// Empirical average of `x` so far.
+    pub fn average_x(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.total_x / self.steps as f64
+        }
+    }
+
+    /// Time-average virtual backlog.
+    pub fn mean_backlog(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.backlog_integral / self.steps as f64
+        }
+    }
+
+    /// `Z(t)/t` — rate stability indicator; → 0 iff the constraint is met
+    /// asymptotically.
+    pub fn rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.backlog / self.steps as f64
+        }
+    }
+
+    /// Whether the empirical average satisfies the budget within `slack`.
+    pub fn satisfied(&self, slack: f64) -> bool {
+        self.average_x() <= self.budget + slack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_budget_stays_empty() {
+        let mut z = VirtualQueue::new(5.0);
+        for _ in 0..100 {
+            z.step(3.0);
+        }
+        assert_eq!(z.backlog(), 0.0);
+        assert!(z.satisfied(0.0));
+        assert!((z.average_x() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_budget_grows_linearly() {
+        let mut z = VirtualQueue::new(2.0);
+        for _ in 0..100 {
+            z.step(3.0);
+        }
+        assert!((z.backlog() - 100.0).abs() < 1e-9);
+        assert!(!z.satisfied(0.5));
+        assert!((z.rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alternating_at_budget_is_stable() {
+        let mut z = VirtualQueue::new(5.0);
+        for i in 0..1000 {
+            z.step(if i % 2 == 0 { 10.0 } else { 0.0 });
+        }
+        // Average exactly on budget: backlog bounded (≤ one burst).
+        assert!(z.backlog() <= 5.0 + 1e-9);
+        assert!(z.satisfied(1e-9));
+        assert!(z.rate() < 0.02);
+    }
+
+    #[test]
+    fn mean_backlog_accumulates() {
+        let mut z = VirtualQueue::new(0.0);
+        z.step(1.0); // Z=1
+        z.step(1.0); // Z=2
+        assert!((z.mean_backlog() - 1.5).abs() < 1e-12);
+        assert_eq!(z.budget(), 0.0);
+    }
+
+    #[test]
+    fn empty_queue_defaults() {
+        let z = VirtualQueue::new(1.0);
+        assert_eq!(z.average_x(), 0.0);
+        assert_eq!(z.rate(), 0.0);
+        assert_eq!(z.mean_backlog(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn negative_budget_rejected() {
+        let _ = VirtualQueue::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "x must be finite")]
+    fn negative_x_rejected() {
+        let mut z = VirtualQueue::new(1.0);
+        z.step(-0.5);
+    }
+}

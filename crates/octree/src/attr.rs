@@ -1,0 +1,239 @@
+//! Attribute (color) coding: together with [`crate::occupancy`], a complete
+//! byte-stream codec for an LoD frame — the "AR streams that are ready to be
+//! visualized" of the paper's queue, measured in actual bytes.
+//!
+//! Layout: `[depth: u8][r g b]*` with one RGB triple per occupied depth-`d`
+//! voxel, in the same breadth-first (Morton) order the occupancy stream
+//! enumerates voxels, so `(occupancy, attributes)` reconstructs the exact
+//! LoD cloud.
+
+use arvis_pointcloud::cloud::PointCloud;
+use arvis_pointcloud::color::Color;
+use arvis_pointcloud::point::Point;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::occupancy::{decode_occupancy, DecodeError};
+use crate::tree::Octree;
+
+/// Serializes the mean colors of all depth-`depth` voxels, breadth-first.
+///
+/// # Panics
+///
+/// Panics when `depth` exceeds the tree's max depth.
+pub fn encode_attributes(tree: &Octree, depth: u8) -> Bytes {
+    assert!(depth <= tree.max_depth(), "depth exceeds max depth");
+    let mut out = BytesMut::with_capacity(1 + 3 * tree.occupied_at_depth(depth));
+    out.put_u8(depth);
+    // nodes_at_depth iterates the arena level, which is breadth-first and
+    // Morton-ordered within each parent — the same order occupancy decode
+    // expands children (octant 0..8).
+    for id in tree.nodes_at_depth(depth) {
+        let c = tree.node(id).mean_color();
+        out.put_u8(c.r);
+        out.put_u8(c.g);
+        out.put_u8(c.b);
+    }
+    out.freeze()
+}
+
+/// Decodes an attribute stream into colors.
+///
+/// # Errors
+///
+/// [`DecodeError::BadHeader`] for an empty stream,
+/// [`DecodeError::Truncated`] when the byte count is not a multiple of 3.
+pub fn decode_attributes(mut stream: Bytes) -> Result<(u8, Vec<Color>), DecodeError> {
+    if stream.remaining() < 1 {
+        return Err(DecodeError::BadHeader);
+    }
+    let depth = stream.get_u8();
+    if !stream.remaining().is_multiple_of(3) {
+        return Err(DecodeError::Truncated);
+    }
+    let mut colors = Vec::with_capacity(stream.remaining() / 3);
+    while stream.remaining() >= 3 {
+        colors.push(Color::new(
+            stream.get_u8(),
+            stream.get_u8(),
+            stream.get_u8(),
+        ));
+    }
+    Ok((depth, colors))
+}
+
+/// A complete encoded LoD frame: geometry (occupancy) plus attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedFrame {
+    /// Breadth-first occupancy stream (see [`crate::occupancy`]).
+    pub occupancy: Bytes,
+    /// Per-voxel colors in the matching order.
+    pub attributes: Bytes,
+    /// LoD depth.
+    pub depth: u8,
+}
+
+impl EncodedFrame {
+    /// Encodes the depth-`depth` LoD of a tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `depth` is 0 or exceeds the tree's max depth.
+    pub fn encode(tree: &Octree, depth: u8) -> EncodedFrame {
+        EncodedFrame {
+            occupancy: crate::occupancy::encode_occupancy(tree, depth),
+            attributes: encode_attributes(tree, depth),
+            depth,
+        }
+    }
+
+    /// Total size in bytes — a physically meaningful work unit for the
+    /// scheduler's queue (instead of points).
+    pub fn byte_size(&self) -> usize {
+        self.occupancy.len() + self.attributes.len()
+    }
+
+    /// Reconstructs the LoD cloud (voxel centers + colors) over the tree's
+    /// original cube.
+    ///
+    /// # Errors
+    ///
+    /// Propagates occupancy/attribute decode failures;
+    /// [`DecodeError::Truncated`] when the two streams disagree on the voxel
+    /// count or depth.
+    pub fn decode(&self, cube: &arvis_pointcloud::Aabb) -> Result<PointCloud, DecodeError> {
+        let geometry = decode_occupancy(self.occupancy.clone(), cube)?;
+        let (depth, colors) = decode_attributes(self.attributes.clone())?;
+        if depth != self.depth || colors.len() != geometry.len() {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(geometry
+            .positions()
+            .zip(colors)
+            .map(|(p, c)| Point::new(p, c))
+            .collect())
+    }
+}
+
+impl Octree {
+    /// Convenience: encoded byte size of the depth-`depth` LoD frame —
+    /// `a(d)` in bytes rather than points.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `depth` is 0 or exceeds the max depth.
+    pub fn encoded_frame_size(&self, depth: u8) -> usize {
+        crate::occupancy::encoded_size(self, depth) + 1 + 3 * self.occupied_at_depth(depth)
+    }
+}
+
+/// Sanity helper for tests: the decoded frame must equal the LoD extraction
+/// as a set of (position, color) pairs.
+#[doc(hidden)]
+pub fn frames_equivalent(a: &PointCloud, b: &PointCloud) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let quantize = |c: &PointCloud| -> Vec<(i64, i64, i64, Color)> {
+        let mut v: Vec<(i64, i64, i64, Color)> = c
+            .iter()
+            .map(|p| {
+                (
+                    (p.position.x * 1e6).round() as i64,
+                    (p.position.y * 1e6).round() as i64,
+                    (p.position.z * 1e6).round() as i64,
+                    p.color,
+                )
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    quantize(a) == quantize(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lod::LodMode;
+    use crate::tree::OctreeConfig;
+    use arvis_pointcloud::synth::{SubjectProfile, SynthBodyConfig};
+
+    fn tree(depth: u8) -> Octree {
+        let cloud = SynthBodyConfig::new(SubjectProfile::Longdress)
+            .with_target_points(6_000)
+            .with_seed(13)
+            .generate();
+        Octree::build(&cloud, &OctreeConfig::with_max_depth(depth)).unwrap()
+    }
+
+    #[test]
+    fn attributes_roundtrip() {
+        let t = tree(5);
+        let stream = encode_attributes(&t, 4);
+        let (depth, colors) = decode_attributes(stream).unwrap();
+        assert_eq!(depth, 4);
+        assert_eq!(colors.len(), t.occupied_at_depth(4));
+    }
+
+    #[test]
+    fn full_frame_roundtrip_reconstructs_lod() {
+        let t = tree(5);
+        for d in [2u8, 4, 5] {
+            let frame = EncodedFrame::encode(&t, d);
+            let decoded = frame.decode(t.cube()).unwrap();
+            let lod = t.extract_lod(d, LodMode::VoxelCenters);
+            assert!(
+                frames_equivalent(&decoded, &lod.cloud),
+                "decoded frame differs from LoD at depth {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_size_matches_streams_and_helper() {
+        let t = tree(6);
+        for d in [1u8, 3, 6] {
+            let frame = EncodedFrame::encode(&t, d);
+            assert_eq!(
+                frame.byte_size(),
+                frame.occupancy.len() + frame.attributes.len()
+            );
+            assert_eq!(frame.byte_size(), t.encoded_frame_size(d));
+        }
+    }
+
+    #[test]
+    fn frame_sizes_grow_with_depth() {
+        let t = tree(6);
+        let mut last = 0usize;
+        for d in 1..=6u8 {
+            let size = t.encoded_frame_size(d);
+            assert!(size > last, "frame size must grow with depth");
+            last = size;
+        }
+    }
+
+    #[test]
+    fn mismatched_streams_rejected() {
+        let t = tree(4);
+        let mut frame = EncodedFrame::encode(&t, 4);
+        // Attributes from a different depth.
+        frame.attributes = encode_attributes(&t, 3);
+        assert!(frame.decode(t.cube()).is_err());
+    }
+
+    #[test]
+    fn truncated_attribute_stream_rejected() {
+        let t = tree(4);
+        let stream = encode_attributes(&t, 3);
+        let cut = stream.slice(0..stream.len() - 1);
+        assert!(matches!(
+            decode_attributes(cut),
+            Err(DecodeError::Truncated)
+        ));
+        assert!(matches!(
+            decode_attributes(Bytes::new()),
+            Err(DecodeError::BadHeader)
+        ));
+    }
+}

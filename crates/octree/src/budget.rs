@@ -1,0 +1,227 @@
+//! Budgeted LoD extraction: render the best cloud that fits a point budget.
+//!
+//! The paper's controller picks a *depth*; a renderer-side refinement is to
+//! pick a depth **plus a partial refinement of the next level**, spending an
+//! exact point budget instead of quantizing to whole levels. Voxels are
+//! refined in decreasing order of contained points, so the budget goes to
+//! the densest (most detail-bearing) regions first — the greedy rate
+//! allocation used by progressive point-cloud streaming systems.
+
+use arvis_pointcloud::aabb::Aabb;
+use arvis_pointcloud::cloud::PointCloud;
+use arvis_pointcloud::point::Point;
+
+use crate::lod::{LodCloud, LodMode};
+use crate::tree::{NodeId, Octree};
+
+/// Result of a budgeted extraction.
+#[derive(Debug, Clone)]
+pub struct BudgetedLod {
+    /// The extracted cloud (`len() ≤ budget`).
+    pub cloud: PointCloud,
+    /// The base depth fully included.
+    pub base_depth: u8,
+    /// How many base-depth voxels were refined into their children.
+    pub refined_voxels: usize,
+}
+
+impl Octree {
+    /// The deepest depth whose full LoD fits `budget` points
+    /// (`None` when even the root exceeds the budget, i.e. `budget == 0`).
+    pub fn max_depth_within_budget(&self, budget: usize) -> Option<u8> {
+        (0..=self.max_depth())
+            .rev()
+            .find(|&d| self.occupied_at_depth(d) <= budget)
+    }
+
+    /// Extracts the best cloud of at most `budget` points: the deepest
+    /// fully-affordable depth, plus greedy refinement of its densest voxels
+    /// into depth+1 children with the remaining budget.
+    ///
+    /// Returns `None` when `budget == 0`.
+    pub fn extract_budgeted(&self, budget: usize, mode: LodMode) -> Option<BudgetedLod> {
+        let base_depth = self.max_depth_within_budget(budget)?;
+        if base_depth == self.max_depth() {
+            // Everything fits: plain full-resolution LoD.
+            let LodCloud { cloud, depth, .. } = self.extract_lod(base_depth, mode);
+            return Some(BudgetedLod {
+                cloud,
+                base_depth: depth,
+                refined_voxels: 0,
+            });
+        }
+
+        // Candidate refinements: every base-depth node, weighted by count.
+        // Refining a node replaces 1 point with `children` points, costing
+        // `children − 1` extra budget.
+        let mut nodes: Vec<(NodeId, Aabb)> = Vec::with_capacity(self.occupied_at_depth(base_depth));
+        let mut stack: Vec<(NodeId, Aabb, u8)> = vec![(NodeId::ROOT, *self.cube(), 0)];
+        while let Some((id, cube, d)) = stack.pop() {
+            if d == base_depth {
+                nodes.push((id, cube));
+                continue;
+            }
+            let octants = cube.octants();
+            let view = self.node(id);
+            for o in 0..8 {
+                if let Some(child) = view.child(o) {
+                    stack.push((child.id(), octants[o], d + 1));
+                }
+            }
+        }
+        // Densest first.
+        nodes.sort_by_key(|(id, _)| std::cmp::Reverse(self.node(*id).count()));
+
+        let mut remaining = budget - nodes.len();
+        let mut cloud = PointCloud::with_capacity(budget);
+        let mut refined_voxels = 0usize;
+        for (id, cube) in &nodes {
+            let view = self.node(*id);
+            let child_count = view.children().count();
+            let extra = child_count.saturating_sub(1);
+            if child_count > 0 && extra <= remaining && view.depth() < self.max_depth() {
+                remaining -= extra;
+                refined_voxels += 1;
+                let octants = cube.octants();
+                for o in 0..8 {
+                    if let Some(child) = view.child(o) {
+                        let position = match mode {
+                            LodMode::VoxelCenters => octants[o].center(),
+                            LodMode::MeanPositions => child.mean_position(),
+                        };
+                        cloud.push(Point::new(position, child.mean_color()));
+                    }
+                }
+            } else {
+                let position = match mode {
+                    LodMode::VoxelCenters => cube.center(),
+                    LodMode::MeanPositions => view.mean_position(),
+                };
+                cloud.push(Point::new(position, view.mean_color()));
+            }
+        }
+        Some(BudgetedLod {
+            cloud,
+            base_depth,
+            refined_voxels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::OctreeConfig;
+    use arvis_pointcloud::synth::{SubjectProfile, SynthBodyConfig};
+    use arvis_quality::psnr::geometry_distortion;
+
+    fn setup() -> (PointCloud, Octree) {
+        let cloud = SynthBodyConfig::new(SubjectProfile::Longdress)
+            .with_target_points(15_000)
+            .with_seed(21)
+            .generate();
+        let tree = Octree::build(&cloud, &OctreeConfig::with_max_depth(7)).unwrap();
+        (cloud, tree)
+    }
+
+    #[test]
+    fn max_depth_within_budget_brackets() {
+        let (_, tree) = setup();
+        for d in 0..=7u8 {
+            let n = tree.occupied_at_depth(d);
+            assert_eq!(tree.max_depth_within_budget(n), Some(d));
+            if d < 7 {
+                // One less than the next level's size still lands on d.
+                let next = tree.occupied_at_depth(d + 1);
+                assert_eq!(tree.max_depth_within_budget(next - 1), Some(d));
+            }
+        }
+        assert_eq!(tree.max_depth_within_budget(0), None);
+        assert_eq!(tree.max_depth_within_budget(usize::MAX), Some(7));
+    }
+
+    #[test]
+    fn budget_is_respected_exactly() {
+        let (_, tree) = setup();
+        for budget in [1usize, 10, 100, 1_000, 5_000, 50_000] {
+            let lod = tree
+                .extract_budgeted(budget, LodMode::VoxelCenters)
+                .unwrap();
+            assert!(
+                lod.cloud.len() <= budget,
+                "budget {budget} exceeded: {}",
+                lod.cloud.len()
+            );
+        }
+        assert!(tree.extract_budgeted(0, LodMode::VoxelCenters).is_none());
+    }
+
+    #[test]
+    fn budget_between_levels_beats_plain_lod() {
+        // With a budget halfway between two levels, the refined cloud must
+        // have strictly more points (and no worse PSNR) than the plain
+        // lower-level LoD.
+        let (cloud, tree) = setup();
+        let base = 4u8;
+        let lo = tree.occupied_at_depth(base);
+        let hi = tree.occupied_at_depth(base + 1);
+        let budget = (lo + hi) / 2;
+        let refined = tree
+            .extract_budgeted(budget, LodMode::VoxelCenters)
+            .unwrap();
+        assert_eq!(refined.base_depth, base);
+        assert!(refined.refined_voxels > 0);
+        assert!(refined.cloud.len() > lo);
+
+        let plain = tree.extract_lod(base, LodMode::VoxelCenters);
+        let psnr_refined = geometry_distortion(&cloud, &refined.cloud)
+            .unwrap()
+            .psnr_db();
+        let psnr_plain = geometry_distortion(&cloud, &plain.cloud).unwrap().psnr_db();
+        assert!(
+            psnr_refined >= psnr_plain,
+            "refinement must not hurt: {psnr_refined} vs {psnr_plain}"
+        );
+    }
+
+    #[test]
+    fn exact_level_budget_matches_plain_lod_size() {
+        let (_, tree) = setup();
+        let d = 5u8;
+        let n = tree.occupied_at_depth(d);
+        let lod = tree.extract_budgeted(n, LodMode::VoxelCenters).unwrap();
+        assert_eq!(lod.base_depth, d);
+        // Greedy refinement may substitute some voxels, but the size can
+        // never shrink below the plain level.
+        assert!(lod.cloud.len() >= n || lod.refined_voxels == 0);
+        assert!(lod.cloud.len() <= n);
+    }
+
+    #[test]
+    fn huge_budget_returns_full_resolution() {
+        let (_, tree) = setup();
+        let lod = tree
+            .extract_budgeted(10_000_000, LodMode::VoxelCenters)
+            .unwrap();
+        assert_eq!(lod.base_depth, 7);
+        assert_eq!(lod.refined_voxels, 0);
+        assert_eq!(lod.cloud.len(), tree.occupied_at_depth(7));
+    }
+
+    #[test]
+    fn monotone_quality_in_budget() {
+        let (cloud, tree) = setup();
+        let mut last_psnr = f64::NEG_INFINITY;
+        for budget in [50usize, 500, 5_000, 20_000] {
+            let lod = tree
+                .extract_budgeted(budget, LodMode::VoxelCenters)
+                .unwrap();
+            let psnr = geometry_distortion(&cloud, &lod.cloud).unwrap().psnr_db();
+            assert!(
+                psnr >= last_psnr - 0.5,
+                "quality should grow with budget: {psnr} after {last_psnr}"
+            );
+            last_psnr = psnr;
+        }
+    }
+}

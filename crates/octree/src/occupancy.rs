@@ -1,0 +1,412 @@
+//! Breadth-first occupancy-byte serialization.
+//!
+//! An octree's *structure* (which voxels are occupied at each level) can be
+//! encoded as one byte per internal node, in breadth-first order — the format
+//! used by point-cloud geometry codecs (e.g. MPEG G-PCC) and a natural unit
+//! for "AR stream bytes ready to be visualized" in the paper's queue model.
+
+use arvis_pointcloud::aabb::Aabb;
+use arvis_pointcloud::cloud::PointCloud;
+use arvis_pointcloud::point::Point;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::tree::{NodeId, Octree};
+
+/// Errors from decoding an occupancy stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The stream ended before all announced levels were decoded.
+    Truncated,
+    /// A node byte was zero, which would encode an occupied node with no
+    /// occupied children — invalid in a tree built from points.
+    EmptyNodeByte {
+        /// Byte offset of the offending byte.
+        offset: usize,
+    },
+    /// The header is malformed.
+    BadHeader,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "occupancy stream truncated"),
+            DecodeError::EmptyNodeByte { offset } => {
+                write!(f, "zero occupancy byte at offset {offset}")
+            }
+            DecodeError::BadHeader => write!(f, "malformed occupancy header"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializes the tree structure down to `depth` as an occupancy byte
+/// stream.
+///
+/// Layout: `[depth: u8][root byte][level-1 bytes...]...[level-(depth-1) bytes]`
+/// where each level's bytes appear in the same order as the parent bits of
+/// the previous level. A tree serialized to `depth` reconstructs the voxel
+/// set of every level `0..=depth`.
+///
+/// # Panics
+///
+/// Panics when `depth` is 0 or exceeds the tree's max depth.
+pub fn encode_occupancy(tree: &Octree, depth: u8) -> Bytes {
+    assert!(depth >= 1, "occupancy encoding needs depth >= 1");
+    assert!(depth <= tree.max_depth(), "depth exceeds max depth");
+    let mut out = BytesMut::with_capacity(1 + tree.node_count());
+    out.put_u8(depth);
+    // Breadth-first over internal nodes of depth < `depth`.
+    let mut frontier: Vec<NodeId> = vec![NodeId::ROOT];
+    for _level in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for id in &frontier {
+            let view = tree.node(*id);
+            out.put_u8(view.occupancy_byte());
+            for child in view.children() {
+                next.push(child.id());
+            }
+        }
+        frontier = next;
+    }
+    out.freeze()
+}
+
+/// Decodes an occupancy stream into the voxel-center cloud of its deepest
+/// level, over the given bounding cube.
+///
+/// The colors of the result are black (occupancy streams carry geometry
+/// only).
+pub fn decode_occupancy(mut stream: Bytes, cube: &Aabb) -> Result<PointCloud, DecodeError> {
+    if stream.remaining() < 1 {
+        return Err(DecodeError::BadHeader);
+    }
+    let depth = stream.get_u8();
+    if depth == 0 {
+        return Err(DecodeError::BadHeader);
+    }
+    let mut offset = 1usize;
+    // Frontier of cubes whose occupancy byte is next in the stream.
+    let mut frontier: Vec<Aabb> = vec![cube.bounding_cube()];
+    for _level in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for cell in &frontier {
+            if stream.remaining() < 1 {
+                return Err(DecodeError::Truncated);
+            }
+            let byte = stream.get_u8();
+            if byte == 0 {
+                return Err(DecodeError::EmptyNodeByte { offset });
+            }
+            offset += 1;
+            let octants = cell.octants();
+            for (o, octant_cube) in octants.iter().enumerate() {
+                if byte & (1 << o) != 0 {
+                    next.push(*octant_cube);
+                }
+            }
+        }
+        frontier = next;
+    }
+    Ok(frontier
+        .into_iter()
+        .map(|c| Point::from_position(c.center()))
+        .collect())
+}
+
+/// The encoded size in bytes of the tree structure down to `depth`
+/// (header included), without materializing the stream.
+pub fn encoded_size(tree: &Octree, depth: u8) -> usize {
+    assert!(depth >= 1 && depth <= tree.max_depth());
+    // One byte per node at depths 0..depth.
+    let internal: usize = (0..depth).map(|d| tree.occupied_at_depth(d)).sum();
+    1 + internal
+}
+
+/// Incremental occupancy decoding: consume the stream as bytes arrive and
+/// surface a coarse-to-fine preview after every completed level.
+///
+/// An AR client behind a slow link does not wait for the whole frame — the
+/// breadth-first layout means each completed level is already a renderable
+/// LoD. Feed arbitrary chunks with [`ProgressiveDecoder::push`]; whenever a
+/// level completes, [`ProgressiveDecoder::preview`] returns the current
+/// voxel-center cloud.
+#[derive(Debug, Clone)]
+pub struct ProgressiveDecoder {
+    /// Cubes whose occupancy bytes are expected next (current level).
+    frontier: Vec<Aabb>,
+    /// Cubes decoded for the next level so far.
+    next: Vec<Aabb>,
+    /// Index into `frontier` of the next byte's parent.
+    cursor: usize,
+    declared_depth: Option<u8>,
+    completed_levels: u8,
+    offset: usize,
+}
+
+impl ProgressiveDecoder {
+    /// Starts a decoder over the frame's bounding cube.
+    pub fn new(cube: &Aabb) -> ProgressiveDecoder {
+        ProgressiveDecoder {
+            frontier: vec![cube.bounding_cube()],
+            next: Vec::new(),
+            cursor: 0,
+            declared_depth: None,
+            completed_levels: 0,
+            offset: 0,
+        }
+    }
+
+    /// Number of fully decoded levels so far.
+    pub fn completed_levels(&self) -> u8 {
+        self.completed_levels
+    }
+
+    /// `true` when the declared depth has been fully decoded.
+    pub fn is_complete(&self) -> bool {
+        self.declared_depth
+            .is_some_and(|d| self.completed_levels >= d)
+    }
+
+    /// Consumes a chunk of stream bytes. Returns how many levels *completed*
+    /// during this push.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero occupancy bytes, a zero declared depth, and bytes past
+    /// the declared end of the stream.
+    pub fn push(&mut self, chunk: &[u8]) -> Result<u8, DecodeError> {
+        let mut completed = 0u8;
+        for &byte in chunk {
+            if self.declared_depth.is_none() {
+                if byte == 0 {
+                    return Err(DecodeError::BadHeader);
+                }
+                self.declared_depth = Some(byte);
+                self.offset = 1;
+                continue;
+            }
+            if self.is_complete() {
+                // Trailing garbage after the declared depth.
+                return Err(DecodeError::Truncated);
+            }
+            if byte == 0 {
+                return Err(DecodeError::EmptyNodeByte {
+                    offset: self.offset,
+                });
+            }
+            let cell = self.frontier[self.cursor];
+            let octants = cell.octants();
+            for (o, octant_cube) in octants.iter().enumerate() {
+                if byte & (1 << o) != 0 {
+                    self.next.push(*octant_cube);
+                }
+            }
+            self.cursor += 1;
+            self.offset += 1;
+            if self.cursor == self.frontier.len() {
+                self.frontier = std::mem::take(&mut self.next);
+                self.cursor = 0;
+                self.completed_levels += 1;
+                completed += 1;
+            }
+        }
+        Ok(completed)
+    }
+
+    /// The current coarse preview: one voxel-center point per cell of the
+    /// deepest *completed* level.
+    pub fn preview(&self) -> PointCloud {
+        if self.cursor == 0 {
+            // Frontier is exactly the last completed level.
+            self.frontier
+                .iter()
+                .map(|c| Point::from_position(c.center()))
+                .collect()
+        } else {
+            // Mid-level: the completed part of this level lives in `next`,
+            // the rest still at the previous level's granularity.
+            self.next
+                .iter()
+                .chain(&self.frontier[self.cursor..])
+                .map(|c| Point::from_position(c.center()))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lod::LodMode;
+    use crate::tree::OctreeConfig;
+    use arvis_pointcloud::math::Vec3;
+    use arvis_pointcloud::synth::{SubjectProfile, SynthBodyConfig};
+
+    fn body_tree(depth: u8) -> Octree {
+        let cloud = SynthBodyConfig::new(SubjectProfile::Loot)
+            .with_target_points(5_000)
+            .with_seed(11)
+            .generate();
+        Octree::build(&cloud, &OctreeConfig::with_max_depth(depth)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_reconstructs_voxel_centers() {
+        let tree = body_tree(5);
+        let stream = encode_occupancy(&tree, 5);
+        let decoded = decode_occupancy(stream, tree.cube()).unwrap();
+        let expected = tree.extract_lod(5, LodMode::VoxelCenters);
+        assert_eq!(decoded.len(), expected.cloud.len());
+        // Same voxel centers as sets (order may differ).
+        let mut a: Vec<(i64, i64, i64)> = decoded
+            .positions()
+            .map(|p| ((p.x * 1e6) as i64, (p.y * 1e6) as i64, (p.z * 1e6) as i64))
+            .collect();
+        let mut b: Vec<(i64, i64, i64)> = expected
+            .cloud
+            .positions()
+            .map(|p| ((p.x * 1e6) as i64, (p.y * 1e6) as i64, (p.z * 1e6) as i64))
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn encoded_size_matches_stream_length() {
+        let tree = body_tree(6);
+        for d in 1..=6u8 {
+            let stream = encode_occupancy(&tree, d);
+            assert_eq!(stream.len(), encoded_size(&tree, d), "depth {d}");
+        }
+    }
+
+    #[test]
+    fn deeper_encodings_are_larger() {
+        let tree = body_tree(6);
+        let mut prev = 0usize;
+        for d in 1..=6u8 {
+            let size = encoded_size(&tree, d);
+            assert!(size > prev, "size must grow with depth");
+            prev = size;
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let tree = body_tree(4);
+        let stream = encode_occupancy(&tree, 4);
+        let cut = stream.slice(0..stream.len() - 1);
+        assert_eq!(
+            decode_occupancy(cut, tree.cube()).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_rejected() {
+        assert_eq!(
+            decode_occupancy(Bytes::new(), &Aabb::cube(Vec3::ZERO, 1.0)).unwrap_err(),
+            DecodeError::BadHeader
+        );
+    }
+
+    #[test]
+    fn zero_depth_header_is_rejected() {
+        let stream = Bytes::from_static(&[0u8]);
+        assert_eq!(
+            decode_occupancy(stream, &Aabb::cube(Vec3::ZERO, 1.0)).unwrap_err(),
+            DecodeError::BadHeader
+        );
+    }
+
+    #[test]
+    fn zero_byte_is_rejected() {
+        // depth 1, root byte 0 -> invalid.
+        let stream = Bytes::from_static(&[1u8, 0u8]);
+        assert!(matches!(
+            decode_occupancy(stream, &Aabb::cube(Vec3::ZERO, 1.0)).unwrap_err(),
+            DecodeError::EmptyNodeByte { offset: 1 }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "depth >= 1")]
+    fn encode_depth_zero_panics() {
+        let tree = body_tree(3);
+        let _ = encode_occupancy(&tree, 0);
+    }
+
+    #[test]
+    fn progressive_matches_batch_decode() {
+        let tree = body_tree(5);
+        let stream = encode_occupancy(&tree, 5);
+        let mut dec = ProgressiveDecoder::new(tree.cube());
+        // Feed in awkward 7-byte chunks.
+        for chunk in stream.chunks(7) {
+            dec.push(chunk).unwrap();
+        }
+        assert!(dec.is_complete());
+        assert_eq!(dec.completed_levels(), 5);
+        let progressive = dec.preview();
+        let batch = decode_occupancy(stream, tree.cube()).unwrap();
+        assert_eq!(progressive.len(), batch.len());
+    }
+
+    #[test]
+    fn progressive_previews_refine_monotonically() {
+        let tree = body_tree(5);
+        let stream = encode_occupancy(&tree, 5);
+        let mut dec = ProgressiveDecoder::new(tree.cube());
+        let mut sizes = vec![dec.preview().len()];
+        for chunk in stream.chunks(16) {
+            dec.push(chunk).unwrap();
+            sizes.push(dec.preview().len());
+        }
+        // Preview size is non-decreasing as bytes arrive (each byte expands
+        // one cell into >= 1 children).
+        for w in sizes.windows(2) {
+            assert!(w[1] >= w[0], "preview shrank: {sizes:?}");
+        }
+        // The level-complete counts match the tree occupancies.
+        assert_eq!(*sizes.last().unwrap(), tree.occupied_at_depth(5));
+    }
+
+    #[test]
+    fn progressive_mid_level_preview_counts() {
+        let tree = body_tree(3);
+        let stream = encode_occupancy(&tree, 3);
+        let mut dec = ProgressiveDecoder::new(tree.cube());
+        // Header + root byte: level 1 complete.
+        dec.push(&stream[..2]).unwrap();
+        assert_eq!(dec.completed_levels(), 1);
+        assert_eq!(dec.preview().len(), tree.occupied_at_depth(1));
+        assert!(!dec.is_complete());
+        // Rest of the stream.
+        dec.push(&stream[2..]).unwrap();
+        assert!(dec.is_complete());
+    }
+
+    #[test]
+    fn progressive_rejects_bad_streams() {
+        let tree = body_tree(3);
+        // Zero depth header.
+        let mut dec = ProgressiveDecoder::new(tree.cube());
+        assert_eq!(dec.push(&[0u8]).unwrap_err(), DecodeError::BadHeader);
+        // Zero occupancy byte.
+        let mut dec = ProgressiveDecoder::new(tree.cube());
+        assert!(matches!(
+            dec.push(&[3u8, 0u8]).unwrap_err(),
+            DecodeError::EmptyNodeByte { offset: 1 }
+        ));
+        // Trailing bytes after completion.
+        let stream = encode_occupancy(&tree, 3);
+        let mut dec = ProgressiveDecoder::new(tree.cube());
+        dec.push(&stream).unwrap();
+        assert_eq!(dec.push(&[0xff]).unwrap_err(), DecodeError::Truncated);
+    }
+}
+

@@ -1,0 +1,228 @@
+//! Spatial queries: point location, box queries, nearest occupied voxel.
+
+use arvis_pointcloud::aabb::Aabb;
+use arvis_pointcloud::math::Vec3;
+
+use crate::traversal::Visit;
+use crate::tree::{NodeId, NodeView, Octree};
+
+impl Octree {
+    /// Locates the occupied node containing `p` at `depth`, descending from
+    /// the root. Returns `None` when `p` is outside the cube or its voxel is
+    /// unoccupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `depth > max_depth`.
+    pub fn locate(&self, p: Vec3, depth: u8) -> Option<NodeView<'_>> {
+        assert!(depth <= self.max_depth(), "depth out of range");
+        if !self.cube().contains(p) {
+            return None;
+        }
+        // Quantize with the exact formula the builder used, then read the
+        // octant bits per level. Descending by geometric octant tests would
+        // disagree with the builder near cell boundaries (and for
+        // degenerate, zero-extent cubes).
+        let max_depth = self.max_depth();
+        let n = 1u64 << max_depth;
+        let extent = self.cube().max_extent();
+        let min = self.cube().min();
+        let q = |v: f64, lo: f64| -> u64 {
+            if extent <= 0.0 {
+                return 0;
+            }
+            let idx = ((v - lo) / extent * n as f64).floor();
+            (idx.max(0.0) as u64).min(n - 1)
+        };
+        let (cx, cy, cz) = (q(p.x, min.x), q(p.y, min.y), q(p.z, min.z));
+        let mut view = self.node(NodeId::ROOT);
+        for level in 1..=depth {
+            let shift = max_depth - level;
+            let o = (((cx >> shift) & 1) | (((cy >> shift) & 1) << 1) | (((cz >> shift) & 1) << 2))
+                as usize;
+            view = view.child(o)?;
+        }
+        Some(view)
+    }
+
+    /// Collects all depth-`depth` nodes whose voxels intersect `query`.
+    pub fn voxels_in_box(&self, query: &Aabb, depth: u8) -> Vec<Visit<'_>> {
+        assert!(depth <= self.max_depth(), "depth out of range");
+        let mut out = Vec::new();
+        let mut stack: Vec<(NodeId, Aabb, u8)> = vec![(NodeId::ROOT, *self.cube(), 0)];
+        while let Some((id, cube, d)) = stack.pop() {
+            if !cube.intersects(query) {
+                continue;
+            }
+            let node = self.node(id);
+            if d == depth {
+                out.push(Visit { node, cube });
+                continue;
+            }
+            let octants = cube.octants();
+            for o in 0..8 {
+                if let Some(child) = node.child(o) {
+                    stack.push((child.id(), octants[o], d + 1));
+                }
+            }
+        }
+        out
+    }
+
+    /// Finds the occupied depth-`depth` voxel whose cube is closest to `p`
+    /// (by point-to-box distance), using best-first search. Returns the node
+    /// and the squared distance (zero when `p` is inside an occupied voxel).
+    pub fn nearest_voxel(&self, p: Vec3, depth: u8) -> Option<(NodeView<'_>, f64)> {
+        assert!(depth <= self.max_depth(), "depth out of range");
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Entry(f64, u32, Aabb, u8);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0
+                    .partial_cmp(&other.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }
+        }
+
+        let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+        heap.push(Reverse(Entry(
+            self.cube().distance_squared(p),
+            NodeId::ROOT.0,
+            *self.cube(),
+            0,
+        )));
+        while let Some(Reverse(Entry(d2, idx, cube, d))) = heap.pop() {
+            let view = self.node(NodeId(idx));
+            if d == depth {
+                return Some((view, d2));
+            }
+            let octants = cube.octants();
+            for o in 0..8 {
+                if let Some(child) = view.child(o) {
+                    heap.push(Reverse(Entry(
+                        octants[o].distance_squared(p),
+                        child.id().0,
+                        octants[o],
+                        d + 1,
+                    )));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::OctreeConfig;
+    use arvis_pointcloud::cloud::PointCloud;
+    use arvis_pointcloud::point::Point;
+    use arvis_pointcloud::synth::{SubjectProfile, SynthBodyConfig};
+
+    fn body_tree() -> (PointCloud, Octree) {
+        let cloud = SynthBodyConfig::new(SubjectProfile::Soldier)
+            .with_target_points(4_000)
+            .with_seed(5)
+            .generate();
+        let tree = Octree::build(&cloud, &OctreeConfig::with_max_depth(6)).unwrap();
+        (cloud, tree)
+    }
+
+    #[test]
+    fn locate_finds_every_input_point() {
+        let (cloud, tree) = body_tree();
+        for p in cloud.positions().take(500) {
+            let v = tree.locate(p, 6).expect("input point must be locatable");
+            assert!(v.count() >= 1);
+        }
+    }
+
+    #[test]
+    fn locate_misses_empty_space() {
+        let (_, tree) = body_tree();
+        // A corner of the cube far from the body should be unoccupied at
+        // fine depth.
+        let corner = tree.cube().min() + Vec3::splat(1e-6);
+        // At depth 0 everything occupied; at depth 6 the corner should miss
+        // (the body is centered, not in the cube corner).
+        assert!(tree.locate(corner, 0).is_some());
+        assert!(tree.locate(corner, 6).is_none());
+    }
+
+    #[test]
+    fn locate_outside_cube_is_none() {
+        let (_, tree) = body_tree();
+        let outside = tree.cube().max() + Vec3::ONE;
+        assert!(tree.locate(outside, 3).is_none());
+    }
+
+    #[test]
+    fn box_query_matches_linear_scan() {
+        let (_, tree) = body_tree();
+        let query = Aabb::cube(tree.cube().center(), tree.cube().max_extent() * 0.3);
+        let got = tree.voxels_in_box(&query, 5);
+        // Compare against scanning all depth-5 voxels via BFS.
+        let expected = tree
+            .bfs()
+            .filter(|v| v.node.depth() == 5 && v.cube.intersects(&query))
+            .count();
+        assert_eq!(got.len(), expected);
+        assert!(!got.is_empty());
+        for v in &got {
+            assert!(v.cube.intersects(&query));
+        }
+    }
+
+    #[test]
+    fn nearest_voxel_agrees_with_exhaustive_search() {
+        let (_, tree) = body_tree();
+        let probes = [
+            tree.cube().min(),
+            tree.cube().max(),
+            tree.cube().center(),
+            tree.cube().center() + Vec3::new(0.3, -0.2, 0.1),
+        ];
+        for p in probes {
+            let (_, d2) = tree.nearest_voxel(p, 5).unwrap();
+            let best = tree
+                .bfs()
+                .filter(|v| v.node.depth() == 5)
+                .map(|v| v.cube.distance_squared(p))
+                .fold(f64::INFINITY, f64::min);
+            assert!((d2 - best).abs() < 1e-12, "probe {p}: {d2} vs {best}");
+        }
+    }
+
+    #[test]
+    fn nearest_voxel_inside_occupied_is_zero() {
+        let (cloud, tree) = body_tree();
+        let p = cloud.points()[0].position;
+        let (_, d2) = tree.nearest_voxel(p, 6).unwrap();
+        assert_eq!(d2, 0.0);
+    }
+
+    #[test]
+    fn single_point_tree_queries() {
+        let mut c = PointCloud::new();
+        c.push(Point::from_position(Vec3::splat(0.25)));
+        let tree = Octree::build(
+            &c,
+            &OctreeConfig::with_max_depth(2).in_cube(Aabb::new(Vec3::ZERO, Vec3::ONE)),
+        )
+        .unwrap();
+        // Nearest voxel from far away still resolves.
+        let (v, d2) = tree.nearest_voxel(Vec3::splat(10.0), 2).unwrap();
+        assert!(v.count() == 1);
+        assert!(d2 > 0.0);
+    }
+}

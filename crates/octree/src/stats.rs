@@ -1,0 +1,111 @@
+//! Per-level statistics of an octree.
+
+use crate::tree::Octree;
+
+/// Summary statistics of an octree, per level and overall.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OctreeStats {
+    /// Occupied node count at each depth `0..=max_depth`.
+    pub nodes_per_level: Vec<usize>,
+    /// Mean number of occupied children per internal node, per depth
+    /// `0..max_depth` (empty for a depth-0 tree).
+    pub mean_branching: Vec<f64>,
+    /// Total nodes across all levels.
+    pub total_nodes: usize,
+    /// Number of input points.
+    pub point_count: u64,
+    /// Fraction of depth-`max` voxels containing more than one point —
+    /// how saturated the finest level is (0 = every leaf holds one point).
+    pub leaf_multi_occupancy: f64,
+}
+
+impl OctreeStats {
+    /// Computes statistics for a tree.
+    pub fn compute(tree: &Octree) -> OctreeStats {
+        let nodes_per_level = tree.occupancy_profile();
+        let mean_branching = nodes_per_level
+            .windows(2)
+            .map(|w| w[1] as f64 / w[0] as f64)
+            .collect();
+        let max = tree.max_depth();
+        let leaves: Vec<u64> = tree
+            .nodes_at_depth(max)
+            .map(|id| tree.node(id).count())
+            .collect();
+        let multi = leaves.iter().filter(|&&c| c > 1).count();
+        OctreeStats {
+            total_nodes: tree.node_count(),
+            point_count: tree.point_count(),
+            leaf_multi_occupancy: if leaves.is_empty() {
+                0.0
+            } else {
+                multi as f64 / leaves.len() as f64
+            },
+            nodes_per_level,
+            mean_branching,
+        }
+    }
+
+    /// Approximate in-memory footprint of the tree in bytes
+    /// (arena nodes only).
+    pub fn memory_estimate(&self) -> usize {
+        // Node: 8×u32 children + u64 count + Vec3 + 3×u64 ≈ 88 bytes.
+        self.total_nodes * 88
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::OctreeConfig;
+    use arvis_pointcloud::synth::{SubjectProfile, SynthBodyConfig};
+
+    fn stats(points: usize, depth: u8) -> OctreeStats {
+        let cloud = SynthBodyConfig::new(SubjectProfile::Longdress)
+            .with_target_points(points)
+            .generate();
+        let tree = Octree::build(&cloud, &OctreeConfig::with_max_depth(depth)).unwrap();
+        OctreeStats::compute(&tree)
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let s = stats(5_000, 6);
+        assert_eq!(s.nodes_per_level.iter().sum::<usize>(), s.total_nodes);
+        assert_eq!(s.nodes_per_level.len(), 7);
+        assert_eq!(s.mean_branching.len(), 6);
+    }
+
+    #[test]
+    fn branching_is_between_1_and_8() {
+        let s = stats(10_000, 7);
+        for (d, &b) in s.mean_branching.iter().enumerate() {
+            assert!((1.0..=8.0).contains(&b), "branching {b} at depth {d}");
+        }
+    }
+
+    #[test]
+    fn surface_branching_is_about_four() {
+        // A 2-manifold surface quadruples its occupied voxels per level in
+        // the pre-saturation regime.
+        let s = stats(200_000, 7);
+        let mid = s.mean_branching[4]; // depth 4 -> 5, well below saturation
+        assert!(mid > 2.5 && mid < 6.0, "mid-level branching {mid}");
+    }
+
+    #[test]
+    fn multi_occupancy_decreases_with_depth() {
+        let shallow = stats(20_000, 4).leaf_multi_occupancy;
+        let deep = stats(20_000, 8).leaf_multi_occupancy;
+        assert!(
+            deep < shallow,
+            "finer leaves should be less multi-occupied: {deep} vs {shallow}"
+        );
+    }
+
+    #[test]
+    fn memory_estimate_positive() {
+        let s = stats(1_000, 4);
+        assert!(s.memory_estimate() >= s.total_nodes * 80);
+    }
+}

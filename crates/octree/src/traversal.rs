@@ -1,0 +1,167 @@
+//! Breadth-first and depth-first traversal iterators.
+
+use std::collections::VecDeque;
+
+use arvis_pointcloud::aabb::Aabb;
+
+use crate::tree::{NodeId, NodeView, Octree};
+
+/// A node visited during traversal, with its derived cube.
+#[derive(Debug, Clone, Copy)]
+pub struct Visit<'a> {
+    /// The node.
+    pub node: NodeView<'a>,
+    /// The cube the node covers.
+    pub cube: Aabb,
+}
+
+/// Breadth-first iterator over all nodes.
+pub struct Bfs<'a> {
+    tree: &'a Octree,
+    queue: VecDeque<(NodeId, Aabb)>,
+}
+
+impl<'a> Iterator for Bfs<'a> {
+    type Item = Visit<'a>;
+
+    fn next(&mut self) -> Option<Visit<'a>> {
+        let (id, cube) = self.queue.pop_front()?;
+        let node = self.tree.node(id);
+        let octants = cube.octants();
+        for o in 0..8 {
+            if let Some(child) = node.child(o) {
+                self.queue.push_back((child.id(), octants[o]));
+            }
+        }
+        Some(Visit { node, cube })
+    }
+}
+
+/// Depth-first (pre-order) iterator over all nodes.
+pub struct Dfs<'a> {
+    tree: &'a Octree,
+    stack: Vec<(NodeId, Aabb)>,
+}
+
+impl<'a> Iterator for Dfs<'a> {
+    type Item = Visit<'a>;
+
+    fn next(&mut self) -> Option<Visit<'a>> {
+        let (id, cube) = self.stack.pop()?;
+        let node = self.tree.node(id);
+        let octants = cube.octants();
+        // Push in reverse so octant 0 is visited first.
+        for o in (0..8).rev() {
+            if let Some(child) = node.child(o) {
+                self.stack.push((child.id(), octants[o]));
+            }
+        }
+        Some(Visit { node, cube })
+    }
+}
+
+impl Octree {
+    /// Iterates over all nodes breadth-first (level by level), yielding each
+    /// node with its cube.
+    pub fn bfs(&self) -> Bfs<'_> {
+        let mut queue = VecDeque::new();
+        queue.push_back((NodeId::ROOT, *self.cube()));
+        Bfs { tree: self, queue }
+    }
+
+    /// Iterates over all nodes depth-first pre-order.
+    pub fn dfs(&self) -> Dfs<'_> {
+        Dfs {
+            tree: self,
+            stack: vec![(NodeId::ROOT, *self.cube())],
+        }
+    }
+
+    /// Iterates over the max-depth leaves with their cubes
+    /// (depth-first order).
+    pub fn leaves(&self) -> impl Iterator<Item = Visit<'_>> {
+        let max = self.max_depth();
+        self.dfs().filter(move |v| v.node.depth() == max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::OctreeConfig;
+    use arvis_pointcloud::cloud::PointCloud;
+    use arvis_pointcloud::math::Vec3;
+    use arvis_pointcloud::point::Point;
+
+    fn tree() -> Octree {
+        let mut c = PointCloud::new();
+        for i in 0..8u32 {
+            c.push(Point::from_position(Vec3::new(
+                if i & 1 == 0 { 0.01 } else { 0.99 },
+                if i & 2 == 0 { 0.01 } else { 0.99 },
+                if i & 4 == 0 { 0.01 } else { 0.99 },
+            )));
+        }
+        Octree::build(&c, &OctreeConfig::with_max_depth(3)).unwrap()
+    }
+
+    #[test]
+    fn bfs_visits_every_node_once() {
+        let t = tree();
+        let visited: Vec<NodeId> = t.bfs().map(|v| v.node.id()).collect();
+        assert_eq!(visited.len(), t.node_count());
+        let mut unique = visited.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), visited.len());
+    }
+
+    #[test]
+    fn bfs_is_level_ordered() {
+        let t = tree();
+        let depths: Vec<u8> = t.bfs().map(|v| v.node.depth()).collect();
+        for w in depths.windows(2) {
+            assert!(w[0] <= w[1], "BFS must be non-decreasing in depth");
+        }
+    }
+
+    #[test]
+    fn dfs_visits_every_node_once() {
+        let t = tree();
+        let visited: Vec<NodeId> = t.dfs().map(|v| v.node.id()).collect();
+        assert_eq!(visited.len(), t.node_count());
+    }
+
+    #[test]
+    fn dfs_parent_before_children() {
+        let t = tree();
+        let order: Vec<NodeId> = t.dfs().map(|v| v.node.id()).collect();
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        for v in t.dfs() {
+            for child in v.node.children() {
+                assert!(pos(v.node.id()) < pos(child.id()));
+            }
+        }
+    }
+
+    #[test]
+    fn cubes_nest_correctly() {
+        let t = tree();
+        for v in t.bfs() {
+            // Every visited point mass lies inside its cube (inflate for fp).
+            let inflated = v.cube.inflated(1e-9);
+            assert!(inflated.contains(v.node.mean_position()));
+        }
+    }
+
+    #[test]
+    fn leaves_are_at_max_depth() {
+        let t = tree();
+        let leaves: Vec<_> = t.leaves().collect();
+        assert_eq!(leaves.len(), t.occupied_at_depth(3));
+        for l in &leaves {
+            assert_eq!(l.node.depth(), 3);
+            assert!(l.node.is_leaf());
+        }
+    }
+}

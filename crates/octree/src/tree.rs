@@ -1,0 +1,620 @@
+//! Core octree structure and construction.
+
+use arvis_pointcloud::aabb::Aabb;
+use arvis_pointcloud::cloud::PointCloud;
+use arvis_pointcloud::color::Color;
+use arvis_pointcloud::math::Vec3;
+use arvis_pointcloud::point::Point;
+
+/// Maximum supported octree depth. Ten matches the 1024³ grid of the 8i
+/// scans; 21 is the Morton-code limit of the voxel substrate.
+pub const MAX_SUPPORTED_DEPTH: u8 = 21;
+
+/// Errors from octree construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OctreeError {
+    /// Cannot build an octree over an empty cloud.
+    EmptyCloud,
+    /// Requested depth exceeds [`MAX_SUPPORTED_DEPTH`].
+    DepthTooLarge {
+        /// The depth that was requested.
+        requested: u8,
+    },
+    /// The supplied bounding cube does not contain every input point.
+    PointOutsideCube {
+        /// Index of the first offending point.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for OctreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OctreeError::EmptyCloud => write!(f, "cannot build an octree over an empty cloud"),
+            OctreeError::DepthTooLarge { requested } => write!(
+                f,
+                "requested depth {requested} exceeds the supported maximum {MAX_SUPPORTED_DEPTH}"
+            ),
+            OctreeError::PointOutsideCube { index } => {
+                write!(f, "point {index} lies outside the supplied bounding cube")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OctreeError {}
+
+/// Construction parameters for [`Octree::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OctreeConfig {
+    /// Maximum subdivision depth; leaves live at exactly this depth.
+    pub max_depth: u8,
+    /// Bounding cube to build over. `None` (the default) uses the cloud's
+    /// own bounding cube, matching Open3D's behaviour. Supplying a fixed cube
+    /// keeps voxel boundaries stable across the frames of a sequence.
+    pub cube: Option<Aabb>,
+}
+
+impl OctreeConfig {
+    /// Config with the given maximum depth over the cloud's own cube.
+    pub fn with_max_depth(max_depth: u8) -> Self {
+        OctreeConfig {
+            max_depth,
+            cube: None,
+        }
+    }
+
+    /// Sets a fixed bounding cube.
+    #[must_use]
+    pub fn in_cube(mut self, cube: Aabb) -> Self {
+        self.cube = Some(cube);
+        self
+    }
+}
+
+impl Default for OctreeConfig {
+    fn default() -> Self {
+        OctreeConfig::with_max_depth(10)
+    }
+}
+
+/// Identifier of a node within its [`Octree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The root node's id.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// The arena index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+pub(crate) const NO_CHILD: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub children: [u32; 8],
+    pub count: u64,
+    pub position_sum: Vec3,
+    pub color_sum: [u64; 3],
+}
+
+impl Node {
+    fn empty() -> Node {
+        Node {
+            children: [NO_CHILD; 8],
+            count: 0,
+            position_sum: Vec3::ZERO,
+            color_sum: [0; 3],
+        }
+    }
+
+    pub(crate) fn child(&self, octant: usize) -> Option<u32> {
+        let c = self.children[octant];
+        (c != NO_CHILD).then_some(c)
+    }
+
+    pub(crate) fn occupancy_byte(&self) -> u8 {
+        let mut byte = 0u8;
+        for (i, &c) in self.children.iter().enumerate() {
+            if c != NO_CHILD {
+                byte |= 1 << i;
+            }
+        }
+        byte
+    }
+}
+
+/// A sparse octree over a point cloud.
+///
+/// Every internal node aggregates the number of contained points, their
+/// position sum and color sums, so any depth can be rendered without
+/// revisiting the input points. Nodes are stored in an arena; levels are
+/// contiguous (the arena is in breadth-first order).
+#[derive(Debug, Clone)]
+pub struct Octree {
+    pub(crate) nodes: Vec<Node>,
+    /// First arena index of each level: `level_starts[d] .. level_starts[d+1]`
+    /// are the depth-`d` nodes. Has `max_depth + 2` entries.
+    pub(crate) level_starts: Vec<u32>,
+    cube: Aabb,
+    max_depth: u8,
+    point_count: u64,
+}
+
+impl Octree {
+    /// Builds an octree from a cloud.
+    ///
+    /// # Errors
+    ///
+    /// - [`OctreeError::EmptyCloud`] for an empty input;
+    /// - [`OctreeError::DepthTooLarge`] when `config.max_depth` exceeds
+    ///   [`MAX_SUPPORTED_DEPTH`];
+    /// - [`OctreeError::PointOutsideCube`] when a fixed cube was supplied and
+    ///   a point lies outside it.
+    pub fn build(cloud: &PointCloud, config: &OctreeConfig) -> Result<Octree, OctreeError> {
+        if cloud.is_empty() {
+            return Err(OctreeError::EmptyCloud);
+        }
+        if config.max_depth > MAX_SUPPORTED_DEPTH {
+            return Err(OctreeError::DepthTooLarge {
+                requested: config.max_depth,
+            });
+        }
+        let cube = match config.cube {
+            Some(c) => {
+                // Cube-ify non-cubic boxes; keep already-cubic boxes
+                // bit-exact so voxel boundaries match external quantizers
+                // (e.g. `VoxelGrid` over the same cube).
+                let s = c.size();
+                let c = if s.x == s.y && s.y == s.z {
+                    c
+                } else {
+                    c.bounding_cube()
+                };
+                if let Some(bad) = cloud.positions().position(|p| !c.contains(p)) {
+                    return Err(OctreeError::PointOutsideCube { index: bad });
+                }
+                c
+            }
+            None => cloud
+                .aabb()
+                .expect("non-empty cloud has an aabb")
+                .bounding_cube(),
+        };
+        let max_depth = config.max_depth;
+
+        // Pass 1: morton code of every point at max depth.
+        let n = 1u64 << max_depth; // cells per axis
+        let extent = cube.max_extent();
+        let min = cube.min();
+        let code_of = |p: Vec3| -> u64 {
+            let q = |v: f64, lo: f64| -> u64 {
+                if extent <= 0.0 {
+                    return 0;
+                }
+                let idx = ((v - lo) / extent * n as f64).floor();
+                (idx.max(0.0) as u64).min(n - 1)
+            };
+            morton3(q(p.x, min.x), q(p.y, min.y), q(p.z, min.z), max_depth)
+        };
+        let mut coded: Vec<(u64, &Point)> =
+            cloud.iter().map(|p| (code_of(p.position), p)).collect();
+        coded.sort_unstable_by_key(|(c, _)| *c);
+
+        // Pass 2: allocate nodes level by level. At each level, the distinct
+        // `3*(d)`-bit prefixes of the sorted codes are the occupied nodes.
+        let mut nodes = vec![Node::empty()];
+        let mut level_starts = vec![0u32, 1];
+        {
+            let root = &mut nodes[0];
+            for (_, p) in &coded {
+                root.count += 1;
+                root.position_sum += p.position;
+                root.color_sum[0] += u64::from(p.color.r);
+                root.color_sum[1] += u64::from(p.color.g);
+                root.color_sum[2] += u64::from(p.color.b);
+            }
+        }
+
+        // `current` maps a node arena index to its code-range in `coded`.
+        let mut current: Vec<(u32, usize, usize)> = vec![(0, 0, coded.len())];
+        for depth in 1..=max_depth {
+            let shift = 3 * u64::from(max_depth - depth);
+            let mut next: Vec<(u32, usize, usize)> = Vec::with_capacity(current.len() * 2);
+            for &(node_idx, lo, hi) in &current {
+                let mut i = lo;
+                while i < hi {
+                    let prefix = coded[i].0 >> shift;
+                    let octant = (prefix & 7) as usize;
+                    let mut j = i + 1;
+                    while j < hi && (coded[j].0 >> shift) == prefix {
+                        j += 1;
+                    }
+                    let child_idx = nodes.len() as u32;
+                    let mut child = Node::empty();
+                    for (_, p) in &coded[i..j] {
+                        child.count += 1;
+                        child.position_sum += p.position;
+                        child.color_sum[0] += u64::from(p.color.r);
+                        child.color_sum[1] += u64::from(p.color.g);
+                        child.color_sum[2] += u64::from(p.color.b);
+                    }
+                    nodes.push(child);
+                    nodes[node_idx as usize].children[octant] = child_idx;
+                    next.push((child_idx, i, j));
+                    i = j;
+                }
+            }
+            level_starts.push(nodes.len() as u32);
+            current = next;
+        }
+
+        Ok(Octree {
+            nodes,
+            level_starts,
+            cube,
+            max_depth,
+            point_count: coded.len() as u64,
+        })
+    }
+
+    /// The bounding cube the tree subdivides.
+    pub fn cube(&self) -> &Aabb {
+        &self.cube
+    }
+
+    /// The maximum (leaf) depth.
+    pub fn max_depth(&self) -> u8 {
+        self.max_depth
+    }
+
+    /// Number of input points.
+    pub fn point_count(&self) -> u64 {
+        self.point_count
+    }
+
+    /// Total number of nodes in the tree (all levels).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of occupied voxels (nodes) at `depth`.
+    ///
+    /// This is the arrival size `a(d)` of the paper: the number of points the
+    /// renderer must draw when the frame is visualized at octree depth `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `depth > max_depth`.
+    pub fn occupied_at_depth(&self, depth: u8) -> usize {
+        assert!(
+            depth <= self.max_depth,
+            "depth {depth} exceeds max depth {}",
+            self.max_depth
+        );
+        let d = depth as usize;
+        (self.level_starts[d + 1] - self.level_starts[d]) as usize
+    }
+
+    /// A view of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn node(&self, id: NodeId) -> NodeView<'_> {
+        assert!(id.index() < self.nodes.len(), "node id out of range");
+        NodeView {
+            tree: self,
+            id,
+            depth: self.depth_of(id),
+        }
+    }
+
+    pub(crate) fn depth_of(&self, id: NodeId) -> u8 {
+        let idx = id.0;
+        // level_starts is sorted; find the level containing idx.
+        match self.level_starts.binary_search(&idx) {
+            Ok(level) => {
+                // idx is the first node of `level`... but trailing empty
+                // levels share the same start; pick the first matching level.
+                let mut l = level;
+                while l > 0 && self.level_starts[l - 1] == idx {
+                    l -= 1;
+                }
+                l as u8
+            }
+            Err(insertion) => (insertion - 1) as u8,
+        }
+    }
+
+    /// Ids of all nodes at `depth`, in Morton (breadth-first) order.
+    pub fn nodes_at_depth(&self, depth: u8) -> impl Iterator<Item = NodeId> + '_ {
+        assert!(depth <= self.max_depth, "depth out of range");
+        let d = depth as usize;
+        (self.level_starts[d]..self.level_starts[d + 1]).map(NodeId)
+    }
+
+    /// Edge length of a voxel at `depth`.
+    pub fn voxel_size_at_depth(&self, depth: u8) -> f64 {
+        self.cube.max_extent() / (1u64 << depth) as f64
+    }
+}
+
+/// A borrowed view of one octree node with its derived geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeView<'a> {
+    tree: &'a Octree,
+    id: NodeId,
+    depth: u8,
+}
+
+impl<'a> NodeView<'a> {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Depth of the node (root = 0).
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Number of input points inside this node's voxel.
+    pub fn count(&self) -> u64 {
+        self.node().count
+    }
+
+    /// Mean position of the contained points.
+    pub fn mean_position(&self) -> Vec3 {
+        self.node().position_sum / self.node().count as f64
+    }
+
+    /// Mean color of the contained points.
+    pub fn mean_color(&self) -> Color {
+        let n = self.node().count as f64;
+        let c = &self.node().color_sum;
+        Color::new(
+            (c[0] as f64 / n).round() as u8,
+            (c[1] as f64 / n).round() as u8,
+            (c[2] as f64 / n).round() as u8,
+        )
+    }
+
+    /// The child in `octant` (0..8, bit layout of
+    /// [`arvis_pointcloud::Aabb::octants`]), if occupied.
+    pub fn child(&self, octant: usize) -> Option<NodeView<'a>> {
+        assert!(octant < 8, "octant must be in 0..8");
+        self.node().child(octant).map(|c| NodeView {
+            tree: self.tree,
+            id: NodeId(c),
+            depth: self.depth + 1,
+        })
+    }
+
+    /// Iterates over the occupied children.
+    pub fn children(&self) -> impl Iterator<Item = NodeView<'a>> + '_ {
+        (0..8).filter_map(move |o| self.child(o))
+    }
+
+    /// `true` when the node has no children (it is a max-depth leaf).
+    pub fn is_leaf(&self) -> bool {
+        self.node().children.iter().all(|&c| c == NO_CHILD)
+    }
+
+    /// The bitmask of occupied children (bit `i` = octant `i`).
+    pub fn occupancy_byte(&self) -> u8 {
+        self.node().occupancy_byte()
+    }
+
+    fn node(&self) -> &'a Node {
+        &self.tree.nodes[self.id.index()]
+    }
+}
+
+#[inline]
+fn morton3(x: u64, y: u64, z: u64, bits: u8) -> u64 {
+    let mut code = 0u64;
+    for k in 0..u64::from(bits) {
+        code |= ((x >> k) & 1) << (3 * k);
+        code |= ((y >> k) & 1) << (3 * k + 1);
+        code |= ((z >> k) & 1) << (3 * k + 2);
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvis_pointcloud::point::Point;
+
+    fn unit_cloud() -> PointCloud {
+        // Points at the eight corners (inset) of the unit cube, plus center.
+        let mut c = PointCloud::new();
+        for i in 0..8u32 {
+            let p = Vec3::new(
+                if i & 1 == 0 { 0.01 } else { 0.99 },
+                if i & 2 == 0 { 0.01 } else { 0.99 },
+                if i & 4 == 0 { 0.01 } else { 0.99 },
+            );
+            c.push(Point::xyz_rgb(p.x, p.y, p.z, (i * 30) as u8, 0, 0));
+        }
+        c.push(Point::xyz_rgb(0.5, 0.5, 0.5, 255, 255, 255));
+        c
+    }
+
+    #[test]
+    fn build_rejects_empty_cloud() {
+        assert_eq!(
+            Octree::build(&PointCloud::new(), &OctreeConfig::default()).unwrap_err(),
+            OctreeError::EmptyCloud
+        );
+    }
+
+    #[test]
+    fn build_rejects_excessive_depth() {
+        assert!(matches!(
+            Octree::build(&unit_cloud(), &OctreeConfig::with_max_depth(22)),
+            Err(OctreeError::DepthTooLarge { requested: 22 })
+        ));
+    }
+
+    #[test]
+    fn build_rejects_points_outside_fixed_cube() {
+        let cube = Aabb::new(Vec3::ZERO, Vec3::splat(0.5));
+        let err = Octree::build(
+            &unit_cloud(),
+            &OctreeConfig::with_max_depth(3).in_cube(cube),
+        )
+        .unwrap_err();
+        assert!(matches!(err, OctreeError::PointOutsideCube { .. }));
+    }
+
+    #[test]
+    fn root_aggregates_everything() {
+        let cloud = unit_cloud();
+        let tree = Octree::build(&cloud, &OctreeConfig::with_max_depth(4)).unwrap();
+        let root = tree.node(NodeId::ROOT);
+        assert_eq!(root.count(), cloud.len() as u64);
+        assert_eq!(root.depth(), 0);
+        assert_eq!(tree.occupied_at_depth(0), 1);
+        assert_eq!(tree.point_count(), 9);
+    }
+
+    #[test]
+    fn corner_points_occupy_eight_level1_voxels() {
+        let tree = Octree::build(&unit_cloud(), &OctreeConfig::with_max_depth(3)).unwrap();
+        assert_eq!(tree.occupied_at_depth(1), 8);
+    }
+
+    #[test]
+    fn occupancy_is_monotone_in_depth() {
+        let cloud = arvis_pointcloud::synth::SynthBodyConfig::new(
+            arvis_pointcloud::synth::SubjectProfile::Soldier,
+        )
+        .with_target_points(10_000)
+        .generate();
+        let tree = Octree::build(&cloud, &OctreeConfig::with_max_depth(8)).unwrap();
+        for d in 0..8 {
+            assert!(
+                tree.occupied_at_depth(d) <= tree.occupied_at_depth(d + 1),
+                "occupancy decreased from depth {d}"
+            );
+        }
+        // ...and bounded by the point count.
+        assert!(tree.occupied_at_depth(8) as u64 <= tree.point_count());
+    }
+
+    #[test]
+    fn counts_sum_to_parent_at_every_level() {
+        let cloud = unit_cloud();
+        let tree = Octree::build(&cloud, &OctreeConfig::with_max_depth(4)).unwrap();
+        for d in 0..4u8 {
+            for id in tree.nodes_at_depth(d).collect::<Vec<_>>() {
+                let v = tree.node(id);
+                if !v.is_leaf() {
+                    let child_sum: u64 = v.children().map(|c| c.count()).sum();
+                    assert_eq!(child_sum, v.count(), "count mismatch at node {id:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_of_is_consistent() {
+        let tree = Octree::build(&unit_cloud(), &OctreeConfig::with_max_depth(4)).unwrap();
+        for d in 0..=4u8 {
+            for id in tree.nodes_at_depth(d).collect::<Vec<_>>() {
+                assert_eq!(tree.depth_of(id), d);
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_byte_reflects_children() {
+        let tree = Octree::build(&unit_cloud(), &OctreeConfig::with_max_depth(2)).unwrap();
+        let root = tree.node(NodeId::ROOT);
+        assert_eq!(root.occupancy_byte(), 0xff, "all 8 octants occupied");
+        assert_eq!(root.children().count(), 8);
+    }
+
+    #[test]
+    fn single_point_chain() {
+        let mut c = PointCloud::new();
+        c.push(Point::xyz_rgb(0.1, 0.1, 0.1, 5, 6, 7));
+        // Octree over a degenerate (single-point) cube: still works, every
+        // level has exactly one node.
+        let tree = Octree::build(
+            &c,
+            &OctreeConfig::with_max_depth(5).in_cube(Aabb::cube(Vec3::splat(0.1), 1.0)),
+        )
+        .unwrap();
+        for d in 0..=5 {
+            assert_eq!(tree.occupied_at_depth(d), 1, "depth {d}");
+        }
+        let leaf_id = tree.nodes_at_depth(5).next().unwrap();
+        let leaf = tree.node(leaf_id);
+        assert!(leaf.is_leaf());
+        assert_eq!(leaf.mean_color(), Color::new(5, 6, 7));
+        assert!(leaf.mean_position().distance(Vec3::splat(0.1)) < 1e-12);
+    }
+
+    #[test]
+    fn depth_zero_tree() {
+        let tree = Octree::build(&unit_cloud(), &OctreeConfig::with_max_depth(0)).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert!(tree.node(NodeId::ROOT).is_leaf());
+        assert_eq!(tree.occupied_at_depth(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max depth")]
+    fn occupied_beyond_max_depth_panics() {
+        let tree = Octree::build(&unit_cloud(), &OctreeConfig::with_max_depth(2)).unwrap();
+        let _ = tree.occupied_at_depth(3);
+    }
+
+    #[test]
+    fn voxel_size_halves_per_level() {
+        let tree = Octree::build(&unit_cloud(), &OctreeConfig::with_max_depth(4)).unwrap();
+        let s0 = tree.voxel_size_at_depth(0);
+        for d in 1..=4u8 {
+            let expected = s0 / (1u64 << d) as f64;
+            assert!((tree.voxel_size_at_depth(d) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_color_of_root() {
+        let mut c = PointCloud::new();
+        c.push(Point::xyz_rgb(0.1, 0.1, 0.1, 0, 0, 0));
+        c.push(Point::xyz_rgb(0.9, 0.9, 0.9, 200, 100, 50));
+        let tree = Octree::build(&c, &OctreeConfig::with_max_depth(1)).unwrap();
+        assert_eq!(
+            tree.node(NodeId::ROOT).mean_color(),
+            Color::new(100, 50, 25)
+        );
+    }
+
+    #[test]
+    fn fixed_cube_keeps_voxels_stable_across_frames() {
+        // The same point must land in the same level-1 octant regardless of
+        // other points, when a fixed cube is used.
+        let cube = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let mut f1 = PointCloud::new();
+        f1.push(Point::from_position(Vec3::splat(0.9)));
+        let mut f2 = PointCloud::new();
+        f2.push(Point::from_position(Vec3::splat(0.9)));
+        f2.push(Point::from_position(Vec3::splat(0.05)));
+        let cfg = OctreeConfig::with_max_depth(1).in_cube(cube);
+        let t1 = Octree::build(&f1, &cfg).unwrap();
+        let t2 = Octree::build(&f2, &cfg).unwrap();
+        let byte1 = t1.node(NodeId::ROOT).occupancy_byte();
+        let byte2 = t2.node(NodeId::ROOT).occupancy_byte();
+        assert_eq!(byte1 & 0b1000_0000, byte2 & 0b1000_0000);
+    }
+}

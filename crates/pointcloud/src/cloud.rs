@@ -1,0 +1,310 @@
+//! The [`PointCloud`] container.
+
+use serde::{Deserialize, Serialize};
+
+use crate::aabb::Aabb;
+use crate::color::Color;
+use crate::error::{Error, Result};
+use crate::math::Vec3;
+use crate::point::Point;
+
+/// An unordered collection of colored points.
+///
+/// This is the central data type of the substrate; it corresponds to
+/// Open3D's `PointCloud` in the paper's pipeline. Points are stored in a
+/// single `Vec<Point>` (array-of-structs): frames in this workload are read,
+/// voxelized and discarded, so iteration locality beats SoA bookkeeping.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PointCloud {
+    points: Vec<Point>,
+}
+
+impl PointCloud {
+    /// Creates an empty cloud.
+    pub fn new() -> Self {
+        PointCloud::default()
+    }
+
+    /// Creates an empty cloud with preallocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PointCloud {
+            points: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Creates a cloud from a vector of points.
+    pub fn from_points(points: Vec<Point>) -> Self {
+        PointCloud { points }
+    }
+
+    /// Creates a cloud of black points from positions.
+    pub fn from_positions<I: IntoIterator<Item = Vec3>>(positions: I) -> Self {
+        PointCloud {
+            points: positions.into_iter().map(Point::from_position).collect(),
+        }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the cloud has no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Adds a point.
+    #[inline]
+    pub fn push(&mut self, point: Point) {
+        self.points.push(point);
+    }
+
+    /// Borrows the points as a slice.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Mutably borrows the points.
+    #[inline]
+    pub fn points_mut(&mut self) -> &mut [Point] {
+        &mut self.points
+    }
+
+    /// Consumes the cloud, returning its points.
+    pub fn into_points(self) -> Vec<Point> {
+        self.points
+    }
+
+    /// Iterates over the points.
+    pub fn iter(&self) -> std::slice::Iter<'_, Point> {
+        self.points.iter()
+    }
+
+    /// Iterates over point positions.
+    pub fn positions(&self) -> impl Iterator<Item = Vec3> + '_ {
+        self.points.iter().map(|p| p.position)
+    }
+
+    /// Iterates over point colors.
+    pub fn colors(&self) -> impl Iterator<Item = Color> + '_ {
+        self.points.iter().map(|p| p.color)
+    }
+
+    /// The tight axis-aligned bounding box, or `None` for an empty cloud.
+    pub fn aabb(&self) -> Option<Aabb> {
+        Aabb::from_points(self.positions())
+    }
+
+    /// The centroid of all point positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyCloud`] when the cloud is empty.
+    pub fn centroid(&self) -> Result<Vec3> {
+        if self.is_empty() {
+            return Err(Error::EmptyCloud);
+        }
+        Ok(self.positions().sum::<Vec3>() / self.len() as f64)
+    }
+
+    /// Appends all points of `other`.
+    pub fn merge(&mut self, other: &PointCloud) {
+        self.points.extend_from_slice(&other.points);
+    }
+
+    /// Keeps only points for which `keep` returns `true`.
+    pub fn retain<F: FnMut(&Point) -> bool>(&mut self, keep: F) {
+        self.points.retain(keep);
+    }
+
+    /// Returns a new cloud containing only points inside `aabb`
+    /// (boundary inclusive).
+    pub fn crop(&self, aabb: &Aabb) -> PointCloud {
+        PointCloud {
+            points: self
+                .points
+                .iter()
+                .copied()
+                .filter(|p| aabb.contains(p.position))
+                .collect(),
+        }
+    }
+
+    /// Returns a uniformly random subsample of at most `target` points,
+    /// preserving order, using the given RNG. Returns a clone when
+    /// `target >= len`.
+    pub fn random_downsample<R: rand::Rng>(&self, target: usize, rng: &mut R) -> PointCloud {
+        if target >= self.len() {
+            return self.clone();
+        }
+        // Reservoir-free selection: choose `target` distinct indices via
+        // partial Fisher-Yates over an index vector.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..target {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        let mut chosen: Vec<usize> = idx[..target].to_vec();
+        chosen.sort_unstable();
+        PointCloud {
+            points: chosen.into_iter().map(|i| self.points[i]).collect(),
+        }
+    }
+
+    /// Returns every `k`-th point (`k ≥ 1`), matching Open3D's
+    /// `uniform_down_sample`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `k == 0`.
+    pub fn uniform_downsample(&self, k: usize) -> Result<PointCloud> {
+        if k == 0 {
+            return Err(Error::InvalidParameter(
+                "uniform_downsample stride must be >= 1".into(),
+            ));
+        }
+        Ok(PointCloud {
+            points: self.points.iter().copied().step_by(k).collect(),
+        })
+    }
+
+    /// Checks every position for NaN/infinity; returns the index of the first
+    /// non-finite point, if any.
+    pub fn first_non_finite(&self) -> Option<usize> {
+        self.points.iter().position(|p| !p.position.is_finite())
+    }
+}
+
+impl FromIterator<Point> for PointCloud {
+    fn from_iter<T: IntoIterator<Item = Point>>(iter: T) -> Self {
+        PointCloud {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Point> for PointCloud {
+    fn extend<T: IntoIterator<Item = Point>>(&mut self, iter: T) {
+        self.points.extend(iter);
+    }
+}
+
+impl IntoIterator for PointCloud {
+    type Item = Point;
+    type IntoIter = std::vec::IntoIter<Point>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a PointCloud {
+    type Item = &'a Point;
+    type IntoIter = std::slice::Iter<'a, Point>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_cloud() -> PointCloud {
+        PointCloud::from_points(vec![
+            Point::xyz_rgb(0.0, 0.0, 0.0, 255, 0, 0),
+            Point::xyz_rgb(1.0, 0.0, 0.0, 0, 255, 0),
+            Point::xyz_rgb(0.0, 2.0, 0.0, 0, 0, 255),
+            Point::xyz_rgb(0.0, 0.0, 3.0, 9, 9, 9),
+        ])
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(PointCloud::new().is_empty());
+        assert_eq!(sample_cloud().len(), 4);
+    }
+
+    #[test]
+    fn aabb_and_centroid() {
+        let c = sample_cloud();
+        let b = c.aabb().unwrap();
+        assert_eq!(b.min(), Vec3::ZERO);
+        assert_eq!(b.max(), Vec3::new(1.0, 2.0, 3.0));
+        let g = c.centroid().unwrap();
+        assert_eq!(g, Vec3::new(0.25, 0.5, 0.75));
+        assert!(PointCloud::new().centroid().is_err());
+        assert!(PointCloud::new().aabb().is_none());
+    }
+
+    #[test]
+    fn merge_and_retain() {
+        let mut a = sample_cloud();
+        let b = sample_cloud();
+        a.merge(&b);
+        assert_eq!(a.len(), 8);
+        a.retain(|p| p.position.x < 0.5);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn crop_keeps_inside() {
+        let c = sample_cloud();
+        let cropped = c.crop(&Aabb::new(Vec3::ZERO, Vec3::splat(1.5)));
+        assert_eq!(cropped.len(), 2); // origin and (1,0,0)
+    }
+
+    #[test]
+    fn random_downsample_counts() {
+        let c = sample_cloud();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(c.random_downsample(2, &mut rng).len(), 2);
+        assert_eq!(c.random_downsample(10, &mut rng).len(), 4);
+        assert_eq!(c.random_downsample(0, &mut rng).len(), 0);
+    }
+
+    #[test]
+    fn random_downsample_has_distinct_points() {
+        let c = PointCloud::from_positions((0..100).map(|i| Vec3::splat(i as f64)));
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = c.random_downsample(50, &mut rng);
+        let mut xs: Vec<i64> = d.positions().map(|p| p.x as i64).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        assert_eq!(xs.len(), 50, "downsampled points must be distinct");
+    }
+
+    #[test]
+    fn uniform_downsample_stride() {
+        let c = PointCloud::from_positions((0..10).map(|i| Vec3::splat(i as f64)));
+        let d = c.uniform_downsample(3).unwrap();
+        let xs: Vec<f64> = d.positions().map(|p| p.x).collect();
+        assert_eq!(xs, vec![0.0, 3.0, 6.0, 9.0]);
+        assert!(c.uniform_downsample(0).is_err());
+    }
+
+    #[test]
+    fn iterator_impls() {
+        let c = sample_cloud();
+        let collected: PointCloud = c.iter().copied().collect();
+        assert_eq!(collected, c);
+        let mut d = PointCloud::new();
+        d.extend(c.clone());
+        assert_eq!(d.len(), 4);
+        let total: usize = (&c).into_iter().count();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut c = sample_cloud();
+        assert!(c.first_non_finite().is_none());
+        c.push(Point::from_position(Vec3::new(f64::NAN, 0.0, 0.0)));
+        assert_eq!(c.first_non_finite(), Some(4));
+    }
+}

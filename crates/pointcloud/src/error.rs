@@ -1,0 +1,78 @@
+//! Error type shared by the point-cloud substrate.
+
+use std::fmt;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by point-cloud parsing and processing.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An underlying I/O failure while reading or writing a file.
+    Io(std::io::Error),
+    /// The PLY header is malformed; the payload describes the problem.
+    MalformedHeader(String),
+    /// The PLY body does not match its header (wrong count, bad literal...).
+    MalformedBody(String),
+    /// The file uses a PLY feature this implementation does not support
+    /// (e.g. big-endian encoding or list properties on vertices).
+    Unsupported(String),
+    /// An operation that requires points was invoked on an empty cloud.
+    EmptyCloud,
+    /// A parameter was outside its documented domain.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::MalformedHeader(m) => write!(f, "malformed PLY header: {m}"),
+            Error::MalformedBody(m) => write!(f, "malformed PLY body: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported PLY feature: {m}"),
+            Error::EmptyCloud => write!(f, "operation requires a non-empty point cloud"),
+            Error::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_messages() {
+        assert!(Error::EmptyCloud.to_string().contains("non-empty"));
+        assert!(Error::MalformedHeader("x".into())
+            .to_string()
+            .contains("header"));
+        assert!(Error::Unsupported("big-endian".into())
+            .to_string()
+            .contains("big-endian"));
+    }
+
+    #[test]
+    fn io_source_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e = Error::from(io);
+        assert!(e.source().is_some());
+        assert!(Error::EmptyCloud.source().is_none());
+    }
+}

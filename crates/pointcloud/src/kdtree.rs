@@ -1,0 +1,260 @@
+//! A kd-tree over point positions for nearest-neighbor queries.
+//!
+//! Geometry quality metrics (point-to-point PSNR, Hausdorff distance) need
+//! fast nearest-neighbor lookups between the reference cloud and a degraded
+//! LoD cloud. This is a static, balanced kd-tree built once per cloud.
+
+use crate::math::Vec3;
+
+/// A static balanced kd-tree over a set of positions.
+///
+/// Build is `O(n log n)` (median split via `select_nth_unstable`), queries are
+/// `O(log n)` expected for well-distributed data.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    /// Positions re-ordered into an implicit balanced tree layout:
+    /// `nodes[mid]` of every subrange is the splitting node.
+    nodes: Vec<(Vec3, usize)>,
+}
+
+impl KdTree {
+    /// Builds a kd-tree from positions. The `usize` returned by queries is
+    /// the index of the position in the original iteration order.
+    pub fn build<I: IntoIterator<Item = Vec3>>(positions: I) -> KdTree {
+        let mut nodes: Vec<(Vec3, usize)> = positions
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, i))
+            .collect();
+        if !nodes.is_empty() {
+            Self::build_range(&mut nodes, 0);
+        }
+        KdTree { nodes }
+    }
+
+    fn build_range(nodes: &mut [(Vec3, usize)], axis: usize) {
+        if nodes.len() <= 1 {
+            return;
+        }
+        let mid = nodes.len() / 2;
+        nodes.select_nth_unstable_by(mid, |a, b| {
+            a.0[axis]
+                .partial_cmp(&b.0[axis])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let (lo, rest) = nodes.split_at_mut(mid);
+        let hi = &mut rest[1..];
+        let next = (axis + 1) % 3;
+        Self::build_range(lo, next);
+        Self::build_range(hi, next);
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Returns `(original_index, squared_distance)` of the nearest neighbor
+    /// to `query`, or `None` for an empty tree.
+    pub fn nearest(&self, query: Vec3) -> Option<(usize, f64)> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut best = (usize::MAX, f64::INFINITY);
+        self.nearest_in(&self.nodes, 0, query, &mut best);
+        Some(best)
+    }
+
+    fn nearest_in(
+        &self,
+        nodes: &[(Vec3, usize)],
+        axis: usize,
+        query: Vec3,
+        best: &mut (usize, f64),
+    ) {
+        if nodes.is_empty() {
+            return;
+        }
+        let mid = nodes.len() / 2;
+        let (pos, idx) = nodes[mid];
+        let d2 = pos.distance_squared(query);
+        if d2 < best.1 {
+            *best = (idx, d2);
+        }
+        let delta = query[axis] - pos[axis];
+        let next = (axis + 1) % 3;
+        let (near, far) = if delta < 0.0 {
+            (&nodes[..mid], &nodes[mid + 1..])
+        } else {
+            (&nodes[mid + 1..], &nodes[..mid])
+        };
+        self.nearest_in(near, next, query, best);
+        if delta * delta < best.1 {
+            self.nearest_in(far, next, query, best);
+        }
+    }
+
+    /// Returns the squared distance to the nearest neighbor, or `None` for an
+    /// empty tree. Convenience wrapper over [`KdTree::nearest`].
+    pub fn nearest_distance_squared(&self, query: Vec3) -> Option<f64> {
+        self.nearest(query).map(|(_, d2)| d2)
+    }
+
+    /// Collects the original indices of all points within `radius` of
+    /// `query` (inclusive).
+    pub fn within_radius(&self, query: Vec3, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        if radius >= 0.0 && !self.nodes.is_empty() {
+            self.radius_in(&self.nodes, 0, query, radius * radius, &mut out);
+        }
+        out
+    }
+
+    fn radius_in(
+        &self,
+        nodes: &[(Vec3, usize)],
+        axis: usize,
+        query: Vec3,
+        r2: f64,
+        out: &mut Vec<usize>,
+    ) {
+        if nodes.is_empty() {
+            return;
+        }
+        let mid = nodes.len() / 2;
+        let (pos, idx) = nodes[mid];
+        if pos.distance_squared(query) <= r2 {
+            out.push(idx);
+        }
+        let delta = query[axis] - pos[axis];
+        let next = (axis + 1) % 3;
+        let (near, far) = if delta < 0.0 {
+            (&nodes[..mid], &nodes[mid + 1..])
+        } else {
+            (&nodes[mid + 1..], &nodes[..mid])
+        };
+        self.radius_in(near, next, query, r2, out);
+        if delta * delta <= r2 {
+            self.radius_in(far, next, query, r2, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_nearest(points: &[Vec3], q: Vec3) -> (usize, f64) {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.distance_squared(q)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::build(std::iter::empty());
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.nearest(Vec3::ZERO).is_none());
+        assert!(t.within_radius(Vec3::ZERO, 1.0).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let t = KdTree::build([Vec3::ONE]);
+        let (idx, d2) = t.nearest(Vec3::ZERO).unwrap();
+        assert_eq!(idx, 0);
+        assert!((d2 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = random_points(500, 42);
+        let tree = KdTree::build(pts.iter().copied());
+        let queries = random_points(200, 43);
+        for q in queries {
+            let (bi, bd) = brute_nearest(&pts, q);
+            let (ti, td) = tree.nearest(q).unwrap();
+            assert!((bd - td).abs() < 1e-12, "distance mismatch at {q}");
+            // Indices can differ only on exact ties.
+            if (pts[bi].distance_squared(q) - pts[ti].distance_squared(q)).abs() > 1e-12 {
+                panic!("index mismatch: brute {bi} tree {ti}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_of_member_is_itself() {
+        let pts = random_points(100, 7);
+        let tree = KdTree::build(pts.iter().copied());
+        for (i, p) in pts.iter().enumerate() {
+            let (idx, d2) = tree.nearest(*p).unwrap();
+            assert!(d2 <= 1e-18);
+            // idx may differ if two random points coincide (probability 0).
+            assert_eq!(idx, i);
+        }
+    }
+
+    #[test]
+    fn within_radius_matches_brute_force() {
+        let pts = random_points(300, 11);
+        let tree = KdTree::build(pts.iter().copied());
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..50 {
+            let q = Vec3::new(
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            );
+            let r = rng.gen_range(0.0..0.8);
+            let mut expected: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.distance_squared(q) <= r * r)
+                .map(|(i, _)| i)
+                .collect();
+            let mut got = tree.within_radius(q, r);
+            expected.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(expected, got);
+        }
+    }
+
+    #[test]
+    fn negative_radius_is_empty() {
+        let tree = KdTree::build([Vec3::ZERO]);
+        assert!(tree.within_radius(Vec3::ZERO, -1.0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let pts = vec![Vec3::ONE; 10];
+        let tree = KdTree::build(pts.iter().copied());
+        assert_eq!(tree.len(), 10);
+        let hits = tree.within_radius(Vec3::ONE, 0.0);
+        assert_eq!(hits.len(), 10);
+    }
+}

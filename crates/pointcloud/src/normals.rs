@@ -1,0 +1,235 @@
+//! Surface-normal estimation by local PCA.
+//!
+//! The point-to-plane (D2) geometry metric — the second standard PCC quality
+//! measure — projects point-to-point errors onto the reference surface
+//! normal. Normals are estimated per point as the smallest-eigenvalue
+//! eigenvector of the covariance of the k nearest neighbors, the same
+//! algorithm Open3D's `estimate_normals` uses.
+
+use crate::cloud::PointCloud;
+use crate::kdtree::KdTree;
+use crate::math::Vec3;
+
+/// Estimates one normal per point from the `k` nearest neighbors
+/// (including the point itself; `k ≥ 3` required for a meaningful plane).
+///
+/// Normals are unit length but have arbitrary sign (orientation requires a
+/// viewpoint, which distortion metrics do not need: they use `|err · n|`).
+/// Degenerate neighborhoods (collinear or coincident points) fall back to
+/// an arbitrary unit normal.
+///
+/// # Panics
+///
+/// Panics when `k < 3` or the cloud has fewer than 3 points.
+pub fn estimate_normals(cloud: &PointCloud, k: usize) -> Vec<Vec3> {
+    assert!(k >= 3, "normal estimation needs k >= 3 neighbors");
+    assert!(
+        cloud.len() >= 3,
+        "normal estimation needs at least 3 points"
+    );
+    let tree = KdTree::build(cloud.positions());
+    let points = cloud.points();
+    cloud
+        .positions()
+        .map(|p| {
+            let neighbors = k_nearest(&tree, points, p, k);
+            normal_from_neighborhood(&neighbors)
+        })
+        .collect()
+}
+
+/// Finds the `k` nearest neighbor positions of `p` by expanding radius
+/// search (the kd-tree exposes nearest-1 and radius queries).
+fn k_nearest(tree: &KdTree, points: &[crate::point::Point], p: Vec3, k: usize) -> Vec<Vec3> {
+    // Start from the nearest neighbor's distance as a radius scale.
+    let (_, d2) = tree.nearest(p).expect("non-empty tree");
+    let mut radius = (d2.sqrt()).max(1e-9) * 2.0;
+    loop {
+        let idx = tree.within_radius(p, radius);
+        if idx.len() >= k {
+            let mut with_d: Vec<(f64, usize)> = idx
+                .into_iter()
+                .map(|i| (points[i].position.distance_squared(p), i))
+                .collect();
+            with_d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            return with_d
+                .into_iter()
+                .take(k)
+                .map(|(_, i)| points[i].position)
+                .collect();
+        }
+        if idx.len() == points.len() {
+            // Whole cloud smaller than k: use everything.
+            return points.iter().map(|q| q.position).collect();
+        }
+        radius *= 2.0;
+    }
+}
+
+/// PCA normal of a neighborhood: the eigenvector of the 3×3 covariance with
+/// the smallest eigenvalue, via a few inverse-power iterations.
+fn normal_from_neighborhood(neighbors: &[Vec3]) -> Vec3 {
+    let n = neighbors.len() as f64;
+    let mean: Vec3 = neighbors.iter().copied().sum::<Vec3>() / n;
+    // Covariance (symmetric, row-major upper triangle).
+    let (mut xx, mut xy, mut xz, mut yy, mut yz, mut zz) = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+    for q in neighbors {
+        let d = *q - mean;
+        xx += d.x * d.x;
+        xy += d.x * d.y;
+        xz += d.x * d.z;
+        yy += d.y * d.y;
+        yz += d.y * d.z;
+        zz += d.z * d.z;
+    }
+    let trace = xx + yy + zz;
+    if trace <= 1e-24 {
+        return Vec3::Z; // all points coincident
+    }
+
+    // Smallest eigenvector of C = largest eigenvector of (λI − C) with
+    // λ = trace (an upper bound on the largest eigenvalue). Power-iterate.
+    let m = [
+        [trace - xx, -xy, -xz],
+        [-xy, trace - yy, -yz],
+        [-xz, -yz, trace - zz],
+    ];
+    let mul = |v: Vec3| -> Vec3 {
+        Vec3::new(
+            m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z,
+        )
+    };
+    // Deterministic start not parallel to anything special.
+    let mut v = Vec3::new(0.577_350_3, 0.577_350_3, 0.577_350_3);
+    for _ in 0..32 {
+        let next = mul(v);
+        match next.normalized() {
+            Some(u) => v = u,
+            None => return Vec3::Z, // degenerate operator
+        }
+    }
+    v
+}
+
+/// Point-to-plane residual: `|(p − q) · n|` where `q` is the nearest
+/// reference point and `n` its normal.
+pub fn point_to_plane_distance(p: Vec3, q: Vec3, normal: Vec3) -> f64 {
+    (p - q).dot(normal).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn plane_cloud(n: usize, normal_axis: usize) -> PointCloud {
+        let mut rng = StdRng::seed_from_u64(1);
+        (0..n)
+            .map(|_| {
+                let (a, b) = (rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+                let p = match normal_axis {
+                    0 => Vec3::new(0.0, a, b),
+                    1 => Vec3::new(a, 0.0, b),
+                    _ => Vec3::new(a, b, 0.0),
+                };
+                Point::from_position(p)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plane_normals_align_with_plane_normal() {
+        for axis in 0..3usize {
+            let cloud = plane_cloud(200, axis);
+            let normals = estimate_normals(&cloud, 8);
+            let expected = match axis {
+                0 => Vec3::X,
+                1 => Vec3::Y,
+                _ => Vec3::Z,
+            };
+            for n in &normals {
+                assert!(
+                    n.dot(expected).abs() > 0.99,
+                    "normal {n} not aligned with axis {axis}"
+                );
+                assert!((n.norm() - 1.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn sphere_normals_are_radial() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cloud: PointCloud = (0..500)
+            .map(|_| {
+                Point::from_position(crate::sampling::sphere_surface(&mut rng, Vec3::ZERO, 2.0))
+            })
+            .collect();
+        let normals = estimate_normals(&cloud, 10);
+        let mut aligned = 0usize;
+        for (p, n) in cloud.positions().zip(&normals) {
+            let radial = p.normalized().unwrap();
+            if n.dot(radial).abs() > 0.9 {
+                aligned += 1;
+            }
+        }
+        assert!(
+            aligned as f64 / normals.len() as f64 > 0.95,
+            "only {aligned}/500 normals radial"
+        );
+    }
+
+    #[test]
+    fn degenerate_neighborhoods_do_not_crash() {
+        // All points coincident.
+        let cloud: PointCloud = (0..5).map(|_| Point::from_position(Vec3::ONE)).collect();
+        let normals = estimate_normals(&cloud, 3);
+        assert_eq!(normals.len(), 5);
+        for n in normals {
+            assert!((n.norm() - 1.0).abs() < 1e-6);
+        }
+        // Collinear points.
+        let line: PointCloud = (0..6)
+            .map(|i| Point::from_position(Vec3::new(i as f64, 0.0, 0.0)))
+            .collect();
+        let normals = estimate_normals(&line, 4);
+        for n in normals {
+            // Any unit vector perpendicular-ish is fine; must be unit, and
+            // perpendicular to the line for non-degenerate PCA.
+            assert!((n.norm() - 1.0).abs() < 1e-6);
+            assert!(n.dot(Vec3::X).abs() < 0.1, "normal {n} along the line");
+        }
+    }
+
+    #[test]
+    fn k_larger_than_cloud_uses_everything() {
+        let cloud = plane_cloud(5, 2);
+        let normals = estimate_normals(&cloud, 10);
+        assert_eq!(normals.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 3")]
+    fn rejects_tiny_k() {
+        let _ = estimate_normals(&plane_cloud(10, 0), 2);
+    }
+
+    #[test]
+    fn point_to_plane_projects_correctly() {
+        let q = Vec3::ZERO;
+        let n = Vec3::Z;
+        // Error purely tangential: zero plane distance.
+        assert_eq!(point_to_plane_distance(Vec3::new(5.0, 3.0, 0.0), q, n), 0.0);
+        // Error purely normal: full distance.
+        assert_eq!(point_to_plane_distance(Vec3::new(0.0, 0.0, 2.0), q, n), 2.0);
+        // Sign-insensitive.
+        assert_eq!(
+            point_to_plane_distance(Vec3::new(0.0, 0.0, -2.0), q, n),
+            2.0
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! A colored 3-D point — the element type of [`crate::PointCloud`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::color::Color;
+use crate::math::Vec3;
+
+/// A point with position and RGB color, mirroring the per-vertex layout of
+/// the 8i Voxelized Full Bodies PLY files (`x y z red green blue`).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Position in dataset units (the 8i scans use integer voxel coordinates
+    /// in a 1024³ grid; synthetic clouds use meters).
+    pub position: Vec3,
+    /// Per-point RGB color.
+    pub color: Color,
+}
+
+impl Point {
+    /// Creates a point from a position and color.
+    #[inline]
+    pub const fn new(position: Vec3, color: Color) -> Self {
+        Point { position, color }
+    }
+
+    /// Creates an uncolored (black) point.
+    #[inline]
+    pub const fn from_position(position: Vec3) -> Self {
+        Point::new(position, Color::BLACK)
+    }
+
+    /// Creates a point from raw coordinates with a color.
+    #[inline]
+    pub const fn xyz_rgb(x: f64, y: f64, z: f64, r: u8, g: u8, b: u8) -> Self {
+        Point::new(Vec3::new(x, y, z), Color::new(r, g, b))
+    }
+
+    /// Euclidean distance between the positions of two points.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.position.distance(other.position)
+    }
+}
+
+impl From<Vec3> for Point {
+    #[inline]
+    fn from(v: Vec3) -> Self {
+        Point::from_position(v)
+    }
+}
+
+impl From<(Vec3, Color)> for Point {
+    #[inline]
+    fn from((position, color): (Vec3, Color)) -> Self {
+        Point::new(position, color)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let p = Point::xyz_rgb(1.0, 2.0, 3.0, 4, 5, 6);
+        assert_eq!(p.position, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(p.color, Color::new(4, 5, 6));
+        assert_eq!(Point::from_position(Vec3::X).color, Color::BLACK);
+        let q: Point = Vec3::Y.into();
+        assert_eq!(q.position, Vec3::Y);
+        let r: Point = (Vec3::Z, Color::WHITE).into();
+        assert_eq!(r.color, Color::WHITE);
+    }
+
+    #[test]
+    fn distance_between_points() {
+        let a = Point::from_position(Vec3::ZERO);
+        let b = Point::from_position(Vec3::new(0.0, 3.0, 4.0));
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,182 @@
+//! Random surface-sampling primitives used by the synthetic-body generator.
+
+use rand::Rng;
+
+use crate::math::Vec3;
+
+/// Samples a point uniformly on the unit sphere (Marsaglia's method via
+/// normalized Gaussian-ish rejection from the cube).
+pub fn unit_sphere<R: Rng>(rng: &mut R) -> Vec3 {
+    loop {
+        let v = Vec3::new(
+            rng.gen_range(-1.0..=1.0),
+            rng.gen_range(-1.0..=1.0),
+            rng.gen_range(-1.0..=1.0),
+        );
+        let n2 = v.norm_squared();
+        if n2 > 1e-12 && n2 <= 1.0 {
+            return v / n2.sqrt();
+        }
+    }
+}
+
+/// Samples a point uniformly on a sphere of radius `radius` centered at
+/// `center`.
+pub fn sphere_surface<R: Rng>(rng: &mut R, center: Vec3, radius: f64) -> Vec3 {
+    center + unit_sphere(rng) * radius
+}
+
+/// Samples a point uniformly on the lateral surface of a capsule
+/// (cylinder of radius `radius` from `a` to `b`, with hemispherical caps).
+///
+/// The cylinder body and the two caps are chosen with probability
+/// proportional to their surface areas so the density is uniform.
+pub fn capsule_surface<R: Rng>(rng: &mut R, a: Vec3, b: Vec3, radius: f64) -> Vec3 {
+    let axis = b - a;
+    let height = axis.norm();
+    if height < 1e-12 {
+        return sphere_surface(rng, a, radius);
+    }
+    let dir = axis / height;
+    let lateral_area = 2.0 * std::f64::consts::PI * radius * height;
+    let cap_area = 4.0 * std::f64::consts::PI * radius * radius; // both hemispheres
+    let total = lateral_area + cap_area;
+    let u: f64 = rng.gen_range(0.0..total);
+    // Build an orthonormal frame (dir, e1, e2).
+    let helper = if dir.x.abs() < 0.9 { Vec3::X } else { Vec3::Y };
+    let e1 = dir.cross(helper).normalized().expect("helper not parallel");
+    let e2 = dir.cross(e1);
+    if u < lateral_area {
+        // Cylinder body.
+        let t: f64 = rng.gen_range(0.0..1.0);
+        let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        a + dir * (t * height) + (e1 * theta.cos() + e2 * theta.sin()) * radius
+    } else {
+        // One of the caps; reuse the sphere sampler and reflect into the
+        // correct hemisphere.
+        let s = unit_sphere(rng) * radius;
+        let along = s.dot(dir);
+        if u < lateral_area + cap_area / 2.0 {
+            // Cap at `a`: keep the hemisphere pointing away from the body.
+            if along > 0.0 {
+                a + s - dir * (2.0 * along)
+            } else {
+                a + s
+            }
+        } else if along < 0.0 {
+            b + s - dir * (2.0 * along)
+        } else {
+            b + s
+        }
+    }
+}
+
+/// Samples a point uniformly on an axis-aligned ellipsoid surface centered at
+/// `center` with semi-axes `radii`, by scaling a unit-sphere sample.
+///
+/// Note: scaling a uniform sphere sample is only approximately
+/// area-uniform on the ellipsoid; for the mild aspect ratios used by body
+/// parts (≤ 2:1) the bias is visually negligible and irrelevant to the
+/// occupancy statistics the scheduler consumes.
+pub fn ellipsoid_surface<R: Rng>(rng: &mut R, center: Vec3, radii: Vec3) -> Vec3 {
+    center + unit_sphere(rng).hadamard(radii)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unit_sphere_has_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = unit_sphere(&mut rng);
+            assert!((v.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unit_sphere_covers_all_octants() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..2000 {
+            let v = unit_sphere(&mut rng);
+            let idx = usize::from(v.x > 0.0)
+                | (usize::from(v.y > 0.0) << 1)
+                | (usize::from(v.z > 0.0) << 2);
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "sphere sampling missed an octant");
+    }
+
+    #[test]
+    fn sphere_surface_radius() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = Vec3::new(1.0, 2.0, 3.0);
+        for _ in 0..200 {
+            let p = sphere_surface(&mut rng, c, 2.5);
+            assert!((p.distance(c) - 2.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn capsule_points_lie_on_surface() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Vec3::ZERO;
+        let b = Vec3::new(0.0, 2.0, 0.0);
+        let r = 0.5;
+        for _ in 0..2000 {
+            let p = capsule_surface(&mut rng, a, b, r);
+            // Distance from the segment must equal the radius.
+            let t = ((p - a).dot(Vec3::Y) / 2.0).clamp(0.0, 1.0);
+            let closest = a.lerp(b, t);
+            assert!(
+                (p.distance(closest) - r).abs() < 1e-9,
+                "point {p} is off-surface"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_capsule_is_sphere() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = Vec3::ONE;
+        for _ in 0..100 {
+            let p = capsule_surface(&mut rng, c, c, 1.0);
+            assert!((p.distance(c) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn capsule_covers_both_caps_and_body() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Vec3::ZERO;
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        let (mut below, mut body, mut above) = (0, 0, 0);
+        for _ in 0..3000 {
+            let p = capsule_surface(&mut rng, a, b, 0.3);
+            if p.y < 0.0 {
+                below += 1;
+            } else if p.y > 1.0 {
+                above += 1;
+            } else {
+                body += 1;
+            }
+        }
+        assert!(below > 50 && above > 50 && body > 500);
+    }
+
+    #[test]
+    fn ellipsoid_on_surface() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = Vec3::ZERO;
+        let radii = Vec3::new(1.0, 2.0, 0.5);
+        for _ in 0..500 {
+            let p = ellipsoid_surface(&mut rng, c, radii);
+            let v = (p.x / radii.x).powi(2) + (p.y / radii.y).powi(2) + (p.z / radii.z).powi(2);
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Parametric capsule skeleton for synthetic full-body point clouds.
+//!
+//! A body is modeled as a set of capsules and ellipsoids attached to a
+//! stick-figure skeleton. The proportions follow standard 7.5-head artistic
+//! anatomy so the silhouette, surface area, and therefore the
+//! occupied-voxel-versus-depth curve resemble the 8i full-body scans.
+
+use serde::{Deserialize, Serialize};
+
+use crate::math::Vec3;
+
+/// The primitive surface a body segment is sampled from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SegmentShape {
+    /// Capsule from `a` to `b` with the given radius.
+    Capsule {
+        /// Segment start joint (meters).
+        a: Vec3,
+        /// Segment end joint (meters).
+        b: Vec3,
+        /// Capsule radius (meters).
+        radius: f64,
+    },
+    /// Axis-aligned ellipsoid centered at `center` with semi-axes `radii`.
+    Ellipsoid {
+        /// Center (meters).
+        center: Vec3,
+        /// Semi-axes (meters).
+        radii: Vec3,
+    },
+}
+
+impl SegmentShape {
+    /// Approximate surface area, used to distribute sample points uniformly
+    /// across the whole body.
+    pub fn surface_area(&self) -> f64 {
+        match *self {
+            SegmentShape::Capsule { a, b, radius } => {
+                let h = (b - a).norm();
+                2.0 * std::f64::consts::PI * radius * h
+                    + 4.0 * std::f64::consts::PI * radius * radius
+            }
+            SegmentShape::Ellipsoid { radii, .. } => {
+                // Knud Thomsen's approximation (p ≈ 1.6075), within ~1%.
+                const P: f64 = 1.6075;
+                let (a, b, c) = (radii.x, radii.y, radii.z);
+                let s = ((a * b).powf(P) + (a * c).powf(P) + (b * c).powf(P)) / 3.0;
+                4.0 * std::f64::consts::PI * s.powf(1.0 / P)
+            }
+        }
+    }
+}
+
+/// A named body segment: a shape plus a color region tag.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Human-readable name (`"torso"`, `"left_forearm"`, ...).
+    pub name: &'static str,
+    /// Sampled surface.
+    pub shape: SegmentShape,
+    /// Which palette entry colors this segment.
+    pub region: BodyRegion,
+}
+
+/// Color regions a palette assigns colors to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BodyRegion {
+    /// Head and neck (skin).
+    Head,
+    /// Torso clothing.
+    Torso,
+    /// Arms (sleeves or skin).
+    Arms,
+    /// Hands (skin).
+    Hands,
+    /// Legs / skirt / trousers.
+    Legs,
+    /// Shoes.
+    Feet,
+}
+
+/// Joint angles controlling a pose. All angles in radians; zero is the
+/// neutral standing pose.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pose {
+    /// Forward swing of the left arm (about the shoulder, +forward).
+    pub left_arm_swing: f64,
+    /// Forward swing of the right arm.
+    pub right_arm_swing: f64,
+    /// Forward swing of the left leg (about the hip).
+    pub left_leg_swing: f64,
+    /// Forward swing of the right leg.
+    pub right_leg_swing: f64,
+    /// Whole-body yaw (about the vertical axis).
+    pub yaw: f64,
+    /// Vertical bob of the pelvis (meters).
+    pub bob: f64,
+}
+
+impl Pose {
+    /// The neutral standing pose.
+    pub const NEUTRAL: Pose = Pose {
+        left_arm_swing: 0.0,
+        right_arm_swing: 0.0,
+        left_leg_swing: 0.0,
+        right_leg_swing: 0.0,
+        yaw: 0.0,
+        bob: 0.0,
+    };
+
+    /// A walking pose at the given gait phase (radians; one stride per 2π).
+    ///
+    /// Arms and legs counter-swing, as in a natural gait; the pelvis bobs at
+    /// twice the stride frequency.
+    pub fn walking(phase: f64) -> Pose {
+        let swing = phase.sin();
+        Pose {
+            left_arm_swing: 0.6 * swing,
+            right_arm_swing: -0.6 * swing,
+            left_leg_swing: -0.5 * swing,
+            right_leg_swing: 0.5 * swing,
+            yaw: 0.05 * (2.0 * phase).sin(),
+            bob: 0.02 * (2.0 * phase).cos(),
+        }
+    }
+}
+
+impl Default for Pose {
+    fn default() -> Self {
+        Pose::NEUTRAL
+    }
+}
+
+/// Physical build parameters for one subject.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Build {
+    /// Standing height in meters.
+    pub height: f64,
+    /// Multiplier on all segment radii (1.0 = average build).
+    pub girth: f64,
+    /// `true` widens the lower body into a dress/skirt silhouette
+    /// (the `longdress` subject).
+    pub skirt: bool,
+}
+
+impl Default for Build {
+    fn default() -> Self {
+        Build {
+            height: 1.75,
+            girth: 1.0,
+            skirt: false,
+        }
+    }
+}
+
+/// Produces the posed segment list for a body.
+///
+/// The skeleton is proportioned from `build.height`; `pose` swings the limbs.
+/// Coordinates: Y is up, the feet touch `y = 0`, the body faces +Z.
+pub fn posed_segments(build: &Build, pose: &Pose) -> Vec<Segment> {
+    let h = build.height;
+    let g = build.girth;
+
+    // Landmark heights as fractions of body height (7.5-head proportions).
+    let hip_y = 0.52 * h + pose.bob;
+    let shoulder_y = 0.82 * h + pose.bob;
+    let neck_y = 0.86 * h + pose.bob;
+    let head_c = 0.93 * h + pose.bob;
+    let knee_y = 0.28 * h;
+    let shoulder_w = 0.12 * h;
+    let hip_w = 0.09 * h;
+
+    let yaw = crate::transform::Rotation::about_y(pose.yaw);
+    let rot = |v: Vec3| yaw.apply(v);
+
+    // Legs: hip -> knee -> ankle, swung about the hip along Z.
+    let leg = |side: f64, swing: f64| -> (Vec3, Vec3, Vec3) {
+        let hip = Vec3::new(side * hip_w, hip_y, 0.0);
+        let upper_len = hip_y - knee_y;
+        let lower_len = knee_y - 0.04 * h;
+        let dir = Vec3::new(0.0, -swing.cos(), swing.sin());
+        let knee = hip + dir * upper_len;
+        // Lower leg stays closer to vertical (knee bends back slightly).
+        let lower_dir = Vec3::new(0.0, -(swing * 0.5).cos(), (swing * 0.5).sin());
+        let ankle = knee + lower_dir * lower_len;
+        (hip, knee, ankle)
+    };
+    let (l_hip, l_knee, l_ankle) = leg(-1.0, pose.left_leg_swing);
+    let (r_hip, r_knee, r_ankle) = leg(1.0, pose.right_leg_swing);
+
+    // Arms: shoulder -> elbow -> wrist.
+    let arm = |side: f64, swing: f64| -> (Vec3, Vec3, Vec3) {
+        let shoulder = Vec3::new(side * shoulder_w, shoulder_y, 0.0);
+        let upper_len = 0.18 * h;
+        let lower_len = 0.16 * h;
+        let dir = Vec3::new(side * 0.15, -swing.cos(), swing.sin())
+            .normalized()
+            .expect("arm direction is non-zero");
+        let elbow = shoulder + dir * upper_len;
+        let lower_dir = Vec3::new(side * 0.05, -(swing * 0.8).cos(), (swing * 0.8).sin() + 0.1)
+            .normalized()
+            .expect("forearm direction is non-zero");
+        let wrist = elbow + lower_dir * lower_len;
+        (shoulder, elbow, wrist)
+    };
+    let (l_sh, l_el, l_wr) = arm(-1.0, pose.left_arm_swing);
+    let (r_sh, r_el, r_wr) = arm(1.0, pose.right_arm_swing);
+
+    let mut segments = Vec::with_capacity(20);
+    #[allow(clippy::too_many_arguments)] // local helper, called via the cap! macro
+    fn push_capsule(
+        segments: &mut Vec<Segment>,
+        rot: &impl Fn(Vec3) -> Vec3,
+        girth: f64,
+        name: &'static str,
+        a: Vec3,
+        b: Vec3,
+        radius: f64,
+        region: BodyRegion,
+    ) {
+        segments.push(Segment {
+            name,
+            shape: SegmentShape::Capsule {
+                a: rot(a),
+                b: rot(b),
+                radius: radius * girth,
+            },
+            region,
+        });
+    }
+    macro_rules! cap {
+        ($name:expr, $a:expr, $b:expr, $r:expr, $region:expr $(,)?) => {
+            push_capsule(&mut segments, &rot, g, $name, $a, $b, $r, $region)
+        };
+    }
+
+    // Head.
+    segments.push(Segment {
+        name: "head",
+        shape: SegmentShape::Ellipsoid {
+            center: rot(Vec3::new(0.0, head_c, 0.0)),
+            radii: Vec3::new(0.068 * h, 0.085 * h, 0.075 * h) * g,
+        },
+        region: BodyRegion::Head,
+    });
+    cap!(
+        "neck",
+        Vec3::new(0.0, neck_y, 0.0),
+        Vec3::new(0.0, shoulder_y, 0.0),
+        0.035 * h,
+        BodyRegion::Head,
+    );
+
+    // Torso: two stacked capsules (chest, abdomen) for a tapered trunk.
+    cap!(
+        "chest",
+        Vec3::new(0.0, shoulder_y - 0.02 * h, 0.0),
+        Vec3::new(0.0, 0.66 * h + pose.bob, 0.0),
+        0.105 * h,
+        BodyRegion::Torso,
+    );
+    cap!(
+        "abdomen",
+        Vec3::new(0.0, 0.66 * h + pose.bob, 0.0),
+        Vec3::new(0.0, hip_y, 0.0),
+        0.095 * h,
+        BodyRegion::Torso,
+    );
+
+    if build.skirt {
+        // A dress: widening cone of capsule rings approximated by a fat
+        // ellipsoid over the hips down to the knees.
+        segments.push(Segment {
+            name: "skirt",
+            shape: SegmentShape::Ellipsoid {
+                center: rot(Vec3::new(0.0, (hip_y + knee_y) / 2.0, 0.0)),
+                radii: Vec3::new(0.16 * h, (hip_y - knee_y) / 2.0 + 0.02 * h, 0.16 * h) * g,
+            },
+            region: BodyRegion::Legs,
+        });
+    }
+
+    // Legs.
+    cap!("left_thigh", l_hip, l_knee, 0.055 * h, BodyRegion::Legs);
+    cap!("right_thigh", r_hip, r_knee, 0.055 * h, BodyRegion::Legs);
+    cap!("left_shin", l_knee, l_ankle, 0.04 * h, BodyRegion::Legs);
+    cap!("right_shin", r_knee, r_ankle, 0.04 * h, BodyRegion::Legs);
+    cap!(
+        "left_foot",
+        l_ankle,
+        l_ankle + Vec3::new(0.0, -0.01 * h, 0.09 * h),
+        0.03 * h,
+        BodyRegion::Feet,
+    );
+    cap!(
+        "right_foot",
+        r_ankle,
+        r_ankle + Vec3::new(0.0, -0.01 * h, 0.09 * h),
+        0.03 * h,
+        BodyRegion::Feet,
+    );
+
+    // Arms.
+    cap!("left_upper_arm", l_sh, l_el, 0.038 * h, BodyRegion::Arms);
+    cap!("right_upper_arm", r_sh, r_el, 0.038 * h, BodyRegion::Arms);
+    cap!("left_forearm", l_el, l_wr, 0.03 * h, BodyRegion::Arms);
+    cap!("right_forearm", r_el, r_wr, 0.03 * h, BodyRegion::Arms);
+    cap!(
+        "left_hand",
+        l_wr,
+        l_wr + Vec3::new(-0.01 * h, -0.05 * h, 0.01 * h),
+        0.025 * h,
+        BodyRegion::Hands,
+    );
+    cap!(
+        "right_hand",
+        r_wr,
+        r_wr + Vec3::new(0.01 * h, -0.05 * h, 0.01 * h),
+        0.025 * h,
+        BodyRegion::Hands,
+    );
+
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_body_has_expected_segments() {
+        let segs = posed_segments(&Build::default(), &Pose::NEUTRAL);
+        assert!(segs.len() >= 16);
+        let names: Vec<&str> = segs.iter().map(|s| s.name).collect();
+        for required in ["head", "chest", "left_thigh", "right_hand"] {
+            assert!(names.contains(&required), "missing segment {required}");
+        }
+        // No skirt by default.
+        assert!(!names.contains(&"skirt"));
+    }
+
+    #[test]
+    fn skirt_build_adds_skirt() {
+        let build = Build {
+            skirt: true,
+            ..Build::default()
+        };
+        let segs = posed_segments(&build, &Pose::NEUTRAL);
+        assert!(segs.iter().any(|s| s.name == "skirt"));
+    }
+
+    #[test]
+    fn body_spans_roughly_full_height() {
+        let build = Build::default();
+        let segs = posed_segments(&build, &Pose::NEUTRAL);
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for s in &segs {
+            match s.shape {
+                SegmentShape::Capsule { a, b, radius } => {
+                    min_y = min_y.min(a.y - radius).min(b.y - radius);
+                    max_y = max_y.max(a.y + radius).max(b.y + radius);
+                }
+                SegmentShape::Ellipsoid { center, radii } => {
+                    min_y = min_y.min(center.y - radii.y);
+                    max_y = max_y.max(center.y + radii.y);
+                }
+            }
+        }
+        let span = max_y - min_y;
+        assert!(
+            (span - build.height).abs() < 0.15 * build.height,
+            "body span {span} far from height {}",
+            build.height
+        );
+    }
+
+    #[test]
+    fn surface_area_positive_and_scales_with_girth() {
+        let thin = Build {
+            girth: 0.8,
+            ..Build::default()
+        };
+        let wide = Build {
+            girth: 1.2,
+            ..Build::default()
+        };
+        let area = |b: &Build| -> f64 {
+            posed_segments(b, &Pose::NEUTRAL)
+                .iter()
+                .map(|s| s.shape.surface_area())
+                .sum()
+        };
+        let (a_thin, a_wide) = (area(&thin), area(&wide));
+        assert!(a_thin > 0.0);
+        assert!(a_wide > a_thin, "wider build must have more surface area");
+    }
+
+    #[test]
+    fn walking_pose_moves_limbs() {
+        let neutral = posed_segments(&Build::default(), &Pose::NEUTRAL);
+        let walking = posed_segments(&Build::default(), &Pose::walking(1.0));
+        let find = |segs: &[Segment], name: &str| -> Vec3 {
+            segs.iter()
+                .find(|s| s.name == name)
+                .map(|s| match s.shape {
+                    SegmentShape::Capsule { b, .. } => b,
+                    SegmentShape::Ellipsoid { center, .. } => center,
+                })
+                .unwrap()
+        };
+        let moved = find(&walking, "left_shin").distance(find(&neutral, "left_shin"));
+        assert!(moved > 0.01, "walking pose must displace the left shin");
+    }
+
+    #[test]
+    fn walking_pose_is_periodic() {
+        let a = Pose::walking(0.3);
+        let b = Pose::walking(0.3 + std::f64::consts::TAU);
+        assert!((a.left_leg_swing - b.left_leg_swing).abs() < 1e-9);
+        assert!((a.bob - b.bob).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capsule_area_formula() {
+        // Degenerate capsule = sphere.
+        let s = SegmentShape::Capsule {
+            a: Vec3::ZERO,
+            b: Vec3::ZERO,
+            radius: 1.0,
+        };
+        assert!((s.surface_area() - 4.0 * std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ellipsoid_area_matches_sphere_special_case() {
+        let s = SegmentShape::Ellipsoid {
+            center: Vec3::ZERO,
+            radii: Vec3::splat(2.0),
+        };
+        let exact = 4.0 * std::f64::consts::PI * 4.0;
+        assert!((s.surface_area() - exact).abs() / exact < 0.02);
+    }
+}

@@ -1,0 +1,139 @@
+//! Coverage and density statistics of a degraded cloud relative to a
+//! reference.
+
+use arvis_pointcloud::cloud::PointCloud;
+use arvis_pointcloud::kdtree::KdTree;
+
+/// Fraction of reference points that have a degraded point within `radius`.
+///
+/// A renderer-centric quality proxy: a covered reference point means its
+/// local surface detail survives at the chosen LoD.
+///
+/// Returns `None` when the reference is empty. An empty degraded cloud gives
+/// coverage 0.
+pub fn coverage_fraction(
+    reference: &PointCloud,
+    degraded: &PointCloud,
+    radius: f64,
+) -> Option<f64> {
+    if reference.is_empty() {
+        return None;
+    }
+    if degraded.is_empty() {
+        return Some(0.0);
+    }
+    let tree = KdTree::build(degraded.positions());
+    let r2 = radius * radius;
+    let covered = reference
+        .positions()
+        .filter(|p| tree.nearest_distance_squared(*p).expect("non-empty") <= r2)
+        .count();
+    Some(covered as f64 / reference.len() as f64)
+}
+
+/// Mean nearest-neighbor spacing within a cloud — a density measure
+/// (smaller = denser). Returns `None` for clouds with fewer than 2 points.
+pub fn mean_nn_spacing(cloud: &PointCloud) -> Option<f64> {
+    if cloud.len() < 2 {
+        return None;
+    }
+    let tree = KdTree::build(cloud.positions());
+    let mut sum = 0.0;
+    for (i, p) in cloud.positions().enumerate() {
+        // Nearest excluding self: query the two closest by radius growth is
+        // expensive; instead find nearest and, if it is self (distance 0 and
+        // same index), scan within a small radius. Simpler: find nearest among
+        // all points with distance > 0, using within_radius fallback.
+        let (idx, d2) = tree.nearest(p).expect("non-empty");
+        if idx != i || d2 > 0.0 {
+            sum += d2.sqrt();
+            continue;
+        }
+        // Self-match: find the true nearest neighbor by expanding radius.
+        let mut r = cloud.aabb().expect("non-empty").max_extent() / cloud.len() as f64;
+        let max_extent = cloud.aabb().expect("non-empty").diagonal();
+        let mut best = f64::INFINITY;
+        loop {
+            for j in tree.within_radius(p, r) {
+                if j != i {
+                    let d = cloud.points()[j].position.distance(p);
+                    if d < best {
+                        best = d;
+                    }
+                }
+            }
+            if best.is_finite() || r > max_extent {
+                break;
+            }
+            r *= 4.0;
+        }
+        sum += if best.is_finite() { best } else { 0.0 };
+    }
+    Some(sum / cloud.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvis_pointcloud::math::Vec3;
+
+    fn grid(n: usize, step: f64) -> PointCloud {
+        PointCloud::from_positions((0..n).flat_map(move |i| {
+            (0..n).map(move |j| Vec3::new(i as f64 * step, j as f64 * step, 0.0))
+        }))
+    }
+
+    #[test]
+    fn full_coverage_of_self() {
+        let c = grid(5, 1.0);
+        assert_eq!(coverage_fraction(&c, &c, 0.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn zero_coverage_when_degraded_empty() {
+        let c = grid(3, 1.0);
+        assert_eq!(coverage_fraction(&c, &PointCloud::new(), 1.0).unwrap(), 0.0);
+        assert!(coverage_fraction(&PointCloud::new(), &c, 1.0).is_none());
+    }
+
+    #[test]
+    fn coverage_grows_with_radius() {
+        let reference = grid(10, 1.0);
+        // Degraded: every other point.
+        let degraded = reference.uniform_downsample(2).unwrap();
+        let tight = coverage_fraction(&reference, &degraded, 0.1).unwrap();
+        let loose = coverage_fraction(&reference, &degraded, 1.5).unwrap();
+        assert!(tight < loose);
+        assert_eq!(loose, 1.0);
+    }
+
+    #[test]
+    fn spacing_of_unit_grid() {
+        let c = grid(4, 1.0);
+        let s = mean_nn_spacing(&c).unwrap();
+        assert!((s - 1.0).abs() < 1e-9, "unit grid spacing, got {s}");
+    }
+
+    #[test]
+    fn spacing_scales_with_grid_step() {
+        let fine = mean_nn_spacing(&grid(4, 1.0)).unwrap();
+        let coarse = mean_nn_spacing(&grid(4, 2.0)).unwrap();
+        assert!((coarse / fine - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spacing_of_tiny_clouds() {
+        assert!(mean_nn_spacing(&PointCloud::new()).is_none());
+        assert!(mean_nn_spacing(&grid(1, 1.0)).is_none());
+        let two = PointCloud::from_positions([Vec3::ZERO, Vec3::new(3.0, 0.0, 0.0)]);
+        assert!((mean_nn_spacing(&two).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spacing_with_duplicates() {
+        let c = PointCloud::from_positions([Vec3::ZERO, Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)]);
+        // Duplicates have a zero-distance neighbor.
+        let s = mean_nn_spacing(&c).unwrap();
+        assert!(s <= 1.0 / 3.0 + 1e-9);
+    }
+}

@@ -1,0 +1,194 @@
+//! Point-to-plane (D2) geometry PSNR.
+//!
+//! D1 (point-to-point) penalizes any displacement; D2 projects each error
+//! onto the local surface normal of the reference, ignoring tangential
+//! sliding — closer to perceived surface quality and the second metric the
+//! MPEG PCC common test conditions require. For voxel-center LoD clouds, D2
+//! is systematically *higher* than D1 (the dominant error component is
+//! tangential quantization), which the tests verify.
+
+use arvis_pointcloud::cloud::PointCloud;
+use arvis_pointcloud::kdtree::KdTree;
+use arvis_pointcloud::math::Vec3;
+use arvis_pointcloud::normals::{estimate_normals, point_to_plane_distance};
+
+/// Result of a point-to-plane distortion measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaneDistortion {
+    /// Mean squared plane-projected error, degraded → reference.
+    pub mse: f64,
+    /// The PSNR peak (reference bounding-box diagonal).
+    pub peak: f64,
+}
+
+impl PlaneDistortion {
+    /// D2 PSNR in dB (`∞` for an exact surface match).
+    pub fn psnr_db(&self) -> f64 {
+        if self.mse <= 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * ((self.peak * self.peak) / self.mse).log10()
+        }
+    }
+}
+
+/// Measures point-to-plane distortion of `degraded` against `reference`,
+/// estimating reference normals from `k` nearest neighbors.
+///
+/// Returns `None` when either cloud is empty or the reference has fewer
+/// than 3 points (no normals).
+pub fn plane_distortion(
+    reference: &PointCloud,
+    degraded: &PointCloud,
+    k: usize,
+) -> Option<PlaneDistortion> {
+    if reference.len() < 3 || degraded.is_empty() {
+        return None;
+    }
+    let normals = estimate_normals(reference, k);
+    plane_distortion_with_normals(reference, &normals, degraded)
+}
+
+/// Same as [`plane_distortion`] but with caller-provided reference normals
+/// (one per reference point), so repeated measurements amortize estimation.
+///
+/// Returns `None` for empty inputs or a length mismatch.
+pub fn plane_distortion_with_normals(
+    reference: &PointCloud,
+    normals: &[Vec3],
+    degraded: &PointCloud,
+) -> Option<PlaneDistortion> {
+    if reference.is_empty() || degraded.is_empty() || normals.len() != reference.len() {
+        return None;
+    }
+    let tree = KdTree::build(reference.positions());
+    let ref_points = reference.points();
+    let mse: f64 = degraded
+        .positions()
+        .map(|p| {
+            let (idx, _) = tree.nearest(p).expect("non-empty");
+            let d = point_to_plane_distance(p, ref_points[idx].position, normals[idx]);
+            d * d
+        })
+        .sum::<f64>()
+        / degraded.len() as f64;
+    Some(PlaneDistortion {
+        mse,
+        peak: reference.aabb().expect("non-empty").diagonal(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psnr::geometry_distortion;
+    use arvis_octree::{LodMode, Octree, OctreeConfig};
+    use arvis_pointcloud::point::Point;
+    use arvis_pointcloud::synth::{SubjectProfile, SynthBodyConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn plane(n: usize) -> PointCloud {
+        let mut rng = StdRng::seed_from_u64(3);
+        (0..n)
+            .map(|_| {
+                Point::from_position(Vec3::new(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    0.0,
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_clouds_are_lossless() {
+        let c = plane(200);
+        let d = plane_distortion(&c, &c, 8).unwrap();
+        assert!(d.mse < 1e-18);
+        assert_eq!(d.psnr_db(), f64::INFINITY);
+    }
+
+    #[test]
+    fn tangential_sliding_is_free_normal_shift_is_not() {
+        let reference = plane(400);
+        // Tangential jitter (in-plane): D2 ≈ lossless, D1 penalized.
+        let mut rng = StdRng::seed_from_u64(4);
+        let slid: PointCloud = reference
+            .iter()
+            .map(|p| {
+                Point::from_position(
+                    p.position
+                        + Vec3::new(rng.gen_range(-0.01..0.01), rng.gen_range(-0.01..0.01), 0.0),
+                )
+            })
+            .collect();
+        let d2_slid = plane_distortion(&reference, &slid, 8).unwrap();
+        let d1_slid = geometry_distortion(&reference, &slid).unwrap();
+        assert!(
+            d2_slid.mse < d1_slid.mse_backward / 10.0,
+            "tangential error must be mostly invisible to D2: {} vs {}",
+            d2_slid.mse,
+            d1_slid.mse_backward
+        );
+
+        // Normal shift (out of plane): both metrics see it fully.
+        let lifted: PointCloud = reference
+            .iter()
+            .map(|p| Point::from_position(p.position + Vec3::new(0.0, 0.0, 0.05)))
+            .collect();
+        let d2_lift = plane_distortion(&reference, &lifted, 8).unwrap();
+        assert!((d2_lift.mse - 0.0025).abs() < 1e-4, "mse {}", d2_lift.mse);
+    }
+
+    #[test]
+    fn d2_psnr_at_least_d1_for_lod_clouds() {
+        let cloud = SynthBodyConfig::new(SubjectProfile::Loot)
+            .with_target_points(8_000)
+            .with_seed(5)
+            .generate();
+        let tree = Octree::build(&cloud, &OctreeConfig::with_max_depth(6)).unwrap();
+        let lod = tree.extract_lod(5, LodMode::VoxelCenters);
+        let d1 = geometry_distortion(&cloud, &lod.cloud).unwrap().psnr_db();
+        let d2 = plane_distortion(&cloud, &lod.cloud, 12).unwrap().psnr_db();
+        assert!(
+            d2 > d1 - 0.5,
+            "D2 ({d2:.2} dB) should be ≥ D1 ({d1:.2} dB) for quantization error"
+        );
+    }
+
+    #[test]
+    fn d2_improves_with_depth() {
+        let cloud = SynthBodyConfig::new(SubjectProfile::RedAndBlack)
+            .with_target_points(8_000)
+            .with_seed(6)
+            .generate();
+        let tree = Octree::build(&cloud, &OctreeConfig::with_max_depth(7)).unwrap();
+        let normals = estimate_normals(&cloud, 12);
+        let mut last = f64::NEG_INFINITY;
+        for d in [3u8, 5, 7] {
+            let lod = tree.extract_lod(d, LodMode::VoxelCenters);
+            let psnr = plane_distortion_with_normals(&cloud, &normals, &lod.cloud)
+                .unwrap()
+                .psnr_db();
+            assert!(psnr > last, "D2 must improve with depth");
+            last = psnr;
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        let c = plane(10);
+        assert!(plane_distortion(&c, &PointCloud::new(), 5).is_none());
+        assert!(plane_distortion(&PointCloud::new(), &c, 5).is_none());
+        let two: PointCloud = (0..2)
+            .map(|i| Point::from_position(Vec3::splat(i as f64)))
+            .collect();
+        assert!(
+            plane_distortion(&two, &c, 5).is_none(),
+            "needs ≥3 ref points"
+        );
+        // Mismatched normals length.
+        assert!(plane_distortion_with_normals(&c, &[Vec3::Z; 3], &c).is_none());
+    }
+}

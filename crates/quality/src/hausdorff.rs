@@ -1,0 +1,106 @@
+//! Hausdorff and chamfer distances between point clouds.
+
+use arvis_pointcloud::cloud::PointCloud;
+use arvis_pointcloud::kdtree::KdTree;
+
+/// One-sided Hausdorff distance: the maximum over points of `from` of the
+/// distance to the nearest point of `to`.
+///
+/// Returns `None` when either cloud is empty.
+pub fn hausdorff_one_sided(from: &PointCloud, to: &PointCloud) -> Option<f64> {
+    if from.is_empty() || to.is_empty() {
+        return None;
+    }
+    let tree = KdTree::build(to.positions());
+    from.positions()
+        .map(|p| tree.nearest_distance_squared(p).expect("non-empty"))
+        .fold(None, |acc: Option<f64>, d2| {
+            Some(acc.map_or(d2, |a| a.max(d2)))
+        })
+        .map(f64::sqrt)
+}
+
+/// Symmetric Hausdorff distance: `max` of the two one-sided distances.
+pub fn hausdorff(a: &PointCloud, b: &PointCloud) -> Option<f64> {
+    let ab = hausdorff_one_sided(a, b)?;
+    let ba = hausdorff_one_sided(b, a)?;
+    Some(ab.max(ba))
+}
+
+/// Symmetric chamfer distance: the sum of both directions' mean
+/// nearest-neighbor distances.
+pub fn chamfer(a: &PointCloud, b: &PointCloud) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let tree_b = KdTree::build(b.positions());
+    let tree_a = KdTree::build(a.positions());
+    let mean = |from: &PointCloud, to: &KdTree| -> f64 {
+        from.positions()
+            .map(|p| to.nearest_distance_squared(p).expect("non-empty").sqrt())
+            .sum::<f64>()
+            / from.len() as f64
+    };
+    Some(mean(a, &tree_b) + mean(b, &tree_a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvis_pointcloud::math::Vec3;
+
+    fn line_cloud(offsets: &[f64]) -> PointCloud {
+        PointCloud::from_positions(offsets.iter().map(|&x| Vec3::new(x, 0.0, 0.0)))
+    }
+
+    #[test]
+    fn identical_clouds_are_zero() {
+        let c = line_cloud(&[0.0, 1.0, 2.0]);
+        assert_eq!(hausdorff(&c, &c).unwrap(), 0.0);
+        assert_eq!(chamfer(&c, &c).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_none() {
+        let c = line_cloud(&[0.0]);
+        assert!(hausdorff(&c, &PointCloud::new()).is_none());
+        assert!(hausdorff_one_sided(&PointCloud::new(), &c).is_none());
+        assert!(chamfer(&PointCloud::new(), &c).is_none());
+    }
+
+    #[test]
+    fn one_sided_asymmetry() {
+        // b contains a plus a far outlier.
+        let a = line_cloud(&[0.0, 1.0]);
+        let b = line_cloud(&[0.0, 1.0, 10.0]);
+        assert_eq!(hausdorff_one_sided(&a, &b).unwrap(), 0.0);
+        assert!((hausdorff_one_sided(&b, &a).unwrap() - 9.0).abs() < 1e-12);
+        assert!((hausdorff(&a, &b).unwrap() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chamfer_known_value() {
+        let a = line_cloud(&[0.0]);
+        let b = line_cloud(&[3.0]);
+        // Each direction's mean distance is 3.
+        assert!((chamfer(&a, &b).unwrap() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hausdorff_bounds_chamfer_direction() {
+        let a = line_cloud(&[0.0, 0.5, 1.0, 7.0]);
+        let b = line_cloud(&[0.1, 0.4, 1.2, 6.0]);
+        let h = hausdorff(&a, &b).unwrap();
+        let c = chamfer(&a, &b).unwrap();
+        // Mean ≤ max in each direction, so chamfer ≤ 2 * hausdorff.
+        assert!(c <= 2.0 * h + 1e-12);
+    }
+
+    #[test]
+    fn triangle_symmetry() {
+        let a = line_cloud(&[0.0, 2.0]);
+        let b = line_cloud(&[1.0]);
+        assert_eq!(hausdorff(&a, &b), hausdorff(&b, &a));
+        assert_eq!(chamfer(&a, &b), chamfer(&b, &a));
+    }
+}

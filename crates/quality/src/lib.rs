@@ -1,0 +1,40 @@
+//! Quality measurement for the `arvis` workspace.
+//!
+//! The paper's objective is the time-average of a quality function
+//! `p_a(d(τ))` over the chosen octree depths. This crate provides:
+//!
+//! - objective geometry metrics between a reference cloud and a degraded LoD
+//!   cloud: point-to-point (D1) [`psnr`], [`hausdorff`] and chamfer
+//!   distances, and [`coverage`] statistics;
+//! - parametric quality models `p_a(d)` ([`model`]) — the scalar the
+//!   scheduler maximizes;
+//! - [`profile::DepthProfile`]: the measured per-depth table (occupied
+//!   voxels `a(d)`, PSNR, normalized quality) that connects a dataset to the
+//!   scheduler.
+//!
+//! # Example
+//!
+//! ```
+//! use arvis_pointcloud::synth::{SubjectProfile, SynthBodyConfig};
+//! use arvis_quality::profile::DepthProfile;
+//!
+//! let cloud = SynthBodyConfig::new(SubjectProfile::Loot)
+//!     .with_target_points(10_000)
+//!     .generate();
+//! let profile = DepthProfile::measure(&cloud, 2..=6).unwrap();
+//! assert!(profile.arrival(6) > profile.arrival(2));
+//! assert!(profile.quality(6) > profile.quality(2));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod coverage;
+pub mod d2;
+pub mod hausdorff;
+pub mod model;
+pub mod profile;
+pub mod psnr;
+
+pub use model::QualityModel;
+pub use profile::DepthProfile;

@@ -1,0 +1,312 @@
+//! Parametric quality models `p_a(d)`.
+//!
+//! The paper's objective (Eq. 1) maximizes the time-average of a quality
+//! function of the chosen octree depth. The function itself is left abstract
+//! in the paper ("the quality of AR visualization with the Octree depth at
+//! d(τ)"); any increasing function works, and the drift-plus-penalty
+//! machinery is agnostic to the choice. This module provides the standard
+//! choices plus a table-driven model backed by measurements
+//! ([`crate::profile::DepthProfile`]); the ablation bench
+//! `quality_model_ablation` compares them.
+
+use serde::{Deserialize, Serialize};
+
+/// A quality function `p_a(d)` over octree depths.
+///
+/// Implementations must be *non-decreasing in depth* over their stated
+/// domain; callers (the scheduler, bound calculators) rely on that.
+pub trait QualityModel {
+    /// Quality of visualizing at octree depth `depth`, in `[0, 1]`.
+    fn quality(&self, depth: u8) -> f64;
+
+    /// The depth domain `[min, max]` this model is calibrated for.
+    fn domain(&self) -> (u8, u8);
+}
+
+/// Linear quality: `p(d) = (d - min) / (max - min)`.
+///
+/// The simplest increasing model; equivalent to using the depth itself as
+/// the utility.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearDepthModel {
+    /// Lowest candidate depth (quality 0).
+    pub min_depth: u8,
+    /// Highest candidate depth (quality 1).
+    pub max_depth: u8,
+}
+
+impl LinearDepthModel {
+    /// Creates a linear model over `[min_depth, max_depth]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min_depth >= max_depth`.
+    pub fn new(min_depth: u8, max_depth: u8) -> Self {
+        assert!(min_depth < max_depth, "need min_depth < max_depth");
+        LinearDepthModel {
+            min_depth,
+            max_depth,
+        }
+    }
+}
+
+impl QualityModel for LinearDepthModel {
+    fn quality(&self, depth: u8) -> f64 {
+        let d = depth.clamp(self.min_depth, self.max_depth);
+        f64::from(d - self.min_depth) / f64::from(self.max_depth - self.min_depth)
+    }
+
+    fn domain(&self) -> (u8, u8) {
+        (self.min_depth, self.max_depth)
+    }
+}
+
+/// Log-point-count quality: `p(d) ∝ log a(d)`, normalized to `[0, 1]` over
+/// the candidate depths.
+///
+/// Matches the perceptual observation that each *doubling* of rendered
+/// points adds roughly constant perceived detail ("bigger the number of PCs
+/// introduces better visualization quality", §III of the paper, with
+/// diminishing returns).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogPointCountModel {
+    min_depth: u8,
+    log_arrivals: Vec<f64>, // log(a(d)) for d in min_depth..
+    lo: f64,
+    hi: f64,
+}
+
+impl LogPointCountModel {
+    /// Builds the model from measured arrivals `a(d)` for consecutive depths
+    /// starting at `min_depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 2 arrivals are given or any arrival is
+    /// non-positive or non-increasing arrivals make the model constant.
+    pub fn from_arrivals(min_depth: u8, arrivals: &[f64]) -> Self {
+        assert!(arrivals.len() >= 2, "need at least two depths");
+        assert!(
+            arrivals.iter().all(|&a| a > 0.0),
+            "arrivals must be positive"
+        );
+        let log_arrivals: Vec<f64> = arrivals.iter().map(|a| a.ln()).collect();
+        let lo = log_arrivals[0];
+        let hi = *log_arrivals.last().expect("non-empty");
+        assert!(hi > lo, "arrivals must strictly grow from min to max depth");
+        LogPointCountModel {
+            min_depth,
+            log_arrivals,
+            lo,
+            hi,
+        }
+    }
+}
+
+impl QualityModel for LogPointCountModel {
+    fn quality(&self, depth: u8) -> f64 {
+        let (min, max) = self.domain();
+        let d = depth.clamp(min, max);
+        let idx = usize::from(d - self.min_depth);
+        ((self.log_arrivals[idx] - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+    }
+
+    fn domain(&self) -> (u8, u8) {
+        (
+            self.min_depth,
+            self.min_depth + (self.log_arrivals.len() - 1) as u8,
+        )
+    }
+}
+
+/// Saturating-exponential quality: `p(d) = (1 - e^{-k(d-min)}) / (1 - e^{-k(max-min)})`.
+///
+/// Models strong diminishing returns (`k` large = quality saturates early),
+/// the typical shape of PSNR-vs-depth curves once the voxel size drops below
+/// the display's resolvable detail.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaturatingModel {
+    /// Lowest candidate depth.
+    pub min_depth: u8,
+    /// Highest candidate depth.
+    pub max_depth: u8,
+    /// Saturation rate (must be positive).
+    pub rate: f64,
+}
+
+impl SaturatingModel {
+    /// Creates a saturating model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min_depth >= max_depth` or `rate <= 0`.
+    pub fn new(min_depth: u8, max_depth: u8, rate: f64) -> Self {
+        assert!(min_depth < max_depth, "need min_depth < max_depth");
+        assert!(rate > 0.0, "rate must be positive");
+        SaturatingModel {
+            min_depth,
+            max_depth,
+            rate,
+        }
+    }
+}
+
+impl QualityModel for SaturatingModel {
+    fn quality(&self, depth: u8) -> f64 {
+        let d = depth.clamp(self.min_depth, self.max_depth);
+        let x = f64::from(d - self.min_depth);
+        let span = f64::from(self.max_depth - self.min_depth);
+        let num = 1.0 - (-self.rate * x).exp();
+        let den = 1.0 - (-self.rate * span).exp();
+        (num / den).clamp(0.0, 1.0)
+    }
+
+    fn domain(&self) -> (u8, u8) {
+        (self.min_depth, self.max_depth)
+    }
+}
+
+/// Table-driven quality from explicit per-depth values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableModel {
+    min_depth: u8,
+    values: Vec<f64>,
+}
+
+impl TableModel {
+    /// Creates a table model for consecutive depths starting at `min_depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values` is empty, any value is outside `[0, 1]`, or the
+    /// values are not non-decreasing.
+    pub fn new(min_depth: u8, values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "table must be non-empty");
+        assert!(
+            values.iter().all(|&v| (0.0..=1.0).contains(&v)),
+            "values must lie in [0, 1]"
+        );
+        assert!(
+            values.windows(2).all(|w| w[0] <= w[1]),
+            "values must be non-decreasing in depth"
+        );
+        TableModel { min_depth, values }
+    }
+}
+
+impl QualityModel for TableModel {
+    fn quality(&self, depth: u8) -> f64 {
+        let (min, max) = self.domain();
+        let d = depth.clamp(min, max);
+        self.values[usize::from(d - self.min_depth)]
+    }
+
+    fn domain(&self) -> (u8, u8) {
+        (
+            self.min_depth,
+            self.min_depth + (self.values.len() - 1) as u8,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_monotone<M: QualityModel>(m: &M) {
+        let (lo, hi) = m.domain();
+        let mut last = -1.0;
+        for d in lo..=hi {
+            let q = m.quality(d);
+            assert!((0.0..=1.0).contains(&q), "quality {q} out of range");
+            assert!(q >= last, "quality must be non-decreasing");
+            last = q;
+        }
+        assert_eq!(m.quality(lo), 0.0_f64.max(m.quality(lo)));
+        // Clamping outside the domain.
+        assert_eq!(m.quality(lo.saturating_sub(1)), m.quality(lo));
+        assert_eq!(m.quality(hi + 1), m.quality(hi));
+    }
+
+    #[test]
+    fn linear_model() {
+        let m = LinearDepthModel::new(5, 10);
+        check_monotone(&m);
+        assert_eq!(m.quality(5), 0.0);
+        assert_eq!(m.quality(10), 1.0);
+        assert!((m.quality(7) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_depth < max_depth")]
+    fn linear_rejects_bad_domain() {
+        let _ = LinearDepthModel::new(5, 5);
+    }
+
+    #[test]
+    fn log_point_count_model() {
+        // a(d) quadruples per level: log model is exactly linear in d.
+        let arrivals: Vec<f64> = (0..6).map(|i| 100.0 * 4f64.powi(i)).collect();
+        let m = LogPointCountModel::from_arrivals(5, &arrivals);
+        check_monotone(&m);
+        assert_eq!(m.domain(), (5, 10));
+        assert!((m.quality(5) - 0.0).abs() < 1e-12);
+        assert!((m.quality(10) - 1.0).abs() < 1e-12);
+        // Linear in depth for geometric arrivals.
+        assert!((m.quality(7) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_model_with_saturation() {
+        // Arrivals saturating near the end compress late-depth quality gains.
+        let arrivals = [100.0, 400.0, 1600.0, 3000.0, 3200.0];
+        let m = LogPointCountModel::from_arrivals(4, &arrivals);
+        check_monotone(&m);
+        let gain_early = m.quality(5) - m.quality(4);
+        let gain_late = m.quality(8) - m.quality(7);
+        assert!(gain_late < gain_early);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly grow")]
+    fn log_model_rejects_flat_arrivals() {
+        let _ = LogPointCountModel::from_arrivals(0, &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn saturating_model() {
+        let m = SaturatingModel::new(5, 10, 0.8);
+        check_monotone(&m);
+        assert_eq!(m.quality(5), 0.0);
+        assert!((m.quality(10) - 1.0).abs() < 1e-12);
+        // Concavity: first step bigger than last.
+        assert!(m.quality(6) - m.quality(5) > m.quality(10) - m.quality(9));
+    }
+
+    #[test]
+    fn table_model() {
+        let m = TableModel::new(5, vec![0.0, 0.3, 0.6, 0.8, 0.95, 1.0]);
+        check_monotone(&m);
+        assert_eq!(m.domain(), (5, 10));
+        assert!((m.quality(7) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn table_rejects_decreasing_values() {
+        let _ = TableModel::new(0, vec![0.5, 0.4]);
+    }
+
+    #[test]
+    fn models_are_object_safe() {
+        let models: Vec<Box<dyn QualityModel>> = vec![
+            Box::new(LinearDepthModel::new(5, 10)),
+            Box::new(SaturatingModel::new(5, 10, 1.0)),
+            Box::new(TableModel::new(5, vec![0.0, 1.0])),
+        ];
+        for m in &models {
+            let (lo, _) = m.domain();
+            assert!(m.quality(lo) >= 0.0);
+        }
+    }
+}

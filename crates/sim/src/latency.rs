@@ -1,0 +1,209 @@
+//! Per-frame latency accounting on top of the slotted queue.
+//!
+//! The paper constrains *delay* but measures *backlog*; the two are linked
+//! by Little's law only on average. This tracker derives exact per-frame
+//! sojourn times under FIFO fluid service: frame `f` (arriving in slot `t`
+//! with work `w_f`) completes in the first slot where the cumulative served
+//! work reaches the total work that arrived up to and including `f`.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// A completed frame's latency record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameLatency {
+    /// Slot the frame arrived in.
+    pub arrived_slot: u64,
+    /// Slot the frame finished rendering in.
+    pub completed_slot: u64,
+    /// Sojourn time in slots (`completed − arrived`, ≥ 1 since service
+    /// happens at the start of the next slot at the earliest).
+    pub latency_slots: u64,
+    /// The frame's work size.
+    pub work: f64,
+}
+
+/// FIFO fluid-service latency tracker. Feed it the same per-slot
+/// `(arrival, served)` amounts the work queue processes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FifoLatencyTracker {
+    cumulative_arrived: f64,
+    cumulative_served: f64,
+    /// Frames in flight: (arrival slot, work, completion mark).
+    in_flight: VecDeque<(u64, f64, f64)>,
+    completed: Vec<FrameLatency>,
+}
+
+impl FifoLatencyTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one slot: `arrival` work entered (one frame; pass 0 for an
+    /// idle slot) after `served` work completed.
+    ///
+    /// Mirrors the queue's intra-slot order (serve, then admit): frames
+    /// arriving this slot cannot complete before the next slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite inputs.
+    pub fn step(&mut self, slot: u64, arrival: f64, served: f64) {
+        assert!(
+            arrival.is_finite() && arrival >= 0.0,
+            "bad arrival {arrival}"
+        );
+        assert!(served.is_finite() && served >= 0.0, "bad served {served}");
+        self.cumulative_served += served;
+        // Complete every in-flight frame whose mark is now covered.
+        while let Some(&(arrived_slot, work, mark)) = self.in_flight.front() {
+            if self.cumulative_served + 1e-9 >= mark {
+                self.in_flight.pop_front();
+                self.completed.push(FrameLatency {
+                    arrived_slot,
+                    completed_slot: slot,
+                    latency_slots: slot - arrived_slot,
+                    work,
+                });
+            } else {
+                break;
+            }
+        }
+        if arrival > 0.0 {
+            self.cumulative_arrived += arrival;
+            self.in_flight
+                .push_back((slot, arrival, self.cumulative_arrived));
+        }
+    }
+
+    /// Frames completed so far, in completion order.
+    pub fn completed(&self) -> &[FrameLatency] {
+        &self.completed
+    }
+
+    /// Frames still queued or rendering.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Latencies (in slots) of all completed frames.
+    pub fn latencies(&self) -> Vec<f64> {
+        self.completed
+            .iter()
+            .map(|f| f.latency_slots as f64)
+            .collect()
+    }
+
+    /// Summary statistics of completed-frame latencies.
+    pub fn summary(&self) -> crate::stats::SummaryStats {
+        crate::stats::SummaryStats::from_slice(&self.latencies())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::WorkQueue;
+
+    /// Drives a queue and tracker together, returning the tracker.
+    fn run(arrivals: &[f64], service: f64) -> FifoLatencyTracker {
+        let mut q = WorkQueue::new();
+        let mut t = FifoLatencyTracker::new();
+        for (slot, &a) in arrivals.iter().enumerate() {
+            let step = q.step(a, service);
+            t.step(slot as u64, a, step.served);
+        }
+        // Drain.
+        let mut slot = arrivals.len() as u64;
+        while t.in_flight() > 0 {
+            let step = q.step(0.0, service);
+            t.step(slot, 0.0, step.served);
+            slot += 1;
+        }
+        t
+    }
+
+    #[test]
+    fn underloaded_frames_take_one_slot() {
+        // Work 10, service 100: each frame is fully served the next slot.
+        let t = run(&[10.0, 10.0, 10.0], 100.0);
+        assert_eq!(t.completed().len(), 3);
+        for f in t.completed() {
+            assert_eq!(f.latency_slots, 1, "frame {f:?}");
+        }
+    }
+
+    #[test]
+    fn heavier_frames_wait_proportionally() {
+        // Service 10/slot, one frame of work 35: needs 4 slots of service.
+        let t = run(&[35.0], 10.0);
+        assert_eq!(t.completed().len(), 1);
+        assert_eq!(t.completed()[0].latency_slots, 4);
+    }
+
+    #[test]
+    fn fifo_ordering_and_backlog_delay() {
+        // Two frames of 10 at slots 0 and 1, service 10/slot: frame 0 done
+        // at slot 1, frame 1 done at slot 2.
+        let t = run(&[10.0, 10.0], 10.0);
+        let lat: Vec<u64> = t.completed().iter().map(|f| f.latency_slots).collect();
+        assert_eq!(lat, vec![1, 1]);
+        // Now halve the service: the second frame inherits the first's
+        // residual backlog.
+        let t = run(&[10.0, 10.0], 5.0);
+        let lat: Vec<u64> = t.completed().iter().map(|f| f.latency_slots).collect();
+        assert_eq!(lat, vec![2, 3]);
+    }
+
+    #[test]
+    fn completion_order_is_arrival_order() {
+        let t = run(&[30.0, 5.0, 5.0], 8.0);
+        let arrivals: Vec<u64> = t.completed().iter().map(|f| f.arrived_slot).collect();
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        assert_eq!(arrivals, sorted, "FIFO must complete in arrival order");
+    }
+
+    #[test]
+    fn idle_slots_are_free() {
+        let t = run(&[10.0, 0.0, 0.0, 10.0], 100.0);
+        assert_eq!(t.completed().len(), 2);
+        for f in t.completed() {
+            assert_eq!(f.latency_slots, 1);
+        }
+    }
+
+    #[test]
+    fn littles_law_agreement_on_steady_load() {
+        // Deterministic load: arrivals 20/slot, service 50/slot over many
+        // slots; mean frame latency must match the queue's Little estimate.
+        let arrivals = vec![20.0; 2_000];
+        let mut q = WorkQueue::new();
+        let mut t = FifoLatencyTracker::new();
+        for (slot, &a) in arrivals.iter().enumerate() {
+            let step = q.step(a, 50.0);
+            t.step(slot as u64, a, step.served);
+        }
+        let mean_latency = t.summary().mean;
+        let little = q.littles_law_delay().unwrap();
+        assert!(
+            (mean_latency - little).abs() < 0.1,
+            "latency {mean_latency} vs Little {little}"
+        );
+    }
+
+    #[test]
+    fn summary_of_empty_tracker() {
+        let t = FifoLatencyTracker::new();
+        assert_eq!(t.summary().count, 0);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad arrival")]
+    fn rejects_negative_arrival() {
+        FifoLatencyTracker::new().step(0, -1.0, 0.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! The visualization work queue `Q(t)`.
+//!
+//! Dynamics follow the Lindley recursion the Lyapunov framework assumes:
+//!
+//! ```text
+//! Q(t+1) = max(Q(t) − b(t), 0) + a(t)
+//! ```
+//!
+//! where `a(t)` is the arriving work (the paper's `a(d(t))`) and `b(t)` the
+//! service. An optional finite capacity models a real device's frame buffer:
+//! work beyond it is dropped and counted ("queue overflow" in the paper's
+//! Fig. 2(a) discussion).
+
+use serde::{Deserialize, Serialize};
+
+/// What happened during one queue step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueStep {
+    /// Work actually served this slot (≤ offered service).
+    pub served: f64,
+    /// Work dropped due to the capacity limit (0 for an infinite queue).
+    pub dropped: f64,
+    /// Backlog after the step.
+    pub backlog: f64,
+}
+
+/// A single-server work queue with Lindley dynamics and conservation
+/// accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkQueue {
+    backlog: f64,
+    capacity: Option<f64>,
+    total_arrived: f64,
+    total_served: f64,
+    total_dropped: f64,
+    steps: u64,
+    backlog_integral: f64,
+    peak_backlog: f64,
+}
+
+impl WorkQueue {
+    /// Creates an empty, infinite-capacity queue.
+    pub fn new() -> Self {
+        WorkQueue {
+            backlog: 0.0,
+            capacity: None,
+            total_arrived: 0.0,
+            total_served: 0.0,
+            total_dropped: 0.0,
+            steps: 0,
+            backlog_integral: 0.0,
+            peak_backlog: 0.0,
+        }
+    }
+
+    /// Creates an empty queue that drops work above `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is negative or non-finite.
+    pub fn with_capacity(capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity >= 0.0,
+            "capacity must be finite and >= 0"
+        );
+        WorkQueue {
+            capacity: Some(capacity),
+            ..WorkQueue::new()
+        }
+    }
+
+    /// Current backlog `Q(t)`.
+    pub fn backlog(&self) -> f64 {
+        self.backlog
+    }
+
+    /// The capacity limit, if finite.
+    pub fn capacity(&self) -> Option<f64> {
+        self.capacity
+    }
+
+    /// Advances one slot: serve up to `service`, then admit `arrival`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arrival` or `service` is negative or non-finite.
+    pub fn step(&mut self, arrival: f64, service: f64) -> QueueStep {
+        assert!(
+            arrival.is_finite() && arrival >= 0.0,
+            "arrival must be finite and >= 0, got {arrival}"
+        );
+        assert!(
+            service.is_finite() && service >= 0.0,
+            "service must be finite and >= 0, got {service}"
+        );
+        let served = self.backlog.min(service);
+        self.backlog -= served;
+        let mut admitted = arrival;
+        let mut dropped = 0.0;
+        if let Some(cap) = self.capacity {
+            let room = (cap - self.backlog).max(0.0);
+            if arrival > room {
+                admitted = room;
+                dropped = arrival - room;
+            }
+        }
+        self.backlog += admitted;
+
+        self.total_arrived += arrival;
+        self.total_served += served;
+        self.total_dropped += dropped;
+        self.steps += 1;
+        self.backlog_integral += self.backlog;
+        self.peak_backlog = self.peak_backlog.max(self.backlog);
+
+        QueueStep {
+            served,
+            dropped,
+            backlog: self.backlog,
+        }
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Total work that arrived (admitted + dropped).
+    pub fn total_arrived(&self) -> f64 {
+        self.total_arrived
+    }
+
+    /// Total work served.
+    pub fn total_served(&self) -> f64 {
+        self.total_served
+    }
+
+    /// Total work dropped by the capacity limit.
+    pub fn total_dropped(&self) -> f64 {
+        self.total_dropped
+    }
+
+    /// Time-average backlog `(1/t) Σ Q(τ)` — the quantity the paper's
+    /// stability constraint (Eq. 2) bounds.
+    pub fn mean_backlog(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.backlog_integral / self.steps as f64
+        }
+    }
+
+    /// Largest backlog observed.
+    pub fn peak_backlog(&self) -> f64 {
+        self.peak_backlog
+    }
+
+    /// Work-conservation residual: `arrived − served − dropped − backlog`.
+    /// Always ≈ 0 up to floating-point error; exposed so tests and debug
+    /// assertions can verify it.
+    pub fn conservation_residual(&self) -> f64 {
+        self.total_arrived - self.total_served - self.total_dropped - self.backlog
+    }
+
+    /// Little's-law delay estimate: mean backlog divided by the mean
+    /// *service throughput* so far. `None` before anything is served.
+    ///
+    /// For a stable queue this approximates the average sojourn time of a
+    /// unit of work, in slots — the "visualization delay" the paper
+    /// constrains.
+    pub fn littles_law_delay(&self) -> Option<f64> {
+        if self.total_served <= 0.0 || self.steps == 0 {
+            return None;
+        }
+        let throughput = self.total_served / self.steps as f64;
+        Some(self.mean_backlog() / throughput)
+    }
+}
+
+impl Default for WorkQueue {
+    fn default() -> Self {
+        WorkQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lindley_recursion_matches_by_hand() {
+        let mut q = WorkQueue::new();
+        // Q=0; serve 5 of nothing, admit 10 -> Q=10.
+        assert_eq!(q.step(10.0, 5.0).backlog, 10.0);
+        // Serve 5, admit 2 -> Q=7.
+        assert_eq!(q.step(2.0, 5.0).backlog, 7.0);
+        // Serve 20 (only 7 available), admit 0 -> Q=0.
+        let s = q.step(0.0, 20.0);
+        assert_eq!(s.served, 7.0);
+        assert_eq!(s.backlog, 0.0);
+    }
+
+    #[test]
+    fn conservation_holds() {
+        let mut q = WorkQueue::new();
+        for i in 0..1000u64 {
+            let a = (i % 7) as f64;
+            let b = (i % 5) as f64;
+            q.step(a, b);
+        }
+        assert!(q.conservation_residual().abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservation_with_drops() {
+        let mut q = WorkQueue::with_capacity(10.0);
+        for _ in 0..100 {
+            q.step(8.0, 3.0);
+        }
+        assert!(q.total_dropped() > 0.0);
+        assert!(q.backlog() <= 10.0 + 1e-12);
+        assert!(q.conservation_residual().abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_zero_drops_everything() {
+        let mut q = WorkQueue::with_capacity(0.0);
+        let s = q.step(5.0, 0.0);
+        assert_eq!(s.dropped, 5.0);
+        assert_eq!(q.backlog(), 0.0);
+    }
+
+    #[test]
+    fn overload_grows_linearly() {
+        let mut q = WorkQueue::new();
+        for _ in 0..100 {
+            q.step(10.0, 4.0);
+        }
+        // Net drift +6/slot from slot 1 onward (first slot serves nothing).
+        assert!((q.backlog() - 600.0).abs() < 1e-9 + 4.0);
+        assert_eq!(q.peak_backlog(), q.backlog());
+    }
+
+    #[test]
+    fn underload_drains_to_zero() {
+        let mut q = WorkQueue::new();
+        q.step(100.0, 0.0);
+        for _ in 0..50 {
+            q.step(1.0, 10.0);
+        }
+        // Steady state: the whole backlog is served each slot, then the new
+        // arrival of 1.0 is admitted — Q ends each slot at exactly 1.0.
+        assert_eq!(q.backlog(), 1.0);
+    }
+
+    #[test]
+    fn mean_backlog_and_steps() {
+        let mut q = WorkQueue::new();
+        q.step(10.0, 0.0); // Q=10
+        q.step(0.0, 5.0); // Q=5
+        q.step(0.0, 5.0); // Q=0
+        assert_eq!(q.steps(), 3);
+        assert!((q.mean_backlog() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn littles_law_on_dd1() {
+        // Deterministic arrivals 2/slot, service 4/slot: work waits ~1 slot
+        // (arrives, is served next slot).
+        let mut q = WorkQueue::new();
+        for _ in 0..10_000 {
+            q.step(2.0, 4.0);
+        }
+        let d = q.littles_law_delay().unwrap();
+        assert!((d - 1.0).abs() < 0.05, "delay {d}");
+        assert!(q.littles_law_delay().is_some());
+        let empty = WorkQueue::new();
+        assert!(empty.littles_law_delay().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival must be finite")]
+    fn rejects_negative_arrival() {
+        let mut q = WorkQueue::new();
+        q.step(-1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "service must be finite")]
+    fn rejects_nan_service() {
+        let mut q = WorkQueue::new();
+        q.step(0.0, f64::NAN);
+    }
+
+    #[test]
+    fn default_is_empty_infinite() {
+        let q = WorkQueue::default();
+        assert_eq!(q.backlog(), 0.0);
+        assert!(q.capacity().is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! Seeded RNG helpers for reproducible experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream index, so parallel
+/// components (devices, arrival processes) get decorrelated streams.
+///
+/// Uses SplitMix64, the standard seed-expansion permutation.
+pub fn child_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+/// Samples a Poisson random variable with mean `lambda`.
+///
+/// Uses Knuth's product method for small means and a (rounded, clamped)
+/// normal approximation for `lambda > 30`, which is accurate to well under
+/// the noise floor of the experiments that consume it.
+///
+/// # Panics
+///
+/// Panics when `lambda` is negative or non-finite.
+pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "lambda must be finite and non-negative, got {lambda}"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda <= 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        let z = standard_normal(rng);
+        (lambda + lambda.sqrt() * z).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a: Vec<u32> = {
+            let mut r = seeded(5);
+            (0..10).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = seeded(5);
+            (0..10).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn child_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..100).map(|i| child_seed(42, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+        // And differ from the parent.
+        assert!(!seeds.contains(&42));
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = seeded(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let mut rng = seeded(2);
+        let lambda = 3.5;
+        let n = 20_000;
+        let samples: Vec<u64> = (0..n).map(|_| poisson(&mut rng, lambda)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_moments() {
+        let mut rng = seeded(3);
+        let lambda = 500.0;
+        let n = 5_000;
+        let samples: Vec<u64> = (0..n).map(|_| poisson(&mut rng, lambda)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - lambda).abs() / lambda < 0.02, "mean {mean}");
+        assert!((var - lambda).abs() / lambda < 0.15, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = seeded(4);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn poisson_rejects_negative() {
+        let mut rng = seeded(5);
+        let _ = poisson(&mut rng, -1.0);
+    }
+}

