@@ -1,10 +1,12 @@
 //! Octree construction cost versus point count and depth — the
-//! "time-consuming computation" the paper's scheduler is trading against.
+//! "time-consuming computation" the paper's scheduler is trading against —
+//! plus the headline baseline-vs-SoA comparison on a 1M-point cloud
+//! (`octree_build_1m/speedup` in `BENCH_baseline.json`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use arvis_octree::{Octree, OctreeConfig};
+use arvis_octree::{Octree, OctreeBuilder, OctreeConfig};
 use arvis_pointcloud::synth::{SubjectProfile, SynthBodyConfig};
 
 fn bench_build_vs_points(c: &mut Criterion) {
@@ -38,5 +40,57 @@ fn bench_build_vs_depth(c: &mut Criterion) {
     group.finish();
 }
 
+/// The acceptance benchmark: seed algorithm vs the SoA Morton pipeline on
+/// a ≥1M-point synthetic body at the full depth-10 resolution. Measured in
+/// interleaved baseline/optimized rounds so machine-load drift cancels out
+/// of the recorded ratio.
+fn bench_build_1m(smoke: bool) {
+    let cloud = SynthBodyConfig::new(SubjectProfile::Longdress)
+        .with_target_points(1_000_000)
+        .with_seed(1)
+        .generate();
+    assert!(cloud.len() >= 1_000_000);
+    if smoke {
+        black_box(arvis_bench::baseline::octree_build(&cloud, 10).nodes.len());
+        let mut builder = OctreeBuilder::new();
+        black_box(
+            builder
+                .build(&cloud, &OctreeConfig::with_max_depth(10))
+                .unwrap()
+                .node_count(),
+        );
+        eprintln!("bench octree_build_1m: ok (smoke)");
+        return;
+    }
+    // Scratch reuse is part of the optimized per-frame path.
+    let mut builder = OctreeBuilder::new();
+    arvis_bench::report::paired_measure(
+        "octree_build_1m",
+        "baseline",
+        "soa",
+        7,
+        || {
+            black_box(arvis_bench::baseline::octree_build(&cloud, 10).nodes.len());
+        },
+        || {
+            black_box(
+                builder
+                    .build(&cloud, &OctreeConfig::with_max_depth(10))
+                    .unwrap()
+                    .node_count(),
+            );
+        },
+    );
+}
+
 criterion_group!(benches, bench_build_vs_points, bench_build_vs_depth);
-criterion_main!(benches);
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let mut c = criterion::Criterion::from_args();
+    benches(&mut c);
+    c.final_summary();
+    if c.should_run("octree_build_1m") {
+        bench_build_1m(smoke);
+    }
+}

@@ -1,8 +1,9 @@
 //! Quality-metric costs: kd-tree construction, D1 PSNR, and full profile
 //! measurement — the offline calibration pass a deployment runs per content
-//! class.
+//! class — plus the headline sequential-vs-batched comparison on a
+//! ≥1M-point cloud (`quality_1m/speedup` in `BENCH_baseline.json`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use arvis_octree::{LodMode, Octree, OctreeConfig};
@@ -41,5 +42,55 @@ fn bench_quality(c: &mut Criterion) {
     group.finish();
 }
 
+/// The acceptance benchmark: seed kd-tree with sequential per-point queries
+/// vs the bucketed tree with the Morton-ordered batched path, measuring D1
+/// symmetric MSE of a ≥1M-point body against its depth-9 LoD. Measured in
+/// interleaved baseline/optimized rounds so machine-load drift cancels out
+/// of the recorded ratio.
+fn bench_quality_1m(smoke: bool) {
+    let cloud = SynthBodyConfig::new(SubjectProfile::RedAndBlack)
+        .with_target_points(1_000_000)
+        .with_seed(3)
+        .generate();
+    assert!(cloud.len() >= 1_000_000);
+    let tree = Octree::build(&cloud, &OctreeConfig::with_max_depth(10)).unwrap();
+    let lod = tree.extract_lod(9, LodMode::VoxelCenters);
+    if smoke {
+        black_box(arvis_bench::baseline::geometry_distortion_mse(
+            &cloud, &lod.cloud,
+        ));
+        black_box(geometry_distortion(&cloud, &lod.cloud).unwrap());
+        eprintln!("bench quality_1m: ok (smoke)");
+        return;
+    }
+    arvis_bench::report::paired_measure(
+        "quality_1m",
+        "psnr_baseline",
+        "psnr_batched",
+        7,
+        || {
+            black_box(arvis_bench::baseline::geometry_distortion_mse(
+                &cloud, &lod.cloud,
+            ));
+        },
+        || {
+            black_box(
+                geometry_distortion(&cloud, &lod.cloud)
+                    .unwrap()
+                    .mse_symmetric,
+            );
+        },
+    );
+}
+
 criterion_group!(benches, bench_quality);
-criterion_main!(benches);
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let mut c = criterion::Criterion::from_args();
+    benches(&mut c);
+    c.final_summary();
+    if c.should_run("quality_1m") {
+        bench_quality_1m(smoke);
+    }
+}

@@ -1,0 +1,39 @@
+//! Ad-hoc phase profiler for the octree build pipeline (dev tool).
+
+use std::time::Instant;
+
+use arvis_octree::{OctreeBuilder, OctreeConfig};
+use arvis_pointcloud::synth::{SubjectProfile, SynthBodyConfig};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let t = Instant::now();
+    let cloud = SynthBodyConfig::new(SubjectProfile::Longdress)
+        .with_target_points(n)
+        .with_seed(1)
+        .generate();
+    eprintln!("generate {} pts: {:?}", cloud.len(), t.elapsed());
+
+    let mut builder = OctreeBuilder::new();
+    // Warm up both paths once (first-touch page faults etc.).
+    let _ = builder.build(&cloud, &OctreeConfig::with_max_depth(10));
+    let _ = arvis_bench::baseline::octree_build(&cloud, 10);
+    for round in 0..4 {
+        let t = Instant::now();
+        let tree = builder
+            .build(&cloud, &OctreeConfig::with_max_depth(10))
+            .unwrap();
+        let soa = t.elapsed();
+        let t = Instant::now();
+        let r = arvis_bench::baseline::octree_build(&cloud, 10);
+        let base = t.elapsed();
+        assert_eq!(tree.node_count(), r.nodes.len());
+        eprintln!(
+            "round {round}: soa {soa:?}  baseline {base:?}  ratio {:.2}",
+            base.as_secs_f64() / soa.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Ad-hoc profiler for the D1 quality hot path (dev tool).
+
+use std::time::Instant;
+
+use arvis_octree::{LodMode, Octree, OctreeConfig};
+use arvis_pointcloud::synth::{SubjectProfile, SynthBodyConfig};
+use arvis_quality::psnr::geometry_distortion;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let cloud = SynthBodyConfig::new(SubjectProfile::RedAndBlack)
+        .with_target_points(n)
+        .with_seed(3)
+        .generate();
+    let tree = Octree::build(&cloud, &OctreeConfig::with_max_depth(10)).unwrap();
+    let lod = tree.extract_lod(9, LodMode::VoxelCenters);
+    eprintln!("cloud {} lod {}", cloud.len(), lod.cloud.len());
+
+    // Warm both paths.
+    let _ = geometry_distortion(&cloud, &lod.cloud);
+    let _ = arvis_bench::baseline::geometry_distortion_mse(&cloud, &lod.cloud);
+    for round in 0..3 {
+        let t = Instant::now();
+        let fast = geometry_distortion(&cloud, &lod.cloud)
+            .unwrap()
+            .mse_symmetric;
+        let t_fast = t.elapsed();
+        let t = Instant::now();
+        let slow = arvis_bench::baseline::geometry_distortion_mse(&cloud, &lod.cloud);
+        let t_slow = t.elapsed();
+        assert!((fast - slow).abs() <= 1e-12 * slow.abs());
+        eprintln!(
+            "round {round}: batched {t_fast:?}  baseline {t_slow:?}  ratio {:.2}",
+            t_slow.as_secs_f64() / t_fast.as_secs_f64()
+        );
+    }
+}

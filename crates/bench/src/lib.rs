@@ -7,8 +7,39 @@
 //! rendering rate sits strictly between the min-depth and max-depth
 //! workloads. This crate centralizes that setup so the binary, the Criterion
 //! benches and the integration tests all measure the same system.
+//!
+//! # Benchmark harness and `BENCH_baseline.json`
+//!
+//! `cargo bench` runs the Criterion-style benches under `benches/`
+//! (`octree_build`, `lod_extraction`, `quality_metrics`, `end_to_end_slot`,
+//! `queue_ops`, `decision_complexity`, `quality_model_ablation`). Every
+//! benchmark's result merges into **one machine-readable JSON file** so
+//! perf baselines can be committed and compared across PRs:
+//!
+//! - **Path**: `$ARVIS_BENCH_JSON`, or `BENCH_baseline.json` at the
+//!   enclosing repository/workspace root.
+//! - **Shape**: a single flat JSON object. Keys are benchmark ids
+//!   (`group/function` or `group/param`); values are objects with
+//!   `median_ns` (median wall time per iteration), `samples`,
+//!   `iters_per_sample`, and — when the bench declares throughput —
+//!   `throughput_elems`/`elems_per_sec` (or the `bytes` pair).
+//! - **Derived entries**: `group/speedup` keys record
+//!   `{ baseline_ns, optimized_ns, ratio }` for hot paths that keep their
+//!   seed implementation alive as a baseline (see [`baseline`]); they are
+//!   appended by [`report::record_speedups`] after the group runs.
+//! - **Merging**: re-running any bench binary overwrites only its own
+//!   keys, so the file accumulates one complete baseline for the suite.
+//!   Smoke runs (`cargo bench -- --test`) execute each routine once and
+//!   write nothing.
+//!
+//! The committed baseline at the repository root was produced by
+//! `cargo bench -p arvis-bench` on the containerized single-core CI
+//! machine; regenerate it on your hardware before comparing numbers.
 
 #![deny(missing_docs)]
+
+pub mod baseline;
+pub mod report;
 
 use arvis_core::experiment::{v_for_knee, ExperimentConfig};
 use arvis_pointcloud::synth::{SubjectProfile, SynthBodyConfig};

@@ -276,11 +276,7 @@ impl Experiment {
         let mean_quality = quality.mean_from(warm).unwrap_or(0.0);
         let mean_backlog = backlog.mean_from(warm).unwrap_or(0.0);
         let stable = backlog.is_stable((cfg.slots / 2).max(2) as usize, 1e-3);
-        let switches = depth
-            .values()
-            .windows(2)
-            .filter(|w| w[0] != w[1])
-            .count();
+        let switches = depth.values().windows(2).filter(|w| w[0] != w[1]).count();
         let depth_switch_rate = if cfg.slots > 1 {
             switches as f64 / (cfg.slots - 1) as f64
         } else {
@@ -314,12 +310,17 @@ impl Experiment {
 /// first abandons the maximum depth) lands near `knee_slots`, assuming a
 /// stationary profile and constant service.
 ///
-/// Derivation: while `Q` is small the maximizer is `d_max`; the backlog
-/// climbs at `δ = a(d_max) − b` per slot. Depth `d` overtakes `d_max` once
-/// `Q > V·(p_max − p(d)) / (a_max − a(d))`; the binding depth is the one
-/// minimizing that ratio, so the first switch happens at
-/// `t* ≈ V·ρ_min / δ` with `ρ_min = min_d (p_max−p(d))/(a_max−a(d))`.
-/// Inverting gives `V = t*·δ / ρ_min`.
+/// Derivation: while `Q` is small the maximizer is `d_max`; under the
+/// Lindley recursion the backlog after slot `t` is
+/// `Q(t) = a_max + (t−1)·δ = t·δ + b` with `δ = a(d_max) − b` (the first
+/// slot's arrival enters before any service has drained). Depth `d`
+/// overtakes `d_max` once `Q > V·(p_max − p(d)) / (a_max − a(d))`; the
+/// binding depth is the one minimizing that ratio, so the first switch
+/// happens at `t* ≈ (V·ρ_min − b) / δ` with
+/// `ρ_min = min_d (p_max−p(d))/(a_max−a(d))`. Inverting gives
+/// `V = (t*·δ + b) / ρ_min`. (Without the `+ b` offset the knee lands
+/// `b/δ` slots early, a large error whenever the service rate dwarfs the
+/// per-slot drift, as in the Fig. 2 setup.)
 ///
 /// Returns `None` when the service rate already covers the max-depth
 /// arrival (no knee: max depth is sustainable forever).
@@ -338,7 +339,7 @@ pub fn v_for_knee(profile: &DepthProfile, service_rate: f64, knee_slots: f64) ->
     if !rho_min.is_finite() || rho_min <= 0.0 {
         return None;
     }
-    Some(knee_slots * delta / rho_min)
+    Some((knee_slots * delta + service_rate) / rho_min)
 }
 
 #[cfg(test)]
@@ -538,4 +539,3 @@ mod tests {
         );
     }
 }
-

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::ops::RangeInclusive;
 
 use arvis_octree::attr::{frames_equivalent, EncodedFrame};
-use arvis_octree::{LodMode, Octree, OctreeConfig, OctreeError};
+use arvis_octree::{LodMode, Octree, OctreeBuilder, OctreeConfig, OctreeError};
 use arvis_pointcloud::aabb::Aabb;
 use arvis_pointcloud::cloud::PointCloud;
 use arvis_quality::DepthProfile;
@@ -65,8 +65,11 @@ impl PreparedSequence {
         let max_depth = *depths.end();
         let mut trees = Vec::with_capacity(frames.len());
         let mut byte_profiles = Vec::with_capacity(frames.len());
+        // One builder for the whole sequence: Morton/SoA scratch buffers
+        // are allocated for the first frame and reused for every other.
+        let mut builder = OctreeBuilder::new();
         for f in frames {
-            let tree = Octree::build(f, &OctreeConfig::with_max_depth(max_depth).in_cube(cube))?;
+            let tree = builder.build(f, &OctreeConfig::with_max_depth(max_depth).in_cube(cube))?;
             let arrivals: Vec<f64> = depths
                 .clone()
                 .map(|d| tree.encoded_frame_size(d) as f64)

@@ -101,13 +101,16 @@ impl ArStream {
         assert!(frame_stride >= 1, "stride must be >= 1");
         assert!(!sequence.is_empty(), "sequence must have frames");
         let mut profiles = Vec::new();
+        // Shared octree scratch across the measured frames.
+        let mut builder = arvis_octree::OctreeBuilder::new();
         let mut i = 0;
         while i < sequence.len() {
             let frame = sequence.frame(i);
-            profiles.push(DepthProfile::measure_with(
+            profiles.push(DepthProfile::measure_with_builder(
                 &frame,
                 depths.clone(),
                 QualityMetric::LogPointCount,
+                &mut builder,
             )?);
             i += frame_stride;
         }

@@ -47,4 +47,6 @@ pub mod traversal;
 mod tree;
 
 pub use lod::{LodCloud, LodMode};
-pub use tree::{NodeId, NodeView, Octree, OctreeConfig, OctreeError, MAX_SUPPORTED_DEPTH};
+pub use tree::{
+    NodeId, NodeView, Octree, OctreeBuilder, OctreeConfig, OctreeError, MAX_SUPPORTED_DEPTH,
+};

@@ -409,4 +409,3 @@ mod tests {
         assert_eq!(dec.push(&[0xff]).unwrap_err(), DecodeError::Truncated);
     }
 }
-

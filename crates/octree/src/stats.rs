@@ -47,9 +47,10 @@ impl OctreeStats {
     }
 
     /// Approximate in-memory footprint of the tree in bytes
-    /// (arena nodes only).
+    /// (arena rows only).
     pub fn memory_estimate(&self) -> usize {
-        // Node: 8×u32 children + u64 count + Vec3 + 3×u64 ≈ 88 bytes.
+        // Per node: 8×u32 child links (SoA table) + a 56-byte payload row
+        // (u64 count + 3×f64 position sum + 3×u64 color sum) ≈ 88 bytes.
         self.total_nodes * 88
     }
 }

@@ -1,9 +1,28 @@
 //! Core octree structure and construction.
+//!
+//! Construction is a flat Morton pipeline (see [`OctreeBuilder`]): points
+//! are Morton-coded into flat scratch buffers (a packed `code | index`
+//! word per point — no `(u64, &Point)` pointer tuples), radix-sorted by
+//! code, and the whole level hierarchy is then derived from prefix
+//! boundaries of the sorted codes — one O(n) aggregation pass over the
+//! points for the leaf level and one O(nodes) pass per internal level,
+//! instead of re-scanning the point range of every node at every depth.
+//!
+//! Node storage splits hot from cold ([`NodeArena`]): the mostly-empty
+//! child-link table is a structure-of-arrays `Vec<u32>` the allocator hands
+//! out as untouched zero pages (sentinel 0 = unoccupied), while the numeric
+//! payload (count, position sum, color sums) is one 56-byte row per node —
+//! a single cache line — written exactly once during the bottom-up
+//! aggregation. [`NodeView`] presents the classic node interface over both,
+//! so LoD extraction, occupancy/attribute coding, diffing, queries and
+//! traversal are unaffected by the layout.
 
+use arvis_par as par;
 use arvis_pointcloud::aabb::Aabb;
 use arvis_pointcloud::cloud::PointCloud;
 use arvis_pointcloud::color::Color;
 use arvis_pointcloud::math::Vec3;
+use arvis_pointcloud::morton;
 use arvis_pointcloud::point::Point;
 
 /// Maximum supported octree depth. Ten matches the 1024³ grid of the 8i
@@ -93,39 +112,66 @@ impl NodeId {
     }
 }
 
-pub(crate) const NO_CHILD: u32 = u32::MAX;
-
-#[derive(Debug, Clone)]
-pub(crate) struct Node {
-    pub children: [u32; 8],
-    pub count: u64,
-    pub position_sum: Vec3,
-    pub color_sum: [u64; 3],
+/// The per-node numeric aggregates: one 56-byte row (a single cache line)
+/// written exactly once during the bottom-up aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct NodePayload {
+    count: u64,
+    pos_sum: Vec3,
+    color_sum: [u64; 3],
 }
 
-impl Node {
-    fn empty() -> Node {
-        Node {
-            children: [NO_CHILD; 8],
-            count: 0,
-            position_sum: Vec3::ZERO,
-            color_sum: [0; 3],
+/// Hybrid node storage.
+///
+/// The child-link table is kept apart from the numeric payload: links are
+/// mostly empty (stored as `arena_index + 1`, `0` = octant unoccupied), so
+/// their vector comes straight from the allocator's zero pages and only the
+/// occupied octants are ever written; the payload rows pack each node's
+/// aggregates into one cache line for the bottom-up sweeps.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct NodeArena {
+    /// `children[8*i + octant]` = child arena index **plus one**; 0 = none.
+    children: Vec<u32>,
+    payload: Vec<NodePayload>,
+}
+
+impl NodeArena {
+    fn with_len(total: usize) -> NodeArena {
+        NodeArena {
+            children: vec![0; total * 8],
+            payload: vec![NodePayload::default(); total],
         }
     }
 
-    pub(crate) fn child(&self, octant: usize) -> Option<u32> {
-        let c = self.children[octant];
-        (c != NO_CHILD).then_some(c)
+    pub(crate) fn len(&self) -> usize {
+        self.payload.len()
     }
 
-    pub(crate) fn occupancy_byte(&self) -> u8 {
+    pub(crate) fn child(&self, node: usize, octant: usize) -> Option<u32> {
+        let c = self.children[node * 8 + octant];
+        (c != 0).then(|| c - 1)
+    }
+
+    pub(crate) fn occupancy_byte(&self, node: usize) -> u8 {
         let mut byte = 0u8;
-        for (i, &c) in self.children.iter().enumerate() {
-            if c != NO_CHILD {
-                byte |= 1 << i;
+        for (o, &c) in self.children[node * 8..node * 8 + 8].iter().enumerate() {
+            if c != 0 {
+                byte |= 1 << o;
             }
         }
         byte
+    }
+
+    pub(crate) fn count(&self, node: usize) -> u64 {
+        self.payload[node].count
+    }
+
+    pub(crate) fn position_sum(&self, node: usize) -> Vec3 {
+        self.payload[node].pos_sum
+    }
+
+    pub(crate) fn color_sum(&self, node: usize) -> [u64; 3] {
+        self.payload[node].color_sum
     }
 }
 
@@ -133,11 +179,12 @@ impl Node {
 ///
 /// Every internal node aggregates the number of contained points, their
 /// position sum and color sums, so any depth can be rendered without
-/// revisiting the input points. Nodes are stored in an arena; levels are
-/// contiguous (the arena is in breadth-first order).
-#[derive(Debug, Clone)]
+/// revisiting the input points. Nodes live in a hybrid arena
+/// ([`NodeArena`]) in breadth-first order: levels are contiguous, nodes
+/// within a level are in Morton order.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Octree {
-    pub(crate) nodes: Vec<Node>,
+    pub(crate) arena: NodeArena,
     /// First arena index of each level: `level_starts[d] .. level_starts[d+1]`
     /// are the depth-`d` nodes. Has `max_depth + 2` entries.
     pub(crate) level_starts: Vec<u32>,
@@ -156,111 +203,13 @@ impl Octree {
     ///   [`MAX_SUPPORTED_DEPTH`];
     /// - [`OctreeError::PointOutsideCube`] when a fixed cube was supplied and
     ///   a point lies outside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cloud holds more than `u32::MAX` points (the arena
+    /// addresses points and nodes with 32-bit indices).
     pub fn build(cloud: &PointCloud, config: &OctreeConfig) -> Result<Octree, OctreeError> {
-        if cloud.is_empty() {
-            return Err(OctreeError::EmptyCloud);
-        }
-        if config.max_depth > MAX_SUPPORTED_DEPTH {
-            return Err(OctreeError::DepthTooLarge {
-                requested: config.max_depth,
-            });
-        }
-        let cube = match config.cube {
-            Some(c) => {
-                // Cube-ify non-cubic boxes; keep already-cubic boxes
-                // bit-exact so voxel boundaries match external quantizers
-                // (e.g. `VoxelGrid` over the same cube).
-                let s = c.size();
-                let c = if s.x == s.y && s.y == s.z {
-                    c
-                } else {
-                    c.bounding_cube()
-                };
-                if let Some(bad) = cloud.positions().position(|p| !c.contains(p)) {
-                    return Err(OctreeError::PointOutsideCube { index: bad });
-                }
-                c
-            }
-            None => cloud
-                .aabb()
-                .expect("non-empty cloud has an aabb")
-                .bounding_cube(),
-        };
-        let max_depth = config.max_depth;
-
-        // Pass 1: morton code of every point at max depth.
-        let n = 1u64 << max_depth; // cells per axis
-        let extent = cube.max_extent();
-        let min = cube.min();
-        let code_of = |p: Vec3| -> u64 {
-            let q = |v: f64, lo: f64| -> u64 {
-                if extent <= 0.0 {
-                    return 0;
-                }
-                let idx = ((v - lo) / extent * n as f64).floor();
-                (idx.max(0.0) as u64).min(n - 1)
-            };
-            morton3(q(p.x, min.x), q(p.y, min.y), q(p.z, min.z), max_depth)
-        };
-        let mut coded: Vec<(u64, &Point)> =
-            cloud.iter().map(|p| (code_of(p.position), p)).collect();
-        coded.sort_unstable_by_key(|(c, _)| *c);
-
-        // Pass 2: allocate nodes level by level. At each level, the distinct
-        // `3*(d)`-bit prefixes of the sorted codes are the occupied nodes.
-        let mut nodes = vec![Node::empty()];
-        let mut level_starts = vec![0u32, 1];
-        {
-            let root = &mut nodes[0];
-            for (_, p) in &coded {
-                root.count += 1;
-                root.position_sum += p.position;
-                root.color_sum[0] += u64::from(p.color.r);
-                root.color_sum[1] += u64::from(p.color.g);
-                root.color_sum[2] += u64::from(p.color.b);
-            }
-        }
-
-        // `current` maps a node arena index to its code-range in `coded`.
-        let mut current: Vec<(u32, usize, usize)> = vec![(0, 0, coded.len())];
-        for depth in 1..=max_depth {
-            let shift = 3 * u64::from(max_depth - depth);
-            let mut next: Vec<(u32, usize, usize)> = Vec::with_capacity(current.len() * 2);
-            for &(node_idx, lo, hi) in &current {
-                let mut i = lo;
-                while i < hi {
-                    let prefix = coded[i].0 >> shift;
-                    let octant = (prefix & 7) as usize;
-                    let mut j = i + 1;
-                    while j < hi && (coded[j].0 >> shift) == prefix {
-                        j += 1;
-                    }
-                    let child_idx = nodes.len() as u32;
-                    let mut child = Node::empty();
-                    for (_, p) in &coded[i..j] {
-                        child.count += 1;
-                        child.position_sum += p.position;
-                        child.color_sum[0] += u64::from(p.color.r);
-                        child.color_sum[1] += u64::from(p.color.g);
-                        child.color_sum[2] += u64::from(p.color.b);
-                    }
-                    nodes.push(child);
-                    nodes[node_idx as usize].children[octant] = child_idx;
-                    next.push((child_idx, i, j));
-                    i = j;
-                }
-            }
-            level_starts.push(nodes.len() as u32);
-            current = next;
-        }
-
-        Ok(Octree {
-            nodes,
-            level_starts,
-            cube,
-            max_depth,
-            point_count: coded.len() as u64,
-        })
+        OctreeBuilder::new().build(cloud, config)
     }
 
     /// The bounding cube the tree subdivides.
@@ -280,7 +229,7 @@ impl Octree {
 
     /// Total number of nodes in the tree (all levels).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.arena.len()
     }
 
     /// Number of occupied voxels (nodes) at `depth`.
@@ -307,7 +256,7 @@ impl Octree {
     ///
     /// Panics when `id` is out of range.
     pub fn node(&self, id: NodeId) -> NodeView<'_> {
-        assert!(id.index() < self.nodes.len(), "node id out of range");
+        assert!(id.index() < self.arena.len(), "node id out of range");
         NodeView {
             tree: self,
             id,
@@ -345,6 +294,473 @@ impl Octree {
     }
 }
 
+/// Chunk size for the point- and node-parallel phases, and the node
+/// threshold under which the split-recursive linking phase stops forking.
+/// Fixed constants (never derived from the worker count) so every phase
+/// observes an identical work decomposition — and therefore produces
+/// bit-identical floating-point sums — in serial and parallel builds.
+const POINT_CHUNK: usize = 1 << 13;
+const NODE_CHUNK: usize = 1 << 9;
+const NODE_SPLIT_THRESHOLD: usize = 1 << 11;
+
+/// One sorted-pipeline element: a Morton code bundled with the index of the
+/// point it came from. Two representations exist so the common shallow
+/// trees (`3·depth ≤ 30` bits, i.e. the paper's whole `R = 5..=10` range)
+/// ride in one packed word — half the sort and scan traffic — while deep
+/// trees fall back to a two-word pair.
+trait CodeIdx: morton::SortItem + PartialEq {
+    /// Bit offset of the code within [`morton::SortItem::key`].
+    const CODE_SHIFT: u32;
+
+    fn pack(code: u64, idx: u32) -> Self;
+    fn code(self) -> u64;
+    fn idx(self) -> u32;
+}
+
+/// Packed `code << 32 | index` (codes up to 30 bits).
+impl CodeIdx for u64 {
+    const CODE_SHIFT: u32 = 32;
+
+    #[inline]
+    fn pack(code: u64, idx: u32) -> u64 {
+        (code << 32) | u64::from(idx)
+    }
+
+    #[inline]
+    fn code(self) -> u64 {
+        self >> 32
+    }
+
+    #[inline]
+    fn idx(self) -> u32 {
+        self as u32
+    }
+}
+
+/// Wide `(code, index)` pair (codes up to 63 bits).
+impl CodeIdx for (u64, u32) {
+    const CODE_SHIFT: u32 = 0;
+
+    #[inline]
+    fn pack(code: u64, idx: u32) -> (u64, u32) {
+        (code, idx)
+    }
+
+    #[inline]
+    fn code(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn idx(self) -> u32 {
+        self.1
+    }
+}
+
+/// Reusable octree construction pipeline.
+///
+/// Holds the flat scratch buffers (packed/wide code-index words, radix
+/// ping-pong buffers, per-level boundary and octant lists) so a streaming
+/// pipeline that builds one octree per frame pays the allocations once, not
+/// per slot. [`Octree::build`] is a convenience wrapper creating a fresh
+/// builder per call.
+///
+/// # Pipeline
+///
+/// 1. **Morton coding** (parallel): each point's voxel index at `max_depth`
+///    is interleaved and packed with its input index.
+/// 2. **Radix sort by code** (parallel histograms, stable scatter): after
+///    this, every node of every level is a contiguous range of points, and
+///    the nodes of level `d` are exactly the distinct `3d`-bit prefixes.
+/// 3. **Boundary derivation**: leaf-range starts are the positions where
+///    the sorted code changes; each shallower level's starts are the subset
+///    where the shorter prefix changes — O(total nodes) overall. Each
+///    node's octant bits are extracted here, so linking never revisits the
+///    code array.
+/// 4. **Aggregation** (parallel over nodes): each leaf sums its point
+///    range, reading every input point exactly once through its sorted
+///    code-index word; every internal node then sums its children's rows —
+///    prefix-sum reuse that replaces the seed algorithm's O(n·depth)
+///    re-scan with O(n + total nodes) work, writing each arena row exactly
+///    once.
+#[derive(Debug, Default)]
+pub struct OctreeBuilder {
+    packed: Vec<u64>,
+    packed_scratch: Vec<u64>,
+    wide: Vec<(u64, u32)>,
+    wide_scratch: Vec<(u64, u32)>,
+    /// `level_bounds[d]` = start index (into the sorted order) of every
+    /// depth-`d` node, ascending. Entry 0 is always 0.
+    level_bounds: Vec<Vec<u32>>,
+    /// `level_octants[d][i]` = octant of node `i` within its parent.
+    level_octants: Vec<Vec<u8>>,
+    first_child: Vec<u32>,
+}
+
+impl OctreeBuilder {
+    /// A builder with empty scratch buffers.
+    pub fn new() -> OctreeBuilder {
+        OctreeBuilder::default()
+    }
+
+    /// Builds an octree, reusing this builder's scratch allocations.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Octree::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cloud holds more than `u32::MAX` points (the arena
+    /// addresses points and nodes with 32-bit indices).
+    pub fn build(
+        &mut self,
+        cloud: &PointCloud,
+        config: &OctreeConfig,
+    ) -> Result<Octree, OctreeError> {
+        if cloud.is_empty() {
+            return Err(OctreeError::EmptyCloud);
+        }
+        if config.max_depth > MAX_SUPPORTED_DEPTH {
+            return Err(OctreeError::DepthTooLarge {
+                requested: config.max_depth,
+            });
+        }
+        let points = cloud.points();
+        assert!(
+            points.len() <= u32::MAX as usize,
+            "octree build supports at most 2^32 points per frame"
+        );
+        let cube = match config.cube {
+            Some(c) => {
+                // Cube-ify non-cubic boxes; keep already-cubic boxes
+                // bit-exact so voxel boundaries match external quantizers
+                // (e.g. `VoxelGrid` over the same cube).
+                let s = c.size();
+                let c = if s.x == s.y && s.y == s.z {
+                    c
+                } else {
+                    c.bounding_cube()
+                };
+                // Parallel containment check; the reported index is the
+                // global minimum, matching the serial scan.
+                let bad = par::map_chunks(points, POINT_CHUNK, |ci, chunk| {
+                    chunk
+                        .iter()
+                        .position(|p| !c.contains(p.position))
+                        .map(|j| ci * POINT_CHUNK + j)
+                })
+                .into_iter()
+                .flatten()
+                .next();
+                if let Some(index) = bad {
+                    return Err(OctreeError::PointOutsideCube { index });
+                }
+                c
+            }
+            None => cloud
+                .aabb()
+                .expect("non-empty cloud has an aabb")
+                .bounding_cube(),
+        };
+        let max_depth = config.max_depth;
+
+        // Shared quantizer with `VoxelGrid::key_of`, so octree voxel
+        // assignment is bit-identical to the brute-force voxelizer over the
+        // same cube.
+        let cells = 1u64 << max_depth; // cells per axis
+        let min = cube.min();
+        let scale = morton::grid_scale(cube.max_extent(), cells);
+        let code_of = move |p: Vec3| -> u64 {
+            morton::encode(
+                morton::grid_cell(p.x, min.x, scale, cells),
+                morton::grid_cell(p.y, min.y, scale, cells),
+                morton::grid_cell(p.z, min.z, scale, cells),
+            )
+        };
+
+        let (arena, level_starts) = if 3 * u32::from(max_depth) <= 30 {
+            build_pipeline::<u64, _>(
+                &mut self.packed,
+                &mut self.packed_scratch,
+                &mut self.level_bounds,
+                &mut self.level_octants,
+                &mut self.first_child,
+                points,
+                code_of,
+                max_depth,
+            )
+        } else {
+            build_pipeline::<(u64, u32), _>(
+                &mut self.wide,
+                &mut self.wide_scratch,
+                &mut self.level_bounds,
+                &mut self.level_octants,
+                &mut self.first_child,
+                points,
+                code_of,
+                max_depth,
+            )
+        };
+
+        Ok(Octree {
+            arena,
+            level_starts,
+            cube,
+            max_depth,
+            point_count: points.len() as u64,
+        })
+    }
+}
+
+/// Phases 1–4 of the build (see [`OctreeBuilder`]), generic over the
+/// code-index representation.
+#[allow(clippy::too_many_arguments)]
+fn build_pipeline<E: CodeIdx, F: Fn(Vec3) -> u64 + Sync>(
+    items: &mut Vec<E>,
+    sort_scratch: &mut Vec<E>,
+    level_bounds: &mut Vec<Vec<u32>>,
+    level_octants: &mut Vec<Vec<u8>>,
+    first_child: &mut Vec<u32>,
+    points: &[Point],
+    code_of: F,
+    max_depth: u8,
+) -> (NodeArena, Vec<u32>) {
+    let n = points.len();
+    let trace = std::env::var_os("ARVIS_BUILD_TRACE").is_some();
+    let mut t = std::time::Instant::now();
+    let mut mark = move |label: &str| {
+        if trace {
+            eprintln!("  phase {label}: {:?}", t.elapsed());
+            t = std::time::Instant::now();
+        }
+    };
+
+    // Phase 1: Morton-code every point at max depth (parallel).
+    items.clear();
+    items.resize(n, E::default());
+    par::for_each_chunk_mut(items, POINT_CHUNK, |ci, out| {
+        let base = ci * POINT_CHUNK;
+        for (j, slot) in out.iter_mut().enumerate() {
+            let i = base + j;
+            *slot = E::pack(code_of(points[i].position), i as u32);
+        }
+    });
+
+    mark("1-morton");
+    // Phase 2: stable radix sort by code.
+    morton::radix_sort(items, sort_scratch, E::CODE_SHIFT, 3 * u32::from(max_depth));
+    let items = &items[..];
+
+    mark("2-sort");
+    // Phase 3: node boundaries and octants per level, deepest first. A
+    // depth-d node starts wherever the 3d-bit prefix of the sorted codes
+    // changes, so level d's starts are a subset of level d+1's.
+    let d_max = usize::from(max_depth);
+    level_bounds.resize_with(d_max + 1, Vec::new);
+    level_octants.resize_with(d_max + 1, Vec::new);
+    for b in level_bounds.iter_mut() {
+        b.clear();
+    }
+    for o in level_octants.iter_mut() {
+        o.clear();
+    }
+    {
+        let leaf_parts: Vec<(Vec<u32>, Vec<u8>)> =
+            par::map_chunks(items, POINT_CHUNK, |ci, chunk| {
+                let base = ci * POINT_CHUNK;
+                let mut starts = Vec::new();
+                let mut octs = Vec::new();
+                for (j, item) in chunk.iter().enumerate() {
+                    let i = base + j;
+                    let code = item.code();
+                    if i == 0 || items[i - 1].code() != code {
+                        starts.push(i as u32);
+                        octs.push((code & 7) as u8);
+                    }
+                }
+                (starts, octs)
+            });
+        let leaf = &mut level_bounds[d_max];
+        let leaf_octs = &mut level_octants[d_max];
+        for (mut s, mut o) in leaf_parts {
+            leaf.append(&mut s);
+            leaf_octs.append(&mut o);
+        }
+    }
+    for d in (0..d_max).rev() {
+        let shift = 3 * (d_max - d) as u32;
+        let (shallow, deep) = level_bounds.split_at_mut(d + 1);
+        let (dst, src) = (&mut shallow[d], &deep[0]);
+        let dst_octs = &mut level_octants[d];
+        let mut prev_prefix = u64::MAX;
+        for &start in src.iter() {
+            let prefix = items[start as usize].code() >> shift;
+            if prefix != prev_prefix {
+                dst.push(start);
+                dst_octs.push((prefix & 7) as u8);
+                prev_prefix = prefix;
+            }
+        }
+    }
+
+    mark("3-bounds");
+    // Phase 4: allocate the arena (children come from zero pages; payload
+    // rows are written exactly once below) and aggregate bottom-up.
+    let mut level_starts = Vec::with_capacity(d_max + 2);
+    let mut total = 0usize;
+    for b in level_bounds.iter() {
+        // The arena addresses nodes with u32 links (stored +1), so the
+        // node total must fit u32 even though the count accumulates in
+        // usize.
+        level_starts.push(u32::try_from(total).expect("node count exceeds u32 arena limit"));
+        total += b.len();
+    }
+    level_starts.push(u32::try_from(total).expect("node count exceeds u32 arena limit"));
+    let mut arena = NodeArena::with_len(total);
+
+    // Leaf level: one pass over the sorted order, reading each input point
+    // exactly once through its code-index word (parallel over fixed node
+    // chunks; each node's range is summed serially, so sums do not depend
+    // on the decomposition).
+    {
+        let bounds = &level_bounds[d_max];
+        let leaf_base = level_starts[d_max] as usize;
+        par::for_each_chunk_mut(&mut arena.payload[leaf_base..], NODE_CHUNK, |ci, chunk| {
+            let base = ci * NODE_CHUNK;
+            for (k, row) in chunk.iter_mut().enumerate() {
+                let ni = base + k;
+                let lo = bounds[ni] as usize;
+                let hi = bounds.get(ni + 1).map_or(n, |&b| b as usize);
+                let mut agg = NodePayload {
+                    count: (hi - lo) as u64,
+                    ..NodePayload::default()
+                };
+                for item in &items[lo..hi] {
+                    let p = &points[item.idx() as usize];
+                    agg.pos_sum += p.position;
+                    agg.color_sum[0] += u64::from(p.color.r);
+                    agg.color_sum[1] += u64::from(p.color.g);
+                    agg.color_sum[2] += u64::from(p.color.b);
+                }
+                *row = agg;
+            }
+        });
+    }
+
+    mark("4-leaf");
+    // Internal levels: sums are reused from the level below (each parent
+    // adds its children's rows), and child links come from the octants
+    // recorded during boundary derivation.
+    for d in (0..d_max).rev() {
+        let parent_bounds = &level_bounds[d];
+        let child_bounds = &level_bounds[d + 1];
+        // first_child[i] = index (into child_bounds) of parent i's first
+        // child. Parents' starts are a subset of children's, so one merged
+        // scan suffices.
+        first_child.clear();
+        first_child.reserve(parent_bounds.len() + 1);
+        let mut j = 0u32;
+        for &pstart in parent_bounds {
+            while child_bounds[j as usize] != pstart {
+                j += 1;
+            }
+            first_child.push(j);
+            j += 1;
+        }
+        first_child.push(child_bounds.len() as u32);
+
+        let parent_base = level_starts[d] as usize;
+        let child_base = level_starts[d + 1] as usize;
+        let child_count = child_bounds.len();
+        // Split the arena at the child level boundary: parents mutate
+        // their rows and links, children's rows are read-only.
+        let (parent_payload, child_payload) = arena.payload.split_at_mut(child_base);
+        let (parent_links, _) = arena.children.split_at_mut(child_base * 8);
+        link_level_split(
+            &mut parent_payload[parent_base..],
+            &mut parent_links[parent_base * 8..child_base * 8],
+            0,
+            &child_payload[..child_count],
+            &level_octants[d + 1],
+            first_child,
+            child_base as u32,
+            par::workers(),
+        );
+    }
+
+    mark("5-internal");
+    (arena, level_starts)
+}
+
+/// Aggregates one internal level: every parent sums its children's payload
+/// rows and records their links. Split-recursive so the payload and link
+/// tables advance in lockstep without interior mutability; the midpoint
+/// decomposition is data-sized, so results are identical for any worker
+/// count. `forks` bounds the live-thread fan-out at ~`workers()` (halved
+/// per split) without affecting the decomposition.
+#[allow(clippy::too_many_arguments)]
+fn link_level_split(
+    payload: &mut [NodePayload],
+    links: &mut [u32],
+    node_base: usize,
+    child_payload: &[NodePayload],
+    child_octants: &[u8],
+    first_child: &[u32],
+    child_arena_base: u32,
+    forks: usize,
+) {
+    let len = payload.len();
+    if len > NODE_SPLIT_THRESHOLD && forks > 1 {
+        let mid = len / 2;
+        let (p_l, p_r) = payload.split_at_mut(mid);
+        let (l_l, l_r) = links.split_at_mut(mid * 8);
+        par::join(
+            || {
+                link_level_split(
+                    p_l,
+                    l_l,
+                    node_base,
+                    child_payload,
+                    child_octants,
+                    first_child,
+                    child_arena_base,
+                    forks / 2,
+                )
+            },
+            || {
+                link_level_split(
+                    p_r,
+                    l_r,
+                    node_base + mid,
+                    child_payload,
+                    child_octants,
+                    first_child,
+                    child_arena_base,
+                    forks - forks / 2,
+                )
+            },
+        );
+        return;
+    }
+    for k in 0..len {
+        let pi = node_base + k;
+        let mut agg = NodePayload::default();
+        for c in first_child[pi]..first_child[pi + 1] {
+            let ci = c as usize;
+            let child = &child_payload[ci];
+            // Stored as arena index + 1 (0 = unoccupied).
+            links[k * 8 + usize::from(child_octants[ci])] = child_arena_base + c + 1;
+            agg.count += child.count;
+            agg.pos_sum += child.pos_sum;
+            agg.color_sum[0] += child.color_sum[0];
+            agg.color_sum[1] += child.color_sum[1];
+            agg.color_sum[2] += child.color_sum[2];
+        }
+        payload[k] = agg;
+    }
+}
+
 /// A borrowed view of one octree node with its derived geometry.
 #[derive(Debug, Clone, Copy)]
 pub struct NodeView<'a> {
@@ -366,18 +782,18 @@ impl<'a> NodeView<'a> {
 
     /// Number of input points inside this node's voxel.
     pub fn count(&self) -> u64 {
-        self.node().count
+        self.tree.arena.count(self.id.index())
     }
 
     /// Mean position of the contained points.
     pub fn mean_position(&self) -> Vec3 {
-        self.node().position_sum / self.node().count as f64
+        self.tree.arena.position_sum(self.id.index()) / self.count() as f64
     }
 
     /// Mean color of the contained points.
     pub fn mean_color(&self) -> Color {
-        let n = self.node().count as f64;
-        let c = &self.node().color_sum;
+        let n = self.count() as f64;
+        let c = self.tree.arena.color_sum(self.id.index());
         Color::new(
             (c[0] as f64 / n).round() as u8,
             (c[1] as f64 / n).round() as u8,
@@ -389,11 +805,14 @@ impl<'a> NodeView<'a> {
     /// [`arvis_pointcloud::Aabb::octants`]), if occupied.
     pub fn child(&self, octant: usize) -> Option<NodeView<'a>> {
         assert!(octant < 8, "octant must be in 0..8");
-        self.node().child(octant).map(|c| NodeView {
-            tree: self.tree,
-            id: NodeId(c),
-            depth: self.depth + 1,
-        })
+        self.tree
+            .arena
+            .child(self.id.index(), octant)
+            .map(|c| NodeView {
+                tree: self.tree,
+                id: NodeId(c),
+                depth: self.depth + 1,
+            })
     }
 
     /// Iterates over the occupied children.
@@ -403,28 +822,13 @@ impl<'a> NodeView<'a> {
 
     /// `true` when the node has no children (it is a max-depth leaf).
     pub fn is_leaf(&self) -> bool {
-        self.node().children.iter().all(|&c| c == NO_CHILD)
+        self.tree.arena.occupancy_byte(self.id.index()) == 0
     }
 
     /// The bitmask of occupied children (bit `i` = octant `i`).
     pub fn occupancy_byte(&self) -> u8 {
-        self.node().occupancy_byte()
+        self.tree.arena.occupancy_byte(self.id.index())
     }
-
-    fn node(&self) -> &'a Node {
-        &self.tree.nodes[self.id.index()]
-    }
-}
-
-#[inline]
-fn morton3(x: u64, y: u64, z: u64, bits: u8) -> u64 {
-    let mut code = 0u64;
-    for k in 0..u64::from(bits) {
-        code |= ((x >> k) & 1) << (3 * k);
-        code |= ((y >> k) & 1) << (3 * k + 1);
-        code |= ((z >> k) & 1) << (3 * k + 2);
-    }
-    code
 }
 
 #[cfg(test)]
@@ -616,5 +1020,37 @@ mod tests {
         let byte1 = t1.node(NodeId::ROOT).occupancy_byte();
         let byte2 = t2.node(NodeId::ROOT).occupancy_byte();
         assert_eq!(byte1 & 0b1000_0000, byte2 & 0b1000_0000);
+    }
+
+    #[test]
+    fn builder_reuse_matches_fresh_builds() {
+        let mut builder = OctreeBuilder::new();
+        let clouds = [unit_cloud(), {
+            let mut c = unit_cloud();
+            c.push(Point::xyz_rgb(0.25, 0.75, 0.5, 1, 2, 3));
+            c
+        }];
+        for cloud in &clouds {
+            for depth in [0u8, 1, 3, 6] {
+                let cfg = OctreeConfig::with_max_depth(depth);
+                let reused = builder.build(cloud, &cfg).unwrap();
+                let fresh = Octree::build(cloud, &cfg).unwrap();
+                assert_eq!(reused, fresh, "depth {depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_builds_are_bit_identical() {
+        let cloud = arvis_pointcloud::synth::SynthBodyConfig::new(
+            arvis_pointcloud::synth::SubjectProfile::Longdress,
+        )
+        .with_target_points(30_000)
+        .with_seed(5)
+        .generate();
+        let cfg = OctreeConfig::with_max_depth(9);
+        let parallel = Octree::build(&cloud, &cfg).unwrap();
+        let serial = par::serial_scope(|| Octree::build(&cloud, &cfg).unwrap());
+        assert_eq!(parallel, serial);
     }
 }

@@ -1,0 +1,276 @@
+//! Deterministic fork–join parallelism for the `arvis` hot paths.
+//!
+//! This crate plays the role rayon would play on a crates.io build, with two
+//! deliberate differences:
+//!
+//! 1. **Determinism by construction.** Every primitive decomposes work along
+//!    boundaries derived from the *data* (fixed chunk sizes, recursive
+//!    midpoints), never from the worker count. A callback observes exactly
+//!    the same `(index, chunk)` pairs whether the pool has 1 or 64 workers,
+//!    so floating-point accumulations performed per-chunk are bit-identical
+//!    across worker counts — and identical to the `--no-default-features`
+//!    serial build. This is what lets the octree and quality crates promise
+//!    "serial and parallel builds produce bit-identical results".
+//! 2. **No pool, no dependencies.** Workers are `std::thread::scope` threads
+//!    spawned per call. The hot paths this serves run for milliseconds per
+//!    frame, so spawn overhead (~10 µs/thread) is amortized; in exchange the
+//!    crate is ~200 lines of safe code the whole workspace can audit.
+//!
+//! The `parallel` feature (default on) enables threading; without it every
+//! primitive degenerates to the equivalent serial loop. [`serial_scope`]
+//! additionally forces serial execution at runtime, which the equivalence
+//! tests use to compare both modes inside one binary.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::cell::Cell;
+
+thread_local! {
+    static FORCE_SERIAL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with all primitives forced to serial, inline execution on the
+/// calling thread (used by serial-vs-parallel equivalence tests).
+pub fn serial_scope<R>(f: impl FnOnce() -> R) -> R {
+    FORCE_SERIAL.with(|s| {
+        let prev = s.replace(true);
+        let out = f();
+        s.set(prev);
+        out
+    })
+}
+
+/// The number of workers fork–join calls may fan out to: the machine's
+/// available parallelism, or 1 when the `parallel` feature is off or a
+/// [`serial_scope`] is active.
+pub fn workers() -> usize {
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+    #[cfg(feature = "parallel")]
+    {
+        if FORCE_SERIAL.with(Cell::get) {
+            1
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+///
+/// Like `rayon::join`; the closures always produce the same values as
+/// running `(a(), b())` sequentially.
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    #[cfg(feature = "parallel")]
+    {
+        if workers() > 1 {
+            return std::thread::scope(|s| {
+                let hb = s.spawn(b);
+                let ra = a();
+                (ra, hb.join().expect("parallel task panicked"))
+            });
+        }
+    }
+    (a(), b())
+}
+
+fn chunk_count(len: usize, chunk: usize) -> usize {
+    len.div_ceil(chunk)
+}
+
+/// Calls `f(chunk_index, chunk)` for every `chunk`-sized piece of `data`
+/// (the final piece may be shorter), fanning pieces out over the workers.
+///
+/// Chunk boundaries depend only on `data.len()` and `chunk`, so `f` sees
+/// the same pieces in every execution mode.
+///
+/// # Panics
+///
+/// Panics when `chunk == 0`.
+pub fn for_each_chunk<T: Sync>(data: &[T], chunk: usize, f: impl Fn(usize, &[T]) + Sync) {
+    assert!(chunk > 0, "chunk size must be positive");
+    let w = workers();
+    if w <= 1 || chunk_count(data.len(), chunk) <= 1 {
+        for (i, c) in data.chunks(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let nchunks = chunk_count(data.len(), chunk);
+        let per_worker = nchunks.div_ceil(w);
+        std::thread::scope(|s| {
+            for (wi, block) in data.chunks(per_worker * chunk).enumerate() {
+                let f = &f;
+                s.spawn(move || {
+                    for (i, c) in block.chunks(chunk).enumerate() {
+                        f(wi * per_worker + i, c);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Mutable variant of [`for_each_chunk`]: `f(chunk_index, chunk)` over
+/// disjoint `&mut` pieces.
+///
+/// # Panics
+///
+/// Panics when `chunk == 0`.
+pub fn for_each_chunk_mut<T: Send>(
+    data: &mut [T],
+    chunk: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk > 0, "chunk size must be positive");
+    let w = workers();
+    if w <= 1 || chunk_count(data.len(), chunk) <= 1 {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let nchunks = chunk_count(data.len(), chunk);
+        let per_worker = nchunks.div_ceil(w);
+        std::thread::scope(|s| {
+            for (wi, block) in data.chunks_mut(per_worker * chunk).enumerate() {
+                let f = &f;
+                s.spawn(move || {
+                    for (i, c) in block.chunks_mut(chunk).enumerate() {
+                        f(wi * per_worker + i, c);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Maps every `chunk`-sized piece of `data` through `f`, returning the
+/// per-chunk results **in chunk order** — the deterministic reduction
+/// pattern: chunk-local accumulation in parallel, then a serial in-order
+/// combine by the caller.
+///
+/// # Panics
+///
+/// Panics when `chunk == 0`.
+pub fn map_chunks<T: Sync, U: Send>(
+    data: &[T],
+    chunk: usize,
+    f: impl Fn(usize, &[T]) -> U + Sync,
+) -> Vec<U> {
+    assert!(chunk > 0, "chunk size must be positive");
+    let n = chunk_count(data.len(), chunk);
+    let mut out: Vec<Option<U>> = Vec::new();
+    out.resize_with(n, || None);
+    {
+        let slots = &mut out[..];
+        let w = workers();
+        if w <= 1 || n <= 1 {
+            for ((i, c), slot) in data.chunks(chunk).enumerate().zip(slots.iter_mut()) {
+                *slot = Some(f(i, c));
+            }
+        } else {
+            #[cfg(feature = "parallel")]
+            {
+                let per_worker = n.div_ceil(w);
+                std::thread::scope(|s| {
+                    for (wi, (block, out_block)) in data
+                        .chunks(per_worker * chunk)
+                        .zip(slots.chunks_mut(per_worker))
+                        .enumerate()
+                    {
+                        let f = &f;
+                        s.spawn(move || {
+                            for ((i, c), slot) in
+                                block.chunks(chunk).enumerate().zip(out_block.iter_mut())
+                            {
+                                *slot = Some(f(wi * per_worker + i, c));
+                            }
+                        });
+                    }
+                });
+            }
+        }
+    }
+    out.into_iter()
+        .map(|v| v.expect("every chunk produced a value"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "x".repeat(3));
+        assert_eq!(a, 4);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn chunk_indices_cover_everything_once() {
+        let data: Vec<u64> = (0..10_007).collect();
+        let seen = std::sync::Mutex::new(vec![0u32; chunk_count(data.len(), 64)]);
+        for_each_chunk(&data, 64, |i, c| {
+            assert_eq!(c[0], (i * 64) as u64, "chunk {i} starts wrong");
+            seen.lock().unwrap()[i] += 1;
+        });
+        assert!(seen.lock().unwrap().iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn chunk_mut_writes_disjoint() {
+        let mut data = vec![0u64; 1_000];
+        for_each_chunk_mut(&mut data, 37, |i, c| {
+            for v in c.iter_mut() {
+                *v = i as u64;
+            }
+        });
+        for (j, v) in data.iter().enumerate() {
+            assert_eq!(*v, (j / 37) as u64);
+        }
+    }
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        let data: Vec<u64> = (0..5_000).collect();
+        let sums = map_chunks(&data, 128, |_, c| c.iter().sum::<u64>());
+        assert_eq!(sums.len(), chunk_count(data.len(), 128));
+        assert_eq!(
+            sums.iter().sum::<u64>(),
+            data.iter().sum::<u64>(),
+            "chunk sums must total the full sum"
+        );
+        // First chunk is 0..128.
+        assert_eq!(sums[0], (0..128).sum::<u64>());
+    }
+
+    #[test]
+    fn serial_scope_forces_one_worker() {
+        serial_scope(|| {
+            assert_eq!(workers(), 1);
+        });
+    }
+
+    #[test]
+    fn serial_and_parallel_results_match() {
+        let data: Vec<u64> = (0..12_345).map(|i| i * 7 + 1).collect();
+        let par = map_chunks(&data, 100, |i, c| i as u64 + c.iter().sum::<u64>());
+        let ser = serial_scope(|| map_chunks(&data, 100, |i, c| i as u64 + c.iter().sum::<u64>()));
+        assert_eq!(par, ser);
+    }
+}

@@ -30,6 +30,7 @@ pub mod color;
 pub mod error;
 pub mod kdtree;
 pub mod math;
+pub mod morton;
 pub mod normals;
 pub mod ply;
 pub mod point;

@@ -87,30 +87,64 @@ fn normal_from_neighborhood(neighbors: &[Vec3]) -> Vec3 {
         return Vec3::Z; // all points coincident
     }
 
-    // Smallest eigenvector of C = largest eigenvector of (λI − C) with
-    // λ = trace (an upper bound on the largest eigenvalue). Power-iterate.
-    let m = [
-        [trace - xx, -xy, -xz],
-        [-xy, trace - yy, -yz],
-        [-xz, -yz, trace - zz],
-    ];
-    let mul = |v: Vec3| -> Vec3 {
-        Vec3::new(
-            m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
-            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
-            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z,
-        )
+    // Smallest eigenvalue of the symmetric covariance, in closed form
+    // (trigonometric method). Power iteration is unreliable here: its
+    // convergence rate collapses for near-collinear neighborhoods, exactly
+    // the degenerate case point clouds produce.
+    let q = trace / 3.0;
+    let p1 = xy * xy + xz * xz + yz * yz;
+    let mu_min = if p1 <= 1e-24 * trace * trace {
+        // Already diagonal: smallest diagonal entry is the eigenvalue.
+        xx.min(yy).min(zz)
+    } else {
+        let p2 = (xx - q).powi(2) + (yy - q).powi(2) + (zz - q).powi(2) + 2.0 * p1;
+        let p = (p2 / 6.0).sqrt();
+        // det((C − qI)/p) / 2, clamped into acos's domain.
+        let (bxx, byy, bzz) = ((xx - q) / p, (yy - q) / p, (zz - q) / p);
+        let (bxy, bxz, byz) = (xy / p, xz / p, yz / p);
+        let det_b = bxx * (byy * bzz - byz * byz) - bxy * (bxy * bzz - byz * bxz)
+            + bxz * (bxy * byz - byy * bxz);
+        let r = (det_b / 2.0).clamp(-1.0, 1.0);
+        let phi = r.acos() / 3.0;
+        // Eigenvalues are q + 2p·cos(φ + 2πk/3) with φ ∈ [0, π/3]; the
+        // k = 1 branch puts the angle in [2π/3, π], giving the smallest.
+        q + 2.0 * p * (phi + 2.0 * std::f64::consts::FRAC_PI_3).cos()
     };
-    // Deterministic start not parallel to anything special.
-    let mut v = Vec3::new(0.577_350_3, 0.577_350_3, 0.577_350_3);
-    for _ in 0..32 {
-        let next = mul(v);
-        match next.normalized() {
-            Some(u) => v = u,
-            None => return Vec3::Z, // degenerate operator
+
+    // Eigenvector: the kernel direction of (C − μ_min·I). Any two
+    // independent rows span the orthogonal complement, so the largest of
+    // the three pairwise row cross-products is the most numerically stable
+    // kernel vector.
+    let r0 = Vec3::new(xx - mu_min, xy, xz);
+    let r1 = Vec3::new(xy, yy - mu_min, yz);
+    let r2 = Vec3::new(xz, yz, zz - mu_min);
+    let candidates = [r0.cross(r1), r0.cross(r2), r1.cross(r2)];
+    let best = candidates
+        .into_iter()
+        .max_by(|a, b| a.norm_squared().total_cmp(&b.norm_squared()))
+        .expect("three candidates");
+    match best.normalized() {
+        Some(v) => v,
+        // Rank ≤ 1: the neighborhood is collinear or coincident, so every
+        // perpendicular is a valid normal; pick one deterministically.
+        None => {
+            let dir = r0
+                .norm_squared()
+                .max(r1.norm_squared())
+                .max(r2.norm_squared());
+            let row = if dir == r0.norm_squared() {
+                r0
+            } else if dir == r1.norm_squared() {
+                r1
+            } else {
+                r2
+            };
+            match row.cross(Vec3::X).normalized() {
+                Some(v) => v,
+                None => Vec3::Z,
+            }
         }
     }
-    v
 }
 
 /// Point-to-plane residual: `|(p − q) · n|` where `q` is the nearest

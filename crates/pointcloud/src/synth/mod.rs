@@ -269,7 +269,7 @@ fn noisy_color<R: Rng>(base: Color, amplitude: f64, rng: &mut R) -> Color {
     }
     let mut jitter = |c: u8| -> u8 {
         // Sum of two uniforms ≈ triangular noise centered at 0.
-        let n = (rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0)) * amplitude / 2.0;
+        let n = (rng.gen_range(-1.0f64..1.0) + rng.gen_range(-1.0f64..1.0)) * amplitude / 2.0;
         (f64::from(c) + n).clamp(0.0, 255.0) as u8
     };
     Color::new(jitter(base.r), jitter(base.g), jitter(base.b))

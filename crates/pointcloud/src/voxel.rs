@@ -190,15 +190,16 @@ impl VoxelGrid {
     /// The voxel key containing `p` (clamped to the grid).
     pub fn key_of(&self, p: Vec3) -> VoxelKey {
         let size = self.cube.size();
-        let rel = p - self.cube.min();
-        let f = |v: f64, extent: f64| -> u32 {
-            if extent <= 0.0 {
-                return 0;
-            }
-            let idx = (v / extent * f64::from(self.resolution)).floor();
-            (idx.max(0.0) as u32).min(self.resolution - 1)
+        let min = self.cube.min();
+        let cells = u64::from(self.resolution);
+        let f = |v: f64, lo: f64, extent: f64| -> u32 {
+            crate::morton::grid_cell(v, lo, crate::morton::grid_scale(extent, cells), cells) as u32
         };
-        VoxelKey::new(f(rel.x, size.x), f(rel.y, size.y), f(rel.z, size.z))
+        VoxelKey::new(
+            f(p.x, min.x, size.x),
+            f(p.y, min.y, size.y),
+            f(p.z, min.z, size.z),
+        )
     }
 
     /// The center position of a voxel.

@@ -1,0 +1,67 @@
+//! Deterministic chunked reductions shared by the metric hot paths.
+//!
+//! Every metric reduces a per-query quantity (squared distance, projected
+//! error, luma delta) over all points. The reductions here accumulate each
+//! fixed-size chunk serially, in parallel across chunks, then combine the
+//! per-chunk partials serially in chunk order — so the floating-point
+//! result is bit-identical regardless of worker count, and identical to
+//! the `--no-default-features` serial build.
+
+use arvis_par as par;
+
+/// Chunk length for the reductions. Fixed so the combining order never
+/// depends on the worker count.
+pub(crate) const REDUCE_CHUNK: usize = 1 << 12;
+
+/// Sum of `f` over all items (deterministic chunked association).
+pub(crate) fn sum_by<T: Sync>(items: &[T], f: impl Fn(usize, &T) -> f64 + Sync) -> f64 {
+    par::map_chunks(items, REDUCE_CHUNK, |ci, chunk| {
+        let base = ci * REDUCE_CHUNK;
+        let mut acc = 0.0f64;
+        for (j, item) in chunk.iter().enumerate() {
+            acc += f(base + j, item);
+        }
+        acc
+    })
+    .into_iter()
+    .sum()
+}
+
+/// Maximum of `f` over all items (exact: max is association-free).
+pub(crate) fn max_by<T: Sync>(items: &[T], f: impl Fn(usize, &T) -> f64 + Sync) -> f64 {
+    par::map_chunks(items, REDUCE_CHUNK, |ci, chunk| {
+        let base = ci * REDUCE_CHUNK;
+        let mut acc = f64::NEG_INFINITY;
+        for (j, item) in chunk.iter().enumerate() {
+            acc = acc.max(f(base + j, item));
+        }
+        acc
+    })
+    .into_iter()
+    .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_matches_serial_over_chunk_boundaries() {
+        let items: Vec<f64> = (0..(REDUCE_CHUNK * 3 + 17))
+            .map(|i| i as f64 * 0.5)
+            .collect();
+        let total = sum_by(&items, |_, &x| x);
+        let serial = arvis_par::serial_scope(|| sum_by(&items, |_, &x| x));
+        assert_eq!(total, serial);
+        assert!((total - items.iter().sum::<f64>()).abs() < 1e-6 * total.abs());
+    }
+
+    #[test]
+    fn max_is_exact() {
+        let items: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 9973) as f64).collect();
+        assert_eq!(
+            max_by(&items, |_, &x| x),
+            items.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        );
+    }
+}

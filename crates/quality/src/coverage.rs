@@ -24,11 +24,10 @@ pub fn coverage_fraction(
     }
     let tree = KdTree::build(degraded.positions());
     let r2 = radius * radius;
-    let covered = reference
-        .positions()
-        .filter(|p| tree.nearest_distance_squared(*p).expect("non-empty") <= r2)
-        .count();
-    Some(covered as f64 / reference.len() as f64)
+    let queries: Vec<arvis_pointcloud::math::Vec3> = reference.positions().collect();
+    let nn = tree.nearest_many(&queries);
+    let covered = crate::batch::sum_by(&nn, |_, &(_, d2)| f64::from(u8::from(d2 <= r2)));
+    Some(covered / reference.len() as f64)
 }
 
 /// Mean nearest-neighbor spacing within a cloud — a density measure

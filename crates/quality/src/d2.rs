@@ -63,15 +63,12 @@ pub fn plane_distortion_with_normals(
     }
     let tree = KdTree::build(reference.positions());
     let ref_points = reference.points();
-    let mse: f64 = degraded
-        .positions()
-        .map(|p| {
-            let (idx, _) = tree.nearest(p).expect("non-empty");
-            let d = point_to_plane_distance(p, ref_points[idx].position, normals[idx]);
-            d * d
-        })
-        .sum::<f64>()
-        / degraded.len() as f64;
+    let deg_pos: Vec<Vec3> = degraded.positions().collect();
+    let nn = tree.nearest_many(&deg_pos);
+    let mse: f64 = crate::batch::sum_by(&nn, |i, &(idx, _)| {
+        let d = point_to_plane_distance(deg_pos[i], ref_points[idx].position, normals[idx]);
+        d * d
+    }) / degraded.len() as f64;
     Some(PlaneDistortion {
         mse,
         peak: reference.aabb().expect("non-empty").diagonal(),

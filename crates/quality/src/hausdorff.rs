@@ -1,7 +1,15 @@
 //! Hausdorff and chamfer distances between point clouds.
+//!
+//! All nearest-neighbor lookups go through the batched
+//! [`KdTree::nearest_many`] fast path with deterministic chunked
+//! reductions (see `crate::batch`).
 
+use arvis_par as par;
 use arvis_pointcloud::cloud::PointCloud;
 use arvis_pointcloud::kdtree::KdTree;
+use arvis_pointcloud::math::Vec3;
+
+use crate::batch;
 
 /// One-sided Hausdorff distance: the maximum over points of `from` of the
 /// distance to the nearest point of `to`.
@@ -12,19 +20,25 @@ pub fn hausdorff_one_sided(from: &PointCloud, to: &PointCloud) -> Option<f64> {
         return None;
     }
     let tree = KdTree::build(to.positions());
-    from.positions()
-        .map(|p| tree.nearest_distance_squared(p).expect("non-empty"))
-        .fold(None, |acc: Option<f64>, d2| {
-            Some(acc.map_or(d2, |a| a.max(d2)))
-        })
-        .map(f64::sqrt)
+    let queries: Vec<Vec3> = from.positions().collect();
+    let nn = tree.nearest_many(&queries);
+    Some(batch::max_by(&nn, |_, &(_, d2)| d2).sqrt())
 }
 
 /// Symmetric Hausdorff distance: `max` of the two one-sided distances.
 pub fn hausdorff(a: &PointCloud, b: &PointCloud) -> Option<f64> {
-    let ab = hausdorff_one_sided(a, b)?;
-    let ba = hausdorff_one_sided(b, a)?;
-    Some(ab.max(ba))
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let a_pos: Vec<Vec3> = a.positions().collect();
+    let b_pos: Vec<Vec3> = b.positions().collect();
+    let (tree_b, tree_a) = par::join(
+        || KdTree::build(b_pos.iter().copied()),
+        || KdTree::build(a_pos.iter().copied()),
+    );
+    let ab = batch::max_by(&tree_b.nearest_many(&a_pos), |_, &(_, d2)| d2);
+    let ba = batch::max_by(&tree_a.nearest_many(&b_pos), |_, &(_, d2)| d2);
+    Some(ab.max(ba).sqrt())
 }
 
 /// Symmetric chamfer distance: the sum of both directions' mean
@@ -33,15 +47,17 @@ pub fn chamfer(a: &PointCloud, b: &PointCloud) -> Option<f64> {
     if a.is_empty() || b.is_empty() {
         return None;
     }
-    let tree_b = KdTree::build(b.positions());
-    let tree_a = KdTree::build(a.positions());
-    let mean = |from: &PointCloud, to: &KdTree| -> f64 {
-        from.positions()
-            .map(|p| to.nearest_distance_squared(p).expect("non-empty").sqrt())
-            .sum::<f64>()
-            / from.len() as f64
+    let a_pos: Vec<Vec3> = a.positions().collect();
+    let b_pos: Vec<Vec3> = b.positions().collect();
+    let (tree_b, tree_a) = par::join(
+        || KdTree::build(b_pos.iter().copied()),
+        || KdTree::build(a_pos.iter().copied()),
+    );
+    let mean = |queries: &[Vec3], to: &KdTree| -> f64 {
+        let nn = to.nearest_many(queries);
+        batch::sum_by(&nn, |_, &(_, d2)| d2.sqrt()) / queries.len() as f64
     };
-    Some(mean(a, &tree_b) + mean(b, &tree_a))
+    Some(mean(&a_pos, &tree_b) + mean(&b_pos, &tree_a))
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod batch;
 pub mod coverage;
 pub mod d2;
 pub mod hausdorff;

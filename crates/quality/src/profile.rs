@@ -9,7 +9,7 @@
 
 use std::ops::RangeInclusive;
 
-use arvis_octree::{LodMode, Octree, OctreeConfig, OctreeError};
+use arvis_octree::{LodMode, OctreeBuilder, OctreeConfig, OctreeError};
 use arvis_pointcloud::cloud::PointCloud;
 use serde::{Deserialize, Serialize};
 
@@ -99,11 +99,23 @@ impl DepthProfile {
         depths: RangeInclusive<u8>,
         metric: QualityMetric,
     ) -> Result<DepthProfile, ProfileError> {
+        Self::measure_with_builder(cloud, depths, metric, &mut OctreeBuilder::new())
+    }
+
+    /// Measures a profile with an explicit quality metric, reusing the
+    /// given builder's scratch buffers — the per-frame fast path for
+    /// streaming pipelines that profile every frame of a sequence.
+    pub fn measure_with_builder(
+        cloud: &PointCloud,
+        depths: RangeInclusive<u8>,
+        metric: QualityMetric,
+        builder: &mut OctreeBuilder,
+    ) -> Result<DepthProfile, ProfileError> {
         let (min_depth, max_depth) = (*depths.start(), *depths.end());
         if min_depth >= max_depth {
             return Err(ProfileError::BadRange);
         }
-        let tree = Octree::build(cloud, &OctreeConfig::with_max_depth(max_depth))?;
+        let tree = builder.build(cloud, &OctreeConfig::with_max_depth(max_depth))?;
         let arrivals: Vec<f64> = (min_depth..=max_depth)
             .map(|d| tree.occupied_at_depth(d) as f64)
             .collect();

@@ -1,0 +1,448 @@
+//! Vendored `criterion` shim.
+//!
+//! Implements the criterion 0.5 API surface this workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`) on a simple
+//! median-of-samples timer, and — unlike stock criterion — writes every
+//! result into one machine-readable JSON file so perf baselines can be
+//! committed and compared across PRs.
+//!
+//! # Output format
+//!
+//! Results merge into `$ARVIS_BENCH_JSON` (default `BENCH_baseline.json` at
+//! the enclosing repository/workspace root). The file is a single JSON object mapping
+//! benchmark ids (`group/function` or `group/function/param`) to:
+//!
+//! ```json
+//! {
+//!   "octree_build_points/10000": {
+//!     "median_ns": 1234567.0, "samples": 10, "iters_per_sample": 3,
+//!     "throughput_elems": 10000, "elems_per_sec": 8100000.0
+//!   }
+//! }
+//! ```
+//!
+//! Existing entries for other benchmarks are preserved on merge, so running
+//! the whole bench suite accumulates one complete baseline file.
+//!
+//! # CLI
+//!
+//! `cargo bench` arguments understood: `--test` (smoke mode: every benchmark
+//! runs exactly once, nothing is written), a plain substring filters which
+//! benchmarks run. Everything else is ignored.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-rate annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name supplies the function part).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher<'a> {
+    mode: Mode,
+    result: &'a mut Option<Measurement>,
+    sample_size: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement.
+    Measure,
+    /// `--test`: run the routine once to prove it works.
+    Smoke,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    median_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+impl<'a> Bencher<'a> {
+    /// Times `routine`, storing the median per-iteration nanoseconds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            return;
+        }
+        // Warm-up / calibration run.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        // Budget ~120 ms of measurement, split over `sample_size` samples,
+        // at least one iteration per sample.
+        let budget = Duration::from_millis(120);
+        let total_iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let samples = self.sample_size.clamp(2, 100);
+        let iters = (total_iters / samples as u64).max(1);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        let median = per_iter[per_iter.len() / 2];
+        *self.result = Some(Measurement {
+            median_ns: median,
+            samples,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    id: String,
+    median_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+    throughput: Option<Throughput>,
+}
+
+/// The benchmark driver, holding accumulated results and CLI options.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    records: Vec<BenchRecord>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Measure,
+            filter: None,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--test`, name filter).
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.mode = Mode::Smoke,
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                s if s.starts_with("--") => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// `true` when `id` passes the CLI name filter (always true without a
+    /// filter). Lets custom harness code outside the groups honor the same
+    /// `cargo bench -- <substring>` selection the shim applies.
+    pub fn should_run(&self, id: &str) -> bool {
+        self.filter.as_ref().is_none_or(|f| id.contains(f.as_str()))
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) {
+        self.run_one(name.to_string(), None, 10, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut result = None;
+        let mut b = Bencher {
+            mode: self.mode,
+            result: &mut result,
+            sample_size,
+        };
+        f(&mut b);
+        match self.mode {
+            Mode::Smoke => eprintln!("bench {id}: ok (smoke)"),
+            Mode::Measure => {
+                if let Some(m) = result {
+                    eprintln!(
+                        "bench {id}: median {:.1} ns ({} samples x {} iters)",
+                        m.median_ns, m.samples, m.iters_per_sample
+                    );
+                    self.records.push(BenchRecord {
+                        id,
+                        median_ns: m.median_ns,
+                        samples: m.samples,
+                        iters_per_sample: m.iters_per_sample,
+                        throughput,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Writes accumulated results into the JSON baseline file.
+    /// Called by [`criterion_main!`] after all groups have run.
+    pub fn final_summary(&mut self) {
+        if self.records.is_empty() {
+            return;
+        }
+        let path = default_results_path();
+        let mut entries = read_entries(&path);
+        for r in &self.records {
+            let mut v = format!(
+                "{{ \"median_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}",
+                r.median_ns, r.samples, r.iters_per_sample
+            );
+            match r.throughput {
+                Some(Throughput::Elements(n)) => {
+                    let rate = n as f64 / (r.median_ns * 1e-9);
+                    v.push_str(&format!(
+                        ", \"throughput_elems\": {n}, \"elems_per_sec\": {rate:.1}"
+                    ));
+                }
+                Some(Throughput::Bytes(n)) => {
+                    let rate = n as f64 / (r.median_ns * 1e-9);
+                    v.push_str(&format!(
+                        ", \"throughput_bytes\": {n}, \"bytes_per_sec\": {rate:.1}"
+                    ));
+                }
+                None => {}
+            }
+            v.push_str(" }");
+            entries.insert(r.id.clone(), v);
+        }
+        write_entries(&path, &entries);
+        eprintln!("bench results merged into {}", path.display());
+        self.records.clear();
+    }
+}
+
+/// Resolves where benchmark results are written: `$ARVIS_BENCH_JSON` when
+/// set; otherwise `BENCH_baseline.json` in the nearest ancestor directory
+/// that looks like a repository/workspace root (contains `.git` or a
+/// `Cargo.toml` declaring `[workspace]`), falling back to the invocation
+/// directory. Cargo runs bench binaries with the *package* directory as
+/// cwd, so the walk-up is what puts one shared baseline at the repo root.
+pub fn default_results_path() -> std::path::PathBuf {
+    if let Some(p) = std::env::var_os("ARVIS_BENCH_JSON") {
+        return std::path::PathBuf::from(p);
+    }
+    if let Ok(mut dir) = std::env::current_dir() {
+        for _ in 0..6 {
+            let is_root = dir.join(".git").exists()
+                || std::fs::read_to_string(dir.join("Cargo.toml"))
+                    .map(|t| t.contains("[workspace]"))
+                    .unwrap_or(false);
+            if is_root {
+                return dir.join("BENCH_baseline.json");
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    std::path::PathBuf::from("BENCH_baseline.json")
+}
+
+/// Reads the id → raw-JSON-value map back from a file this shim wrote.
+/// The writer emits exactly one `  "id": value,` line per entry, so a
+/// line-oriented parse is exact (not a general JSON parser).
+fn read_entries(path: &std::path::Path) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return out;
+    };
+    for line in text.lines() {
+        let line = line.trim_end().trim_end_matches(',');
+        let Some(rest) = line.trim_start().strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, value)) = rest.split_once("\": ") else {
+            continue;
+        };
+        out.insert(key.to_string(), value.to_string());
+    }
+    out
+}
+
+fn write_entries(path: &std::path::Path, entries: &BTreeMap<String, String>) {
+    let mut text = String::from("{\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        text.push_str(&format!("  \"{k}\": {v}{sep}\n"));
+    }
+    text.push_str("}\n");
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// One group of related benchmarks sharing sample size and throughput.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Sets how many timing samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks a closure under `group/name`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion
+            .run_one(full, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks a closure with a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion
+            .run_one(full, self.throughput, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main()` running each listed group, then writing the summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn entries_roundtrip_via_file() {
+        let dir = std::env::temp_dir().join("criterion_shim_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let mut m = BTreeMap::new();
+        m.insert("a/1".to_string(), "{ \"median_ns\": 5.0 }".to_string());
+        m.insert("b/2".to_string(), "{ \"median_ns\": 7.5 }".to_string());
+        write_entries(&path, &m);
+        let back = read_entries(&path);
+        assert_eq!(back, m);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn measure_records_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("one", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].median_ns > 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Vendored `crossbeam` shim.
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam 0.8 call shape
+//! (spawned closures receive a `&Scope` argument), implemented on
+//! `std::thread::scope`. Panic propagation differs slightly: std's scope
+//! re-raises child panics at scope exit, so the returned `Result` is always
+//! `Ok` — callers' `.expect(...)` on it is then a no-op, which preserves
+//! their intent (abort on worker panic).
+
+/// Scoped threads.
+pub mod thread {
+    /// Result of a scoped execution.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle; spawn borrows non-`'static` data.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives a `&Scope`
+        /// so it can spawn nested work, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let sums = std::sync::Mutex::new(Vec::new());
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                let sums = &sums;
+                s.spawn(move |_| {
+                    sums.lock().unwrap().push(chunk.iter().sum::<u64>());
+                });
+            }
+        })
+        .unwrap();
+        let mut got = sums.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 7]);
+    }
+}

@@ -1,0 +1,11 @@
+//! Vendored serde facade: re-exports the no-op derive macros and provides
+//! marker traits of the same names, so `use serde::{Serialize, Deserialize}`
+//! resolves in both the macro and trait namespaces.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (never used at runtime here).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (never used at runtime here).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace annotates its data types with serde derives so downstream
+//! users on crates.io builds get serialization for free, but nothing in the
+//! workspace itself calls serde at runtime. This offline shim accepts the
+//! derive (and any `#[serde(...)]` attributes) and expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -3,13 +3,14 @@
 use proptest::prelude::*;
 
 use arvis::lyapunov::dpp::{Candidate, DppController};
+use arvis::octree::occupancy::{decode_occupancy, encode_occupancy};
 use arvis::octree::{LodMode, Octree, OctreeConfig};
 use arvis::pointcloud::cloud::PointCloud;
 use arvis::pointcloud::kdtree::KdTree;
 use arvis::pointcloud::math::Vec3;
 use arvis::pointcloud::ply::{read_ply, write_ply, Encoding};
 use arvis::pointcloud::point::Point;
-use arvis::pointcloud::voxel::VoxelKey;
+use arvis::pointcloud::voxel::{VoxelGrid, VoxelKey};
 use arvis::sim::queue::WorkQueue;
 
 fn arb_point() -> impl Strategy<Value = Point> {
@@ -67,6 +68,79 @@ proptest! {
                 prop_assert!(cube.contains(p.position));
             }
         }
+    }
+
+    #[test]
+    fn occupancy_roundtrip_at_every_depth(cloud in arb_cloud(150), max_depth in 1u8..7) {
+        // Encode→decode round-trip of the occupancy stream at every depth:
+        // the decoded voxel-center cloud must be exactly the LoD extraction
+        // at that depth (same voxel set, same centers).
+        let tree = Octree::build(&cloud, &OctreeConfig::with_max_depth(max_depth)).unwrap();
+        for depth in 1..=max_depth {
+            let stream = encode_occupancy(&tree, depth);
+            let decoded = decode_occupancy(stream, tree.cube()).unwrap();
+            let lod = tree.extract_lod(depth, LodMode::VoxelCenters);
+            prop_assert_eq!(decoded.len(), lod.cloud.len(), "size mismatch at depth {}", depth);
+            let mut got: Vec<_> = decoded
+                .positions()
+                .map(|p| (p.x.to_bits(), p.y.to_bits(), p.z.to_bits()))
+                .collect();
+            let mut want: Vec<_> = lod
+                .cloud
+                .positions()
+                .map(|p| (p.x.to_bits(), p.y.to_bits(), p.z.to_bits()))
+                .collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "voxel centers differ at depth {}", depth);
+        }
+    }
+
+    #[test]
+    fn octree_matches_brute_force_voxelizer(cloud in arb_cloud(250), depth in 1u8..7) {
+        // The SoA Morton build must agree with the brute-force hash-map
+        // voxelizer over the same cube and resolution: same occupied-voxel
+        // count at max depth, and per-voxel counts, centroids and mean
+        // colors.
+        let tree = Octree::build(&cloud, &OctreeConfig::with_max_depth(depth)).unwrap();
+        // The brute-force grid rejects degenerate (single-point) cubes.
+        prop_assume!(tree.cube().max_extent() > 0.0);
+        let grid = VoxelGrid::from_cloud_in_cube(&cloud, tree.cube(), 1u32 << depth).unwrap();
+        prop_assert_eq!(tree.occupied_at_depth(depth), grid.occupied());
+        for id in tree.nodes_at_depth(depth).collect::<Vec<_>>() {
+            let node = tree.node(id);
+            let center = node.mean_position();
+            let key = grid.key_of(center);
+            let cell = grid.cell(key);
+            prop_assert!(cell.is_some(), "voxel missing from grid for node {:?}", id);
+            let cell = cell.unwrap();
+            prop_assert_eq!(cell.count, node.count(), "count mismatch at {:?}", id);
+            prop_assert!(
+                cell.mean_position().distance(center) < 1e-9,
+                "centroid mismatch at {:?}",
+                id
+            );
+            prop_assert_eq!(cell.mean_color(), node.mean_color(), "color mismatch at {:?}", id);
+        }
+    }
+
+    #[test]
+    fn octree_serial_parallel_equivalence(cloud in arb_cloud(200), depth in 1u8..7) {
+        // The parallel build must be bit-identical to the forced-serial
+        // build: same arena, same level table, same cube.
+        let cfg = OctreeConfig::with_max_depth(depth);
+        let parallel = Octree::build(&cloud, &cfg).unwrap();
+        let serial = arvis_par::serial_scope(|| Octree::build(&cloud, &cfg).unwrap());
+        prop_assert_eq!(&parallel, &serial);
+        // And the quality metrics over its LoD agree bit-for-bit too.
+        let lod = parallel.extract_lod(depth, LodMode::VoxelCenters);
+        let par_mse = arvis::quality::psnr::geometry_distortion(&cloud, &lod.cloud)
+            .unwrap();
+        let ser_mse = arvis_par::serial_scope(|| {
+            arvis::quality::psnr::geometry_distortion(&cloud, &lod.cloud).unwrap()
+        });
+        prop_assert_eq!(par_mse.mse_symmetric.to_bits(), ser_mse.mse_symmetric.to_bits());
+        prop_assert_eq!(par_mse.mse_forward.to_bits(), ser_mse.mse_forward.to_bits());
     }
 
     #[test]
