@@ -1,0 +1,103 @@
+//! Control-plane throughput: slots/second for a 10k-session
+//! [`SessionBatch`] versus 10k sequential `Experiment::run` calls over the
+//! same scenario.
+//!
+//! The batch path uses streaming summary-only sinks (O(sessions) memory);
+//! the sequential path is the legacy one-device-at-a-time loop with its
+//! full per-run traces. Both simulate exactly the same sessions, so the
+//! recorded `session_throughput/speedup` ratio isolates the runtime's
+//! contribution (SoA state, enum-dispatched controllers, chunked
+//! `arvis_par` fan-out, no per-slot trace allocation).
+
+use criterion::{criterion_group, Criterion, Throughput};
+use std::hint::black_box;
+
+use arvis_core::experiment::{Experiment, ExperimentConfig, ServiceSpec};
+use arvis_core::scenario::{ControllerSpec, Scenario};
+use arvis_core::session::SessionBatch;
+use arvis_quality::DepthProfile;
+
+const SESSIONS: usize = 10_000;
+const SLOTS: u64 = 100;
+
+/// The paper-shaped synthetic profile (quadrupling arrivals, saturating
+/// quality) — `from_parts` so the bench measures the control plane, not
+/// octree profiling.
+fn profile() -> DepthProfile {
+    DepthProfile::from_parts(
+        5,
+        vec![100.0, 400.0, 1600.0, 6400.0, 25600.0, 102400.0],
+        vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+    )
+}
+
+/// 10k proposed-scheduler sessions on heterogeneous devices (rates spread
+/// ±25% around the Fig. 2-style operating point), decorrelated seeds.
+fn scenario() -> Scenario {
+    let base = ExperimentConfig::new(profile(), 2_000.0, SLOTS).with_controller_v(1e7);
+    let mut scenario = Scenario::replicated(
+        &base,
+        ControllerSpec::Proposed {
+            v: base.controller_v,
+        },
+        SESSIONS,
+    );
+    for (i, spec) in scenario.sessions.iter_mut().enumerate() {
+        let frac = i as f64 / (SESSIONS - 1) as f64;
+        spec.service = ServiceSpec::Constant(2_000.0 * (0.75 + 0.5 * frac));
+    }
+    scenario
+}
+
+fn bench_session_throughput(c: &mut Criterion) {
+    let scenario = scenario();
+
+    let mut group = c.benchmark_group("session_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SESSIONS as u64 * SLOTS));
+
+    group.bench_function("batch_10k_sessions", |b| {
+        b.iter(|| {
+            let mut batch = SessionBatch::summary_only(black_box(&scenario));
+            batch.run();
+            let summaries = batch.into_summaries();
+            black_box(summaries.len())
+        });
+    });
+
+    group.bench_function("sequential_10k_runs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for spec in &scenario.sessions {
+                let mut cfg = ExperimentConfig::new(profile(), 2_000.0, SLOTS)
+                    .with_service(spec.service)
+                    .with_seed(spec.seed);
+                cfg.warmup = spec.warmup;
+                let mut controller = spec.controller.build();
+                let r = Experiment::new(cfg).run(&mut controller);
+                acc += r.mean_backlog;
+            }
+            black_box(acc)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_throughput);
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let mut c = Criterion::from_args();
+    benches(&mut c);
+    c.final_summary();
+    if !smoke {
+        // Records "session_throughput/speedup": the ratio of the legacy
+        // sequential loop's median over the batch runtime's median.
+        arvis_bench::report::record_speedups(&[(
+            "session_throughput",
+            "sequential_10k_runs",
+            "batch_10k_sessions",
+        )]);
+    }
+}

@@ -17,11 +17,12 @@ use arvis_core::controller::{MaxDepth, MinDepth, ProposedDpp};
 use arvis_core::distributed::{fleet_csv, run_fleet, FleetSpec};
 use arvis_core::experiment::{Experiment, ExperimentResult};
 use arvis_core::sweep::{log_grid, rate_sweep, rate_sweep_csv, v_sweep, v_sweep_csv};
+use arvis_core::telemetry::series_csv;
 use arvis_octree::{LodMode, Octree, OctreeConfig};
 use arvis_pointcloud::synth::{SubjectProfile, SynthBodyConfig};
 use arvis_quality::profile::{DepthProfile, QualityMetric};
 use arvis_quality::psnr::geometry_distortion;
-use arvis_sim::stats::{series_to_csv, write_csv_file, TimeSeries};
+use arvis_sim::stats::{write_csv_file, TimeSeries};
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -168,7 +169,7 @@ fn fig2(opts: &Options) {
     let renamed =
         |series: &TimeSeries, name: &str| TimeSeries::from_values(name, series.values().to_vec());
 
-    let fig2a = series_to_csv(&[
+    let fig2a = series_csv(&[
         &renamed(&proposed.backlog, "proposed"),
         &renamed(&max_run.backlog, "only_max_depth"),
         &renamed(&min_run.backlog, "only_min_depth"),
@@ -176,7 +177,7 @@ fn fig2(opts: &Options) {
     let path_a = results_dir().join("fig2a_queue_backlog.csv");
     write_csv_file(&path_a, &fig2a).expect("write fig2a");
 
-    let fig2b = series_to_csv(&[
+    let fig2b = series_csv(&[
         &renamed(&proposed.depth, "proposed"),
         &renamed(&max_run.depth, "only_max_depth"),
         &renamed(&min_run.depth, "only_min_depth"),

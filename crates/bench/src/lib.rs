@@ -12,7 +12,8 @@
 //!
 //! `cargo bench` runs the Criterion-style benches under `benches/`
 //! (`octree_build`, `lod_extraction`, `quality_metrics`, `end_to_end_slot`,
-//! `queue_ops`, `decision_complexity`, `quality_model_ablation`). Every
+//! `queue_ops`, `decision_complexity`, `quality_model_ablation`,
+//! `session_throughput`). Every
 //! benchmark's result merges into **one machine-readable JSON file** so
 //! perf baselines can be committed and compared across PRs:
 //!

@@ -3,17 +3,20 @@
 //! §II of the paper: "our solution can be computed in a distributed manner,
 //! because it works with closed-form equation computation with no side
 //! information." This module demonstrates it: `M` devices, each with its own
-//! queue, stream and scheduler, run concurrently with **zero shared state**
-//! (each thread owns everything it touches); per-device stability and
-//! quality match the single-device runs.
+//! queue, stream and scheduler, run concurrently with **zero shared state**;
+//! per-device stability and quality match the single-device runs.
+//!
+//! Since the session-runtime redesign the fleet is a thin layer over
+//! [`Scenario::fleet`] + [`SessionBatch`]: device state lives in the
+//! batch's parallel arrays and every slot fans out over `arvis_par`
+//! workers. The "no side information" claim survives mechanically — the
+//! per-session stepping kernel touches only that session's arrays, and
+//! batch results are bit-identical at every worker count.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
-
-use arvis_sim::rng::child_seed;
-
-use crate::controller::ProposedDpp;
-use crate::experiment::{Experiment, ExperimentConfig, ExperimentResult};
+use crate::experiment::{ExperimentConfig, ExperimentResult, ServiceSpec};
+use crate::scenario::Scenario;
+use crate::session::SessionBatch;
+use crate::telemetry::CsvRow;
 
 /// Heterogeneity of a device fleet.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,63 +63,64 @@ pub struct DeviceOutcome {
     pub result: ExperimentResult,
 }
 
-/// Runs `fleet.devices` independent copies of the experiment concurrently,
-/// one OS thread per device, with decorrelated seeds and (optionally)
-/// heterogeneous service rates. No scheduler state is shared — compiling
-/// this function is itself evidence of the "no side information" claim,
-/// since each closure moves its own controller and queue.
+/// Runs `fleet.devices` independent copies of the experiment concurrently
+/// through a [`SessionBatch`], with decorrelated seeds and (optionally)
+/// heterogeneous service rates. No scheduler state is shared: each session
+/// owns its controller and queue inside the batch arrays.
 ///
 /// # Panics
 ///
 /// Panics when `fleet.devices == 0` or the base config does not use a
 /// constant-rate service (heterogeneity is defined on constant rates).
 pub fn run_fleet(base: &ExperimentConfig, fleet: FleetSpec) -> Vec<DeviceOutcome> {
-    assert!(fleet.devices > 0, "need at least one device");
-    let base_rate = match base.service {
-        crate::experiment::ServiceSpec::Constant(r) => r,
-        _ => panic!("fleet experiments require a constant-rate base service"),
-    };
-    let outcomes: Mutex<Vec<DeviceOutcome>> = Mutex::new(Vec::with_capacity(fleet.devices));
-    thread::scope(|scope| {
-        for i in 0..fleet.devices {
-            let base = base.clone();
-            let outcomes = &outcomes;
-            scope.spawn(move |_| {
-                let rate = if fleet.devices == 1 || fleet.rate_spread == 0.0 {
-                    base_rate
-                } else {
-                    let frac = i as f64 / (fleet.devices - 1) as f64;
-                    base_rate * (1.0 - fleet.rate_spread / 2.0 + fleet.rate_spread * frac)
-                };
-                let v = base.controller_v;
-                let cfg = base
-                    .with_service(crate::experiment::ServiceSpec::Constant(rate))
-                    .with_seed(child_seed(0xF1EE7, i as u64));
-                // Each device owns its controller: no side information.
-                let mut controller = ProposedDpp::new(v);
-                let result = Experiment::new(cfg).run(&mut controller);
-                outcomes.lock().push(DeviceOutcome {
-                    device: i,
-                    service_rate: rate,
-                    result,
-                });
-            });
-        }
-    })
-    .expect("device thread panicked");
-    let mut out = outcomes.into_inner();
-    out.sort_by_key(|o| o.device);
-    out
+    let scenario = Scenario::fleet(base, fleet);
+    let rates: Vec<f64> = scenario
+        .sessions
+        .iter()
+        .map(|s| match s.service {
+            ServiceSpec::Constant(r) => r,
+            _ => unreachable!("Scenario::fleet emits constant-rate sessions"),
+        })
+        .collect();
+    // Chunk size 1: a fleet is few sessions with long runs, so the fan-out
+    // unit is one device — the per-device concurrency the thread-per-device
+    // implementation had (results are chunk-invariant either way).
+    let mut batch = SessionBatch::full_trace(&scenario).with_chunk_size(1);
+    batch.run();
+    batch
+        .into_results()
+        .into_iter()
+        .zip(rates)
+        .enumerate()
+        .map(|(device, (result, service_rate))| DeviceOutcome {
+            device,
+            service_rate,
+            result,
+        })
+        .collect()
 }
 
 /// Fleet-level summary CSV: one row per device.
 pub fn fleet_csv(outcomes: &[DeviceOutcome]) -> String {
-    let mut out = String::from("device,service_rate,mean_quality,mean_backlog,stable\n");
+    let mut out = CsvRow::new()
+        .field("device")
+        .field("service_rate")
+        .field("mean_quality")
+        .field("mean_backlog")
+        .field("stable")
+        .finish();
+    out.push('\n');
     for o in outcomes {
-        out.push_str(&format!(
-            "{},{:.1},{:.6},{:.3},{}\n",
-            o.device, o.service_rate, o.result.mean_quality, o.result.mean_backlog, o.result.stable
-        ));
+        out.push_str(
+            &CsvRow::new()
+                .field(o.device)
+                .fixed(o.service_rate, 1)
+                .fixed(o.result.mean_quality, 6)
+                .fixed(o.result.mean_backlog, 3)
+                .field(o.result.stable)
+                .finish(),
+        );
+        out.push('\n');
     }
     out
 }
@@ -124,7 +128,10 @@ pub fn fleet_csv(outcomes: &[DeviceOutcome]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::controller::ProposedDpp;
+    use crate::experiment::Experiment;
     use arvis_quality::DepthProfile;
+    use arvis_sim::rng::child_seed;
 
     fn base() -> ExperimentConfig {
         let profile = DepthProfile::from_parts(

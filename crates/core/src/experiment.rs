@@ -5,15 +5,24 @@
 //! its capacity → record backlog, chosen depth and quality. Figs. 2(a) and
 //! 2(b) of the paper are exactly the `backlog` and `depth` series of three
 //! runs (proposed / only-max / only-min) over 800 slots.
+//!
+//! Since the session-runtime redesign this module is a thin compatibility
+//! layer: [`Experiment::run`] drives one [`crate::session::Session`] to
+//! completion under a [`crate::telemetry::FullTrace`] sink and produces
+//! numbers bit-identical to the original closed loop. New code that steps
+//! incrementally or batches many devices should use
+//! [`crate::scenario::Scenario`] and [`crate::session::SessionBatch`]
+//! directly.
 
-use arvis_sim::latency::FifoLatencyTracker;
-use arvis_sim::queue::WorkQueue;
 use arvis_sim::service::{ConstantRate, DutyCycledRate, JitteredRate, ServiceProcess};
 use arvis_sim::stats::{SummaryStats, TimeSeries};
 use serde::{Deserialize, Serialize};
 
 use crate::controller::{DepthController, ProposedDpp};
+use crate::scenario::{ControllerSpec, SessionSpec};
+use crate::session::Session;
 use crate::stream::ArStream;
+use crate::telemetry::{CsvRow, FullTrace};
 use arvis_quality::DepthProfile;
 
 /// Cloneable specification of a service process (built per run so repeated
@@ -173,6 +182,11 @@ pub struct ExperimentResult {
     pub mean_quality: f64,
     /// Time-average backlog after warm-up — the constraint proxy (Eq. 2).
     pub mean_backlog: f64,
+    /// Distribution of the post-warm-up backlog (exact nearest-rank
+    /// percentiles). The Lyapunov bound is about tails, not means: a run
+    /// with a benign `mean_backlog` can still hide p99 excursions an order
+    /// of magnitude above it.
+    pub backlog_tail: SummaryStats,
     /// Little's-law delay estimate in slots.
     pub littles_delay: Option<f64>,
     /// Exact per-frame FIFO sojourn times (slots), over frames completed
@@ -190,7 +204,7 @@ pub struct ExperimentResult {
 impl ExperimentResult {
     /// All series as CSV (slot-indexed columns).
     pub fn to_csv(&self) -> String {
-        arvis_sim::stats::series_to_csv(&[
+        crate::telemetry::series_csv(&[
             &self.backlog,
             &self.depth,
             &self.quality,
@@ -199,24 +213,28 @@ impl ExperimentResult {
         ])
     }
 
-    /// One summary line: `controller,mean_quality,mean_backlog,stable,...`.
+    /// One summary line: `controller,mean_quality,mean_backlog,stable,...`,
+    /// including the p95/p99 backlog and delay tails.
     pub fn summary_csv_row(&self) -> String {
-        format!(
-            "{},{:.6},{:.3},{},{:.3},{:.3},{:.3},{:.1}",
-            self.controller,
-            self.mean_quality,
-            self.mean_backlog,
-            self.stable,
-            self.littles_delay.unwrap_or(f64::NAN),
-            self.frame_latency.mean,
-            self.frame_latency.p95,
-            self.dropped_total,
-        )
+        CsvRow::new()
+            .field(&self.controller)
+            .fixed(self.mean_quality, 6)
+            .fixed(self.mean_backlog, 3)
+            .field(self.stable)
+            .fixed(self.littles_delay.unwrap_or(f64::NAN), 3)
+            .fixed(self.frame_latency.mean, 3)
+            .fixed(self.frame_latency.p95, 3)
+            .fixed(self.dropped_total, 1)
+            .fixed(self.backlog_tail.p95, 3)
+            .fixed(self.backlog_tail.p99, 3)
+            .fixed(self.frame_latency.p99, 3)
+            .finish()
     }
 
     /// Header matching [`ExperimentResult::summary_csv_row`].
     pub fn summary_csv_header() -> &'static str {
-        "controller,mean_quality,mean_backlog,stable,littles_delay,frame_latency_mean,frame_latency_p95,dropped_total"
+        "controller,mean_quality,mean_backlog,stable,littles_delay,frame_latency_mean,\
+         frame_latency_p95,dropped_total,backlog_p95,backlog_p99,frame_latency_p99"
     }
 }
 
@@ -238,66 +256,24 @@ impl Experiment {
     }
 
     /// Runs the closed loop with the given controller.
+    ///
+    /// This is now a compatibility shim over the incremental session
+    /// runtime: it drives a [`Session`] with the caller's controller (the
+    /// open-trait path) under a full-trace sink. The per-slot sequence —
+    /// observe, decide, inject, serve, account — is the shared
+    /// `session::step_kernel`, so the numbers are bit-identical to the
+    /// pre-redesign loop.
     pub fn run(&self, controller: &mut dyn DepthController) -> ExperimentResult {
         let cfg = &self.config;
-        let mut service = cfg.service.build(cfg.seed);
-        let mut queue = match cfg.queue_capacity {
-            Some(c) => WorkQueue::with_capacity(c),
-            None => WorkQueue::new(),
-        };
-
-        let mut backlog = TimeSeries::new("queue_backlog");
-        let mut depth = TimeSeries::new("control_action_depth");
-        let mut quality = TimeSeries::new("quality");
-        let mut arrivals_series = TimeSeries::new("arrivals");
-        let mut service_series = TimeSeries::new("service");
-
-        let mut latency = FifoLatencyTracker::new();
-        for slot in 0..cfg.slots {
-            let profile = cfg.stream.profile_at(slot);
-            // Observe Q(t) (paper Algorithm 1 line 4), decide (lines 6–11).
-            let q = queue.backlog();
-            let d = controller.select_depth(slot, q, &profile);
-            let a = profile.arrival(d);
-            let p = profile.quality(d);
-            let b = service.capacity(slot);
-            let step = queue.step(a, b);
-            // Track the admitted work as one frame (drops shrink the frame).
-            latency.step(slot, a - step.dropped, step.served);
-
-            backlog.push(queue.backlog());
-            depth.push(f64::from(d));
-            quality.push(p);
-            arrivals_series.push(a);
-            service_series.push(b);
+        // The spec's own controller is inert here (step_with bypasses it);
+        // OnlyMin is the cheapest placeholder to build.
+        let spec = SessionSpec::from_config(cfg, ControllerSpec::OnlyMin);
+        let mut session = Session::new(spec, cfg.slots);
+        let mut trace = FullTrace::new();
+        while !session.is_done() {
+            session.step_with(controller, &mut trace);
         }
-
-        let warm = cfg.warmup.min(cfg.slots) as usize;
-        let mean_quality = quality.mean_from(warm).unwrap_or(0.0);
-        let mean_backlog = backlog.mean_from(warm).unwrap_or(0.0);
-        let stable = backlog.is_stable((cfg.slots / 2).max(2) as usize, 1e-3);
-        let switches = depth.values().windows(2).filter(|w| w[0] != w[1]).count();
-        let depth_switch_rate = if cfg.slots > 1 {
-            switches as f64 / (cfg.slots - 1) as f64
-        } else {
-            0.0
-        };
-
-        ExperimentResult {
-            controller: controller.name().to_string(),
-            dropped_total: queue.total_dropped(),
-            littles_delay: queue.littles_law_delay(),
-            frame_latency: latency.summary(),
-            depth_switch_rate,
-            backlog,
-            depth,
-            quality,
-            arrivals: arrivals_series,
-            service: service_series,
-            mean_quality,
-            mean_backlog,
-            stable,
-        }
+        trace.into_result(controller.name(), cfg.warmup, session.queue())
     }
 
     /// Convenience: runs the proposed scheduler with the configured `V`.

@@ -15,24 +15,67 @@
 //!
 //! - [`controller`]: the proposed scheduler (Algorithm 1) and all baselines
 //!   (only-max-depth, only-min-depth, fixed, random, queue-threshold,
-//!   adaptive-V);
+//!   adaptive-V), behind the open [`DepthController`] trait;
+//! - [`scenario`]: declarative, serde-annotated descriptions of N
+//!   heterogeneous sessions ([`Scenario`], [`scenario::SessionSpec`],
+//!   enum-dispatched [`scenario::ControllerSpec`]);
+//! - [`session`]: the incremental runtime — step one [`Session`] slot by
+//!   slot, or thousands at once in a struct-of-arrays [`SessionBatch`]
+//!   fanned out over `arvis_par`;
+//! - [`telemetry`]: pluggable [`telemetry::TelemetrySink`]s (full trace,
+//!   streaming summary-only, CSV) and the shared CSV helpers;
 //! - [`device`]: mobile-device rendering capacity models;
 //! - [`stream`]: AR frame sources feeding per-slot depth profiles;
-//! - [`experiment`]: the slotted closed-loop simulation that reproduces the
-//!   paper's Fig. 2, plus analytic calibration helpers;
-//! - [`sweep`]: parallel parameter sweeps (V, service rate) for the
-//!   trade-off extensions;
-//! - [`distributed`]: the multi-device experiment backing the paper's
-//!   "fully distributed" claim.
+//! - [`experiment`]: the legacy run-to-completion closed loop, now a thin
+//!   bit-identical layer over [`session`];
+//! - [`sweep`], [`distributed`]: parameter sweeps and the multi-device
+//!   fleet, likewise thin layers over session batches.
 //!
-//! ## Example
+//! ## Example: a heterogeneous session batch
 //!
 //! ```
-//! use arvis_core::controller::{DepthController, ProposedDpp};
-//! use arvis_core::experiment::{Experiment, ExperimentConfig};
+//! use arvis_core::scenario::{ControllerSpec, Scenario, SessionSpec};
+//! use arvis_core::session::SessionBatch;
+//! use arvis_core::experiment::{ExperimentConfig, ServiceSpec};
 //! use arvis_quality::DepthProfile;
 //!
 //! // A synthetic per-depth profile: arrivals quadruple, quality saturates.
+//! let profile = DepthProfile::from_parts(
+//!     5,
+//!     vec![100.0, 400.0, 1600.0, 6400.0, 25600.0, 102400.0],
+//!     vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+//! );
+//! let base = ExperimentConfig::new(profile, 2_000.0, 400).with_controller_v(1e7);
+//!
+//! // 32 sessions: the proposed scheduler on devices of varying capacity,
+//! // plus one max-depth control session.
+//! let mut scenario = Scenario::replicated(
+//!     &base,
+//!     ControllerSpec::Proposed { v: base.controller_v },
+//!     32,
+//! );
+//! for (i, spec) in scenario.sessions.iter_mut().enumerate() {
+//!     spec.service = ServiceSpec::Constant(1_800.0 + 50.0 * i as f64);
+//! }
+//! scenario = scenario.with_session(SessionSpec::from_config(&base, ControllerSpec::OnlyMax));
+//!
+//! // Step all 33 sessions through every slot with O(sessions) memory.
+//! let mut batch = SessionBatch::summary_only(&scenario);
+//! batch.run();
+//! let summaries = batch.into_summaries();
+//! assert!(summaries[..32].iter().all(|s| s.stable), "proposed stabilizes");
+//! assert!(!summaries[32].stable, "only-max-depth diverges");
+//! assert!(summaries[0].backlog_p99 >= summaries[0].mean_backlog);
+//! ```
+//!
+//! The legacy single-run API is unchanged (and produces bit-identical
+//! numbers):
+//!
+//! ```
+//! use arvis_core::controller::ProposedDpp;
+//! use arvis_core::experiment::{Experiment, ExperimentConfig};
+//! use arvis_quality::DepthProfile;
+//!
 //! let profile = DepthProfile::from_parts(
 //!     5,
 //!     vec![100.0, 400.0, 1600.0, 6400.0, 25600.0, 102400.0],
@@ -54,8 +97,14 @@ pub mod distributed;
 pub mod energy;
 pub mod experiment;
 pub mod pipeline;
+pub mod scenario;
+pub mod session;
 pub mod stream;
 pub mod sweep;
+pub mod telemetry;
 
 pub use controller::{DepthController, ProposedDpp};
 pub use experiment::{Experiment, ExperimentConfig, ExperimentResult};
+pub use scenario::{ControllerSpec, Scenario, SessionSpec};
+pub use session::{Session, SessionBatch, SlotOutcome};
+pub use telemetry::{FullTrace, SessionSummary, SummarySink, TelemetrySink};

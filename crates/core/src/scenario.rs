@@ -1,0 +1,510 @@
+//! Declarative scenarios: everything a session needs, as plain data.
+//!
+//! A [`Scenario`] is a serde-annotated description of N heterogeneous AR
+//! sessions — stream, service model, controller, seed, queue bounds per
+//! session plus one shared horizon. It unifies what used to be three
+//! disjoint entry points (`ExperimentConfig` for a single run,
+//! `FleetSpec` for the distributed demo, ad-hoc grids for the sweeps) into
+//! one value that can be stored, diffed, and handed to the
+//! [`crate::session::SessionBatch`] runtime.
+//!
+//! Controllers are described by [`ControllerSpec`], a closed enum that the
+//! hot loop dispatches with a `match` instead of a `Box<dyn>` virtual call.
+//! User-defined policies still plug in through the
+//! [`crate::controller::DepthController`] trait via
+//! [`ControllerSpec::Extern`].
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use arvis_sim::rng::child_seed;
+
+use crate::controller::{
+    AdaptiveDpp, DepthController, FixedDepth, MaxDepth, MinDepth, ProposedDpp, QueueThreshold,
+    RandomDepth,
+};
+use crate::distributed::FleetSpec;
+use crate::experiment::{ExperimentConfig, ServiceSpec};
+use crate::stream::ArStream;
+
+/// Factory for a user-defined depth controller, pluggable into a
+/// [`ControllerSpec`] (and therefore into scenarios and batches) without
+/// the runtime knowing the concrete type.
+pub trait ExternController: Send + Sync {
+    /// Builds a fresh controller instance for one session.
+    fn build(&self) -> Box<dyn DepthController + Send>;
+}
+
+/// A shareable handle to an [`ExternController`] factory.
+#[derive(Clone)]
+pub struct ExternSpec(Arc<dyn ExternController>);
+
+impl ExternSpec {
+    /// Wraps a factory.
+    pub fn new(factory: impl ExternController + 'static) -> ExternSpec {
+        ExternSpec(Arc::new(factory))
+    }
+
+    /// Builds one controller instance.
+    pub fn build(&self) -> Box<dyn DepthController + Send> {
+        self.0.build()
+    }
+}
+
+impl std::fmt::Debug for ExternSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ExternSpec(..)")
+    }
+}
+
+/// Blanket impl so a plain closure can serve as the factory.
+impl<F> ExternController for F
+where
+    F: Fn() -> Box<dyn DepthController + Send> + Send + Sync,
+{
+    fn build(&self) -> Box<dyn DepthController + Send> {
+        self()
+    }
+}
+
+/// Declarative description of a per-slot depth-selection policy.
+///
+/// Building ([`ControllerSpec::build`]) yields a [`BuiltController`] whose
+/// hot-loop dispatch is a `match` over this closed set; the `Extern`
+/// variant keeps the open [`DepthController`] trait available for user
+/// extensions at the price of one virtual call per slot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ControllerSpec {
+    /// The proposed Lyapunov scheduler (Algorithm 1) with trade-off `v`.
+    Proposed {
+        /// The quality/backlog trade-off coefficient `V` of Eq. (3).
+        v: f64,
+    },
+    /// Always the maximum candidate depth ("only max-Depth").
+    OnlyMax,
+    /// Always the minimum candidate depth ("only min-Depth").
+    OnlyMin,
+    /// A fixed depth, clamped into the candidate range.
+    Fixed {
+        /// The depth to hold.
+        depth: u8,
+    },
+    /// Uniformly random depth each slot.
+    Random {
+        /// RNG seed of the policy's own stream.
+        seed: u64,
+    },
+    /// Hand-tuned backlog thresholds (one depth level per crossing).
+    Threshold {
+        /// Ascending backlog thresholds.
+        thresholds: Vec<f64>,
+    },
+    /// The proposed scheduler with online-adapted `V`.
+    AdaptiveV {
+        /// Starting `V`.
+        initial_v: f64,
+        /// Backlog level the adaptation regulates around.
+        target_backlog: f64,
+    },
+    /// A user-defined controller built through the open trait.
+    ///
+    /// Skipped by serde: a trait-object factory has no serializable form,
+    /// so scenario files can describe every built-in policy but externs
+    /// must be attached programmatically after loading.
+    #[serde(skip)]
+    Extern(ExternSpec),
+}
+
+impl ControllerSpec {
+    /// Builds the runnable controller state for one session.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the constructor panics of the underlying policies
+    /// (negative `v`, empty/unsorted thresholds).
+    pub fn build(&self) -> BuiltController {
+        match self {
+            ControllerSpec::Proposed { v } => BuiltController::Proposed(ProposedDpp::new(*v)),
+            ControllerSpec::OnlyMax => BuiltController::Max(MaxDepth),
+            ControllerSpec::OnlyMin => BuiltController::Min(MinDepth),
+            ControllerSpec::Fixed { depth } => BuiltController::Fixed(FixedDepth::new(*depth)),
+            ControllerSpec::Random { seed } => BuiltController::Random(RandomDepth::new(*seed)),
+            ControllerSpec::Threshold { thresholds } => {
+                BuiltController::Threshold(QueueThreshold::new(thresholds.clone()))
+            }
+            ControllerSpec::AdaptiveV {
+                initial_v,
+                target_backlog,
+            } => BuiltController::Adaptive(AdaptiveDpp::new(*initial_v, *target_backlog)),
+            ControllerSpec::Extern(spec) => BuiltController::Extern(spec.build()),
+        }
+    }
+}
+
+/// Runnable controller state: the closed enum the session hot loop
+/// dispatches with a `match` (plus the boxed escape hatch for externs).
+pub enum BuiltController {
+    /// [`ProposedDpp`] state.
+    Proposed(ProposedDpp),
+    /// [`MaxDepth`] state.
+    Max(MaxDepth),
+    /// [`MinDepth`] state.
+    Min(MinDepth),
+    /// [`FixedDepth`] state.
+    Fixed(FixedDepth),
+    /// [`RandomDepth`] state.
+    Random(RandomDepth),
+    /// [`QueueThreshold`] state.
+    Threshold(QueueThreshold),
+    /// [`AdaptiveDpp`] state.
+    Adaptive(AdaptiveDpp),
+    /// A user-defined controller behind the open trait.
+    Extern(Box<dyn DepthController + Send>),
+}
+
+impl DepthController for BuiltController {
+    fn select_depth(
+        &mut self,
+        slot: u64,
+        backlog: f64,
+        profile: &arvis_quality::DepthProfile,
+    ) -> u8 {
+        match self {
+            BuiltController::Proposed(c) => c.select_depth(slot, backlog, profile),
+            BuiltController::Max(c) => c.select_depth(slot, backlog, profile),
+            BuiltController::Min(c) => c.select_depth(slot, backlog, profile),
+            BuiltController::Fixed(c) => c.select_depth(slot, backlog, profile),
+            BuiltController::Random(c) => c.select_depth(slot, backlog, profile),
+            BuiltController::Threshold(c) => c.select_depth(slot, backlog, profile),
+            BuiltController::Adaptive(c) => c.select_depth(slot, backlog, profile),
+            BuiltController::Extern(c) => c.select_depth(slot, backlog, profile),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            BuiltController::Proposed(c) => c.name(),
+            BuiltController::Max(c) => c.name(),
+            BuiltController::Min(c) => c.name(),
+            BuiltController::Fixed(c) => c.name(),
+            BuiltController::Random(c) => c.name(),
+            BuiltController::Threshold(c) => c.name(),
+            BuiltController::Adaptive(c) => c.name(),
+            BuiltController::Extern(c) => c.name(),
+        }
+    }
+}
+
+impl std::fmt::Debug for BuiltController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BuiltController({})", self.name())
+    }
+}
+
+/// Everything one session needs: frame source, device model, policy,
+/// seed and queue bounds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// The frame source feeding per-slot depth profiles.
+    pub stream: ArStream,
+    /// The device's service model.
+    pub service: ServiceSpec,
+    /// The per-slot depth policy.
+    pub controller: ControllerSpec,
+    /// RNG seed for the session's stochastic components.
+    pub seed: u64,
+    /// Optional finite queue capacity.
+    pub queue_capacity: Option<f64>,
+    /// Slots excluded from time-average metrics.
+    pub warmup: u64,
+}
+
+impl SessionSpec {
+    /// Derives a spec from a legacy [`ExperimentConfig`] plus a policy.
+    pub fn from_config(cfg: &ExperimentConfig, controller: ControllerSpec) -> SessionSpec {
+        SessionSpec {
+            stream: cfg.stream.clone(),
+            service: cfg.service,
+            controller,
+            seed: cfg.seed,
+            queue_capacity: cfg.queue_capacity,
+            warmup: cfg.warmup,
+        }
+    }
+}
+
+/// A declarative multi-session workload: N session specs sharing one slot
+/// horizon.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of slots every session simulates.
+    pub slots: u64,
+    /// The sessions, in batch order.
+    pub sessions: Vec<SessionSpec>,
+}
+
+impl Scenario {
+    /// An empty scenario over `slots` slots.
+    pub fn new(slots: u64) -> Scenario {
+        Scenario {
+            slots,
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Appends one session.
+    #[must_use]
+    pub fn with_session(mut self, spec: SessionSpec) -> Scenario {
+        self.sessions.push(spec);
+        self
+    }
+
+    /// A single-session scenario from a legacy config and a policy.
+    pub fn single(cfg: &ExperimentConfig, controller: ControllerSpec) -> Scenario {
+        Scenario::new(cfg.slots).with_session(SessionSpec::from_config(cfg, controller))
+    }
+
+    /// `n` copies of one config/policy with decorrelated per-session seeds
+    /// (`child_seed(cfg.seed, i)`) — the homogeneous multi-tenant workload.
+    pub fn replicated(cfg: &ExperimentConfig, controller: ControllerSpec, n: usize) -> Scenario {
+        let mut scenario = Scenario::new(cfg.slots);
+        for i in 0..n {
+            let mut spec = SessionSpec::from_config(cfg, controller.clone());
+            spec.seed = child_seed(cfg.seed, i as u64);
+            scenario.sessions.push(spec);
+        }
+        scenario
+    }
+
+    /// The legacy fleet construction: `fleet.devices` sessions running the
+    /// proposed scheduler at `base.controller_v`, service rates spread per
+    /// [`FleetSpec`], seeds `child_seed(0xF1EE7, device)` — the exact
+    /// per-device setup `distributed::run_fleet` has always used.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fleet.devices == 0` or the base service is not
+    /// constant-rate (heterogeneity is defined on constant rates).
+    pub fn fleet(base: &ExperimentConfig, fleet: FleetSpec) -> Scenario {
+        assert!(fleet.devices > 0, "need at least one device");
+        let base_rate = match base.service {
+            ServiceSpec::Constant(r) => r,
+            _ => panic!("fleet experiments require a constant-rate base service"),
+        };
+        let mut scenario = Scenario::new(base.slots);
+        for i in 0..fleet.devices {
+            let mut spec = SessionSpec::from_config(
+                base,
+                ControllerSpec::Proposed {
+                    v: base.controller_v,
+                },
+            );
+            spec.service = ServiceSpec::Constant(fleet_rate(base_rate, fleet, i));
+            spec.seed = child_seed(0xF1EE7, i as u64);
+            scenario.sessions.push(spec);
+        }
+        scenario
+    }
+
+    /// One proposed-scheduler session per `V` in `vs`, otherwise identical
+    /// to `base` — the quality–delay trade-off sweep.
+    pub fn v_sweep(base: &ExperimentConfig, vs: &[f64]) -> Scenario {
+        let mut scenario = Scenario::new(base.slots);
+        for &v in vs {
+            scenario.sessions.push(SessionSpec::from_config(
+                base,
+                ControllerSpec::Proposed { v },
+            ));
+        }
+        scenario
+    }
+
+    /// One proposed-scheduler session per constant service rate in `rates`,
+    /// holding `V` at `base.controller_v` — the robustness sweep.
+    pub fn rate_sweep(base: &ExperimentConfig, rates: &[f64]) -> Scenario {
+        let mut scenario = Scenario::new(base.slots);
+        for &rate in rates {
+            let mut spec = SessionSpec::from_config(
+                base,
+                ControllerSpec::Proposed {
+                    v: base.controller_v,
+                },
+            );
+            spec.service = ServiceSpec::Constant(rate);
+            scenario.sessions.push(spec);
+        }
+        scenario
+    }
+
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` when no sessions are declared.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
+/// Device `i`'s service rate under a [`FleetSpec`] spread (the legacy
+/// `run_fleet` formula).
+pub(crate) fn fleet_rate(base_rate: f64, fleet: FleetSpec, i: usize) -> f64 {
+    if fleet.devices == 1 || fleet.rate_spread == 0.0 {
+        base_rate
+    } else {
+        let frac = i as f64 / (fleet.devices - 1) as f64;
+        base_rate * (1.0 - fleet.rate_spread / 2.0 + fleet.rate_spread * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvis_quality::DepthProfile;
+
+    fn profile() -> DepthProfile {
+        DepthProfile::from_parts(
+            5,
+            vec![100.0, 400.0, 1600.0, 6400.0, 25600.0, 102400.0],
+            vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+        )
+    }
+
+    fn config() -> ExperimentConfig {
+        ExperimentConfig::new(profile(), 2_000.0, 100).with_seed(9)
+    }
+
+    #[test]
+    fn built_controllers_keep_legacy_names() {
+        let p = profile();
+        let specs = [
+            (ControllerSpec::Proposed { v: 1e6 }, "proposed"),
+            (ControllerSpec::OnlyMax, "only_max_depth"),
+            (ControllerSpec::OnlyMin, "only_min_depth"),
+            (ControllerSpec::Fixed { depth: 7 }, "fixed_depth"),
+            (ControllerSpec::Random { seed: 3 }, "random_depth"),
+            (
+                ControllerSpec::Threshold {
+                    thresholds: vec![10.0, 20.0],
+                },
+                "queue_threshold",
+            ),
+            (
+                ControllerSpec::AdaptiveV {
+                    initial_v: 1e6,
+                    target_backlog: 100.0,
+                },
+                "adaptive_v",
+            ),
+        ];
+        for (spec, want) in specs {
+            let mut built = spec.build();
+            assert_eq!(built.name(), want);
+            let d = built.select_depth(0, 50.0, &p);
+            assert!((5..=10).contains(&d), "{want} returned depth {d}");
+        }
+    }
+
+    #[test]
+    fn built_matches_hand_constructed_policy() {
+        let p = profile();
+        let mut built = ControllerSpec::Random { seed: 11 }.build();
+        let mut direct = RandomDepth::new(11);
+        for slot in 0..50 {
+            assert_eq!(
+                built.select_depth(slot, 0.0, &p),
+                direct.select_depth(slot, 0.0, &p)
+            );
+        }
+    }
+
+    #[test]
+    fn extern_spec_plugs_in_user_controllers() {
+        let spec = ControllerSpec::Extern(ExternSpec::new(|| {
+            Box::new(FixedDepth::new(6)) as Box<dyn DepthController + Send>
+        }));
+        let mut built = spec.build();
+        assert_eq!(built.name(), "fixed_depth");
+        assert_eq!(built.select_depth(0, 0.0, &profile()), 6);
+        // Clones share the factory.
+        let mut clone = spec.clone().build();
+        assert_eq!(clone.select_depth(0, 0.0, &profile()), 6);
+    }
+
+    #[test]
+    fn replicated_scenario_decorrelates_seeds() {
+        let s = Scenario::replicated(&config(), ControllerSpec::OnlyMax, 4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.slots, 100);
+        let mut seeds: Vec<u64> = s.sessions.iter().map(|x| x.seed).collect();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4, "seeds must differ");
+        assert_eq!(seeds[0], child_seed(9, 0));
+    }
+
+    #[test]
+    fn fleet_scenario_reproduces_legacy_layout() {
+        let base = config().with_controller_v(5e6);
+        let fleet = FleetSpec::heterogeneous(5, 1.0);
+        let s = Scenario::fleet(&base, fleet);
+        assert_eq!(s.len(), 5);
+        for (i, spec) in s.sessions.iter().enumerate() {
+            assert_eq!(spec.seed, child_seed(0xF1EE7, i as u64));
+            let ServiceSpec::Constant(rate) = spec.service else {
+                panic!("fleet sessions must be constant-rate");
+            };
+            assert!((rate - fleet_rate(2_000.0, fleet, i)).abs() < 1e-12);
+            let ControllerSpec::Proposed { v } = spec.controller else {
+                panic!("fleet sessions run the proposed scheduler");
+            };
+            assert_eq!(v, 5e6);
+        }
+        // Spread of 1.0 spans ±50%.
+        let ServiceSpec::Constant(lo) = s.sessions[0].service else {
+            unreachable!()
+        };
+        let ServiceSpec::Constant(hi) = s.sessions[4].service else {
+            unreachable!()
+        };
+        assert!((lo - 1_000.0).abs() < 1e-9);
+        assert!((hi - 3_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant-rate")]
+    fn fleet_scenario_rejects_stochastic_base() {
+        let base = config().with_service(ServiceSpec::Jittered {
+            rate: 2_000.0,
+            sigma: 0.1,
+        });
+        let _ = Scenario::fleet(&base, FleetSpec::homogeneous(2));
+    }
+
+    #[test]
+    fn sweep_scenarios_cover_the_grid() {
+        let base = config().with_controller_v(3e6);
+        let vs = [1e5, 1e6, 1e7];
+        let s = Scenario::v_sweep(&base, &vs);
+        assert_eq!(s.len(), 3);
+        for (spec, &v_want) in s.sessions.iter().zip(&vs) {
+            let ControllerSpec::Proposed { v } = spec.controller else {
+                panic!("v-sweep uses the proposed scheduler");
+            };
+            assert_eq!(v, v_want);
+        }
+        let rates = [500.0, 4_000.0];
+        let r = Scenario::rate_sweep(&base, &rates);
+        for (spec, &want) in r.sessions.iter().zip(&rates) {
+            let ServiceSpec::Constant(got) = spec.service else {
+                panic!("rate sweep is constant-rate");
+            };
+            assert_eq!(got, want);
+            let ControllerSpec::Proposed { v } = spec.controller else {
+                panic!()
+            };
+            assert_eq!(v, 3e6);
+        }
+    }
+}

@@ -1,0 +1,643 @@
+//! The session runtime: incremental per-slot stepping and SoA batches.
+//!
+//! The paper's closed loop (Algorithm 1) is inherently incremental — one
+//! depth decision, one Lindley queue step per slot — but the legacy
+//! [`crate::experiment::Experiment`] API only exposed run-to-completion.
+//! This module turns the loop inside out:
+//!
+//! - a [`Session`] owns one device's state (stream, service process,
+//!   controller, queue, FIFO latency tracker) and advances one slot per
+//!   [`Session::step`], emitting a [`SlotOutcome`] and feeding a
+//!   [`TelemetrySink`];
+//! - a [`SessionBatch`] holds the state of N sessions in parallel arrays
+//!   (struct-of-arrays: one `Vec` per component) and steps *all* sessions
+//!   through one slot at a time, fanning fixed-size chunks of sessions out
+//!   over `arvis_par` workers. Sessions are mutually independent, so batch
+//!   results are bit-identical for every worker count, chunk size and
+//!   session order — the same determinism contract as the octree and
+//!   quality hot paths.
+//!
+//! Memory is O(sessions) with summary-only sinks: per-session state is the
+//! queue scalars, the controller enum, the service process and the frames
+//! currently awaiting service. Nothing scales with the horizon — except the
+//! in-flight frame records of a *diverging* session, whose backlog (and
+//! hence unserved-frame count) is unbounded by definition.
+
+use arvis_sim::latency::FifoLatencyTracker;
+use arvis_sim::queue::WorkQueue;
+use arvis_sim::service::{ConstantRate, DutyCycledRate, JitteredRate, ServiceProcess};
+use serde::{Deserialize, Serialize};
+
+use crate::controller::DepthController;
+use crate::experiment::{ExperimentResult, ServiceSpec};
+use crate::scenario::{BuiltController, Scenario, SessionSpec};
+use crate::stream::ArStream;
+use crate::telemetry::{FullTrace, SummarySink, TelemetrySink};
+
+/// What one session observed during one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotOutcome {
+    /// The slot index τ.
+    pub slot: u64,
+    /// Chosen octree depth `d(τ)`.
+    pub depth: u8,
+    /// Visual quality `p_a(d(τ))` of the chosen depth.
+    pub quality: f64,
+    /// Injected workload `a(d(τ))`.
+    pub arrival: f64,
+    /// Offered service capacity `b(τ)`.
+    pub service: f64,
+    /// Work actually served.
+    pub served: f64,
+    /// Work dropped by a finite queue.
+    pub dropped: f64,
+    /// Backlog `Q(τ+1)` after the slot.
+    pub backlog: f64,
+}
+
+/// Enum-dispatched service process state (the closed [`ServiceSpec`] set,
+/// without the per-session `Box<dyn>` of the legacy runner).
+#[derive(Debug, Clone)]
+enum ServiceState {
+    Constant(ConstantRate),
+    Jittered(JitteredRate),
+    DutyCycled(DutyCycledRate),
+}
+
+impl ServiceState {
+    fn build(spec: ServiceSpec, seed: u64) -> ServiceState {
+        match spec {
+            ServiceSpec::Constant(rate) => ServiceState::Constant(ConstantRate::new(rate)),
+            ServiceSpec::Jittered { rate, sigma } => {
+                ServiceState::Jittered(JitteredRate::new(rate, sigma, seed))
+            }
+            ServiceSpec::DutyCycled {
+                high,
+                low,
+                high_slots,
+                low_slots,
+            } => ServiceState::DutyCycled(DutyCycledRate::new(high, low, high_slots, low_slots)),
+        }
+    }
+
+    fn capacity(&mut self, slot: u64) -> f64 {
+        match self {
+            ServiceState::Constant(s) => s.capacity(slot),
+            ServiceState::Jittered(s) => s.capacity(slot),
+            ServiceState::DutyCycled(s) => s.capacity(slot),
+        }
+    }
+}
+
+/// The one slot-advance kernel every execution path shares: Algorithm 1's
+/// observe → decide → inject → serve sequence, in exactly the legacy
+/// `Experiment::run` order, with telemetry routed through the sink.
+fn step_kernel<C: DepthController + ?Sized, S: TelemetrySink>(
+    slot: u64,
+    stream: &ArStream,
+    service: &mut ServiceState,
+    controller: &mut C,
+    queue: &mut WorkQueue,
+    latency: &mut FifoLatencyTracker,
+    sink: &mut S,
+) -> SlotOutcome {
+    let profile = stream.profile_at(slot);
+    // Observe Q(t) (paper Algorithm 1 line 4), decide (lines 6–11).
+    let q = queue.backlog();
+    let d = controller.select_depth(slot, q, &profile);
+    let a = profile.arrival(d);
+    let p = profile.quality(d);
+    let b = service.capacity(slot);
+    let step = queue.step(a, b);
+    // Track the admitted work as one frame (drops shrink the frame).
+    latency.step_streaming(slot, a - step.dropped, step.served, &mut |f| {
+        sink.on_frame(&f)
+    });
+    let outcome = SlotOutcome {
+        slot,
+        depth: d,
+        quality: p,
+        arrival: a,
+        service: b,
+        served: step.served,
+        dropped: step.dropped,
+        backlog: step.backlog,
+    };
+    sink.on_slot(&outcome);
+    outcome
+}
+
+/// One AR session as an incremental state machine.
+///
+/// Unlike the run-to-completion [`crate::experiment::Experiment`], a
+/// session can be stepped slot by slot, interleaved with other sessions,
+/// inspected mid-run, and driven past its nominal horizon.
+#[derive(Debug)]
+pub struct Session {
+    stream: ArStream,
+    service: ServiceState,
+    controller: BuiltController,
+    queue: WorkQueue,
+    latency: FifoLatencyTracker,
+    warmup: u64,
+    horizon: u64,
+    slot: u64,
+}
+
+impl Session {
+    /// Builds a session from its spec with a `slots` horizon (the spec is
+    /// consumed; clone it to build several sessions from one spec).
+    pub fn new(spec: SessionSpec, slots: u64) -> Session {
+        Session {
+            service: ServiceState::build(spec.service, spec.seed),
+            controller: spec.controller.build(),
+            stream: spec.stream,
+            queue: match spec.queue_capacity {
+                Some(c) => WorkQueue::with_capacity(c),
+                None => WorkQueue::new(),
+            },
+            latency: FifoLatencyTracker::new(),
+            warmup: spec.warmup,
+            horizon: slots,
+            slot: 0,
+        }
+    }
+
+    /// The next slot to simulate (number of slots already taken).
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// The nominal horizon in slots ([`Session::run`]'s stopping point;
+    /// [`Session::step`] may continue past it).
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Warm-up slots excluded from time averages.
+    pub fn warmup(&self) -> u64 {
+        self.warmup
+    }
+
+    /// `true` once the nominal horizon has been reached.
+    pub fn is_done(&self) -> bool {
+        self.slot >= self.horizon
+    }
+
+    /// The session's work queue (live backlog and conservation counters).
+    pub fn queue(&self) -> &WorkQueue {
+        &self.queue
+    }
+
+    /// The machine-readable name of the session's own controller.
+    pub fn controller_name(&self) -> &'static str {
+        self.controller.name()
+    }
+
+    /// Advances one slot under the session's own controller.
+    pub fn step<S: TelemetrySink>(&mut self, sink: &mut S) -> SlotOutcome {
+        let slot = self.slot;
+        self.slot += 1;
+        let Session {
+            stream,
+            service,
+            controller,
+            queue,
+            latency,
+            ..
+        } = self;
+        step_kernel(slot, stream, service, controller, queue, latency, sink)
+    }
+
+    /// Advances one slot with an externally owned controller (the open
+    /// [`DepthController`] escape hatch; the session's own controller is
+    /// bypassed and left untouched).
+    pub fn step_with<C: DepthController + ?Sized, S: TelemetrySink>(
+        &mut self,
+        controller: &mut C,
+        sink: &mut S,
+    ) -> SlotOutcome {
+        let slot = self.slot;
+        self.slot += 1;
+        let Session {
+            stream,
+            service,
+            queue,
+            latency,
+            ..
+        } = self;
+        step_kernel(slot, stream, service, controller, queue, latency, sink)
+    }
+
+    /// Steps until the horizon is reached.
+    pub fn run<S: TelemetrySink>(&mut self, sink: &mut S) {
+        while !self.is_done() {
+            self.step(sink);
+        }
+    }
+
+    /// Convenience: runs to the horizon under a [`FullTrace`] and
+    /// finalizes the legacy [`ExperimentResult`].
+    pub fn run_to_result(mut self) -> ExperimentResult {
+        let mut trace = FullTrace::new();
+        self.run(&mut trace);
+        trace.into_result(self.controller_name(), self.warmup, &self.queue)
+    }
+}
+
+/// Default number of sessions stepped per work chunk. Fixed (never derived
+/// from the worker count) so decompositions — and thus any chunk-ordered
+/// reductions — are identical in serial and parallel execution.
+pub const DEFAULT_SESSIONS_PER_CHUNK: usize = 64;
+
+/// One fan-out work unit: equal-index chunks of every per-session array.
+type ChunkTask<'a, S> = (
+    &'a [ArStream],
+    &'a mut [BuiltController],
+    &'a mut [ServiceState],
+    &'a mut [WorkQueue],
+    &'a mut [FifoLatencyTracker],
+    &'a mut [S],
+);
+
+/// N sessions stepped in lock-step, state stored as struct-of-arrays.
+///
+/// One `Vec` per component (streams, controllers, service processes,
+/// queues, latency trackers, sinks) keeps each component type contiguous;
+/// a slot step zips equal-length chunks of all six arrays and fans the
+/// chunks out over [`arvis_par`] workers. Sessions never interact, so the
+/// batch is deterministic regardless of worker count, chunk size, and
+/// session order.
+#[derive(Debug)]
+pub struct SessionBatch<S: TelemetrySink> {
+    streams: Vec<ArStream>,
+    controllers: Vec<BuiltController>,
+    services: Vec<ServiceState>,
+    queues: Vec<WorkQueue>,
+    latencies: Vec<FifoLatencyTracker>,
+    warmups: Vec<u64>,
+    sinks: Vec<S>,
+    slot: u64,
+    horizon: u64,
+    chunk: usize,
+}
+
+impl<S: TelemetrySink + Send> SessionBatch<S> {
+    /// Builds a batch from a scenario, constructing one sink per session
+    /// via `make_sink(index, spec)`.
+    pub fn new(
+        scenario: &Scenario,
+        mut make_sink: impl FnMut(usize, &SessionSpec) -> S,
+    ) -> SessionBatch<S> {
+        let n = scenario.sessions.len();
+        let mut batch = SessionBatch {
+            streams: Vec::with_capacity(n),
+            controllers: Vec::with_capacity(n),
+            services: Vec::with_capacity(n),
+            queues: Vec::with_capacity(n),
+            latencies: Vec::with_capacity(n),
+            warmups: Vec::with_capacity(n),
+            sinks: Vec::with_capacity(n),
+            slot: 0,
+            horizon: scenario.slots,
+            chunk: DEFAULT_SESSIONS_PER_CHUNK,
+        };
+        for (i, spec) in scenario.sessions.iter().enumerate() {
+            batch.streams.push(spec.stream.clone());
+            batch.controllers.push(spec.controller.build());
+            batch
+                .services
+                .push(ServiceState::build(spec.service, spec.seed));
+            batch.queues.push(match spec.queue_capacity {
+                Some(c) => WorkQueue::with_capacity(c),
+                None => WorkQueue::new(),
+            });
+            batch.latencies.push(FifoLatencyTracker::new());
+            batch.warmups.push(spec.warmup);
+            batch.sinks.push(make_sink(i, spec));
+        }
+        batch
+    }
+
+    /// Overrides the number of sessions per work chunk (results are
+    /// invariant to this; it only tunes fan-out granularity).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chunk == 0`.
+    #[must_use]
+    pub fn with_chunk_size(mut self, chunk: usize) -> SessionBatch<S> {
+        assert!(chunk > 0, "chunk size must be positive");
+        self.chunk = chunk;
+        self
+    }
+
+    /// Number of sessions in the batch.
+    pub fn len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// `true` for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    /// The next slot to simulate.
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// The scenario horizon in slots.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// `true` once every session has reached the horizon.
+    pub fn is_done(&self) -> bool {
+        self.slot >= self.horizon
+    }
+
+    /// Session `i`'s work queue.
+    pub fn queue(&self, i: usize) -> &WorkQueue {
+        &self.queues[i]
+    }
+
+    /// Session `i`'s controller name.
+    pub fn controller_name(&self, i: usize) -> &'static str {
+        self.controllers[i].name()
+    }
+
+    /// The per-session sinks (batch order).
+    pub fn sinks(&self) -> &[S] {
+        &self.sinks
+    }
+
+    /// Consumes the batch, returning the per-session sinks (batch order).
+    pub fn into_sinks(self) -> Vec<S> {
+        self.sinks
+    }
+
+    /// Sum of all live backlogs, reduced in fixed chunk order (the
+    /// deterministic reduction pattern: per-chunk partial sums in parallel,
+    /// serial in-order combine).
+    pub fn total_backlog(&self) -> f64 {
+        arvis_par::map_chunks(&self.queues, self.chunk, |_, c| {
+            c.iter().map(WorkQueue::backlog).sum::<f64>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Splits the parallel arrays into equal-index chunk tuples — the work
+    /// units fanned out over `arvis_par` workers.
+    fn chunk_tasks(&mut self) -> Vec<ChunkTask<'_, S>> {
+        let c = self.chunk;
+        let mut tasks = Vec::with_capacity(self.queues.len().div_ceil(c));
+        let mut streams = self.streams.chunks(c);
+        let mut controllers = self.controllers.chunks_mut(c);
+        let mut services = self.services.chunks_mut(c);
+        let mut queues = self.queues.chunks_mut(c);
+        let mut latencies = self.latencies.chunks_mut(c);
+        let mut sinks = self.sinks.chunks_mut(c);
+        while let (Some(st), Some(ct), Some(sv), Some(qu), Some(la), Some(si)) = (
+            streams.next(),
+            controllers.next(),
+            services.next(),
+            queues.next(),
+            latencies.next(),
+            sinks.next(),
+        ) {
+            tasks.push((st, ct, sv, qu, la, si));
+        }
+        tasks
+    }
+
+    /// Advances every session by one slot, fanning chunks of sessions out
+    /// over the workers.
+    ///
+    /// Lock-step slot-major stepping is for callers that need cross-session
+    /// synchronization points (e.g. per-slot aggregate telemetry or live
+    /// admission control). When the whole horizon is known upfront,
+    /// [`SessionBatch::run`] is substantially faster: it sweeps each
+    /// session's slots back to back, keeping that session's state cache-hot
+    /// instead of streaming the entire batch's state through cache once per
+    /// slot.
+    pub fn step_slot(&mut self) {
+        let slot = self.slot;
+        self.slot += 1;
+        let tasks = self.chunk_tasks();
+        arvis_par::for_each_task(tasks, |_, (st, ct, sv, qu, la, si)| {
+            for i in 0..st.len() {
+                step_kernel(
+                    slot, &st[i], &mut sv[i], &mut ct[i], &mut qu[i], &mut la[i], &mut si[i],
+                );
+            }
+        });
+    }
+
+    /// Steps every session to the horizon.
+    ///
+    /// Sessions are mutually independent, so this sweeps session-major
+    /// inside each chunk task (every session runs all its remaining slots
+    /// while its state is cache-resident) while chunks fan out over the
+    /// workers — bit-identical to repeated [`SessionBatch::step_slot`]
+    /// calls, and the two can be freely interleaved.
+    pub fn run(&mut self) {
+        let (start, horizon) = (self.slot, self.horizon);
+        if start >= horizon {
+            return;
+        }
+        self.slot = horizon;
+        let tasks = self.chunk_tasks();
+        arvis_par::for_each_task(tasks, |_, (st, ct, sv, qu, la, si)| {
+            for i in 0..st.len() {
+                for slot in start..horizon {
+                    step_kernel(
+                        slot, &st[i], &mut sv[i], &mut ct[i], &mut qu[i], &mut la[i], &mut si[i],
+                    );
+                }
+            }
+        });
+    }
+}
+
+impl SessionBatch<FullTrace> {
+    /// A batch recording the full per-slot trace of every session
+    /// (O(sessions × slots) memory — the legacy-compatible mode).
+    pub fn full_trace(scenario: &Scenario) -> SessionBatch<FullTrace> {
+        SessionBatch::new(scenario, |_, _| FullTrace::new())
+    }
+
+    /// Finalizes every session into the legacy [`ExperimentResult`]
+    /// (batch order).
+    pub fn into_results(self) -> Vec<ExperimentResult> {
+        let names: Vec<&'static str> = self.controllers.iter().map(|c| c.name()).collect();
+        self.sinks
+            .into_iter()
+            .zip(names)
+            .zip(self.warmups)
+            .zip(&self.queues)
+            .map(|(((trace, name), warmup), queue)| trace.into_result(name, warmup, queue))
+            .collect()
+    }
+}
+
+impl SessionBatch<SummarySink> {
+    /// A batch with streaming summary-only telemetry: O(sessions) memory
+    /// regardless of the horizon.
+    pub fn summary_only(scenario: &Scenario) -> SessionBatch<SummarySink> {
+        let slots = scenario.slots;
+        SessionBatch::new(scenario, |_, spec| SummarySink::new(spec.warmup, slots))
+    }
+
+    /// Finalizes every session's streaming summary (batch order).
+    pub fn into_summaries(self) -> Vec<crate::telemetry::SessionSummary> {
+        self.sinks.iter().map(SummarySink::finish).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentConfig;
+    use crate::scenario::ControllerSpec;
+    use crate::telemetry::NullSink;
+    use arvis_quality::DepthProfile;
+
+    fn profile() -> DepthProfile {
+        DepthProfile::from_parts(
+            5,
+            vec![100.0, 400.0, 1600.0, 6400.0, 25600.0, 102400.0],
+            vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+        )
+    }
+
+    fn config(rate: f64, slots: u64) -> ExperimentConfig {
+        ExperimentConfig::new(profile(), rate, slots).with_controller_v(1e7)
+    }
+
+    #[test]
+    fn session_steps_incrementally() {
+        let cfg = config(2_000.0, 50);
+        let spec = SessionSpec::from_config(&cfg, ControllerSpec::OnlyMax);
+        let mut session = Session::new(spec, cfg.slots);
+        assert_eq!(session.slot(), 0);
+        assert!(!session.is_done());
+        let mut sink = NullSink;
+        let first = session.step(&mut sink);
+        assert_eq!(first.slot, 0);
+        assert_eq!(first.depth, 10);
+        assert_eq!(first.arrival, 102_400.0);
+        // Lindley: nothing to serve in slot 0, then the arrival enters.
+        assert_eq!(first.backlog, 102_400.0);
+        assert_eq!(session.slot(), 1);
+        while !session.is_done() {
+            session.step(&mut sink);
+        }
+        assert_eq!(session.slot(), 50);
+        // Stepping past the horizon is allowed.
+        let extra = session.step(&mut sink);
+        assert_eq!(extra.slot, 50);
+    }
+
+    #[test]
+    fn session_run_to_result_matches_summary_sink_means() {
+        let cfg = config(2_000.0, 400);
+        let spec = SessionSpec::from_config(&cfg, ControllerSpec::Proposed { v: 1e7 });
+        let result = Session::new(spec.clone(), cfg.slots).run_to_result();
+
+        let mut session = Session::new(spec, cfg.slots);
+        let mut sink = SummarySink::new(cfg.warmup, cfg.slots);
+        session.run(&mut sink);
+        let summary = sink.finish();
+
+        assert_eq!(summary.slots, 400);
+        assert!((summary.mean_quality - result.mean_quality).abs() < 1e-12);
+        assert!((summary.mean_backlog - result.mean_backlog).abs() < 1e-12);
+        assert!((summary.dropped_total - result.dropped_total).abs() < 1e-12);
+        assert!(
+            (summary.frame_latency_mean - result.frame_latency.mean).abs() < 1e-12,
+            "streaming latency mean must be exact"
+        );
+        assert_eq!(
+            summary.littles_delay.is_some(),
+            result.littles_delay.is_some()
+        );
+        assert!((summary.littles_delay.unwrap() - result.littles_delay.unwrap()).abs() < 1e-12);
+        assert_eq!(summary.stable, result.stable);
+        assert!((summary.depth_switch_rate - result.depth_switch_rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_runs_all_sessions_to_horizon() {
+        let cfg = config(2_000.0, 120);
+        let scenario = Scenario::replicated(&cfg, ControllerSpec::Proposed { v: 1e7 }, 9);
+        let mut batch = SessionBatch::summary_only(&scenario);
+        assert_eq!(batch.len(), 9);
+        batch.run();
+        assert!(batch.is_done());
+        assert_eq!(batch.slot(), 120);
+        let summaries = batch.into_summaries();
+        assert_eq!(summaries.len(), 9);
+        for s in &summaries {
+            assert_eq!(s.slots, 120);
+            assert!(s.stable);
+        }
+    }
+
+    #[test]
+    fn batch_total_backlog_is_chunk_invariant() {
+        let cfg = config(2_000.0, 60);
+        let scenario = Scenario::replicated(&cfg, ControllerSpec::OnlyMax, 13);
+        let mut a = SessionBatch::summary_only(&scenario).with_chunk_size(3);
+        let mut b = SessionBatch::summary_only(&scenario).with_chunk_size(64);
+        a.run();
+        b.run();
+        assert_eq!(a.total_backlog().to_bits(), b.total_backlog().to_bits());
+        assert!(a.total_backlog() > 0.0);
+    }
+
+    #[test]
+    fn batch_full_trace_exposes_series() {
+        let cfg = config(2_000.0, 40);
+        let scenario = Scenario::single(&cfg, ControllerSpec::OnlyMin);
+        let mut batch = SessionBatch::full_trace(&scenario);
+        batch.run();
+        assert_eq!(batch.sinks()[0].backlog.len(), 40);
+        let results = batch.into_results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].controller, "only_min_depth");
+        assert_eq!(results[0].backlog.len(), 40);
+    }
+
+    #[test]
+    fn csv_trace_matches_to_csv_and_labels_real_slots() {
+        let cfg = config(2_000.0, 30);
+        let spec = SessionSpec::from_config(&cfg, ControllerSpec::Proposed { v: 1e7 });
+
+        // Full run: the streaming CSV must equal the retained-trace CSV.
+        let mut csv_sink = crate::telemetry::CsvTrace::new();
+        Session::new(spec.clone(), cfg.slots).run(&mut csv_sink);
+        let result = Session::new(spec.clone(), cfg.slots).run_to_result();
+        assert_eq!(csv_sink.csv(), result.to_csv());
+
+        // Attached mid-run: rows are labelled with the simulated slot.
+        let mut session = Session::new(spec, cfg.slots);
+        let mut warmup_sink = NullSink;
+        for _ in 0..5 {
+            session.step(&mut warmup_sink);
+        }
+        let mut late = crate::telemetry::CsvTrace::new();
+        session.step(&mut late);
+        let first_row = late.csv().lines().nth(1).expect("one data row");
+        assert!(first_row.starts_with("5,"), "got {first_row}");
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn batch_rejects_zero_chunk() {
+        let cfg = config(2_000.0, 10);
+        let scenario = Scenario::single(&cfg, ControllerSpec::OnlyMin);
+        let _ = SessionBatch::summary_only(&scenario).with_chunk_size(0);
+    }
+}

@@ -5,12 +5,16 @@
 //! `O(V)` backlog — see [`arvis_lyapunov::bounds`]). These sweeps measure
 //! that trade-off empirically; they back the extension experiments E1 and
 //! E3 of DESIGN.md.
+//!
+//! Since the session-runtime redesign each sweep is a thin layer: the grid
+//! becomes a [`Scenario`] (one session per grid point) stepped by a
+//! [`SessionBatch`], so sweep parallelism rides the same deterministic
+//! `arvis_par` fan-out as everything else.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
-
-use crate::controller::ProposedDpp;
-use crate::experiment::{Experiment, ExperimentConfig};
+use crate::experiment::ExperimentConfig;
+use crate::scenario::Scenario;
+use crate::session::SessionBatch;
+use crate::telemetry::CsvRow;
 
 /// One point of a V-sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,40 +32,36 @@ pub struct VSweepPoint {
 /// Runs the proposed scheduler for every `V` in `vs` (in parallel) against
 /// the same base configuration.
 pub fn v_sweep(base: &ExperimentConfig, vs: &[f64]) -> Vec<VSweepPoint> {
-    let results: Mutex<Vec<(usize, VSweepPoint)>> = Mutex::new(Vec::with_capacity(vs.len()));
-    thread::scope(|scope| {
-        for (i, &v) in vs.iter().enumerate() {
-            let base = base.clone();
-            let results = &results;
-            scope.spawn(move |_| {
-                let cfg = base.with_controller_v(v);
-                let r = Experiment::new(cfg).run(&mut ProposedDpp::new(v));
-                results.lock().push((
-                    i,
-                    VSweepPoint {
-                        v,
-                        mean_quality: r.mean_quality,
-                        mean_backlog: r.mean_backlog,
-                        stable: r.stable,
-                    },
-                ));
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    let mut out = results.into_inner();
-    out.sort_by_key(|(i, _)| *i);
-    out.into_iter().map(|(_, p)| p).collect()
+    // Chunk size 1: one grid point per fan-out unit, matching the
+    // thread-per-point concurrency of the pre-batch implementation.
+    let mut batch = SessionBatch::full_trace(&Scenario::v_sweep(base, vs)).with_chunk_size(1);
+    batch.run();
+    batch
+        .into_results()
+        .into_iter()
+        .zip(vs)
+        .map(|(r, &v)| VSweepPoint {
+            v,
+            mean_quality: r.mean_quality,
+            mean_backlog: r.mean_backlog,
+            stable: r.stable,
+        })
+        .collect()
 }
 
 /// Renders a V-sweep as CSV.
 pub fn v_sweep_csv(points: &[VSweepPoint]) -> String {
     let mut out = String::from("v,mean_quality,mean_backlog,stable\n");
     for p in points {
-        out.push_str(&format!(
-            "{},{:.6},{:.3},{}\n",
-            p.v, p.mean_quality, p.mean_backlog, p.stable
-        ));
+        out.push_str(
+            &CsvRow::new()
+                .field(p.v)
+                .fixed(p.mean_quality, 6)
+                .fixed(p.mean_backlog, 3)
+                .field(p.stable)
+                .finish(),
+        );
+        out.push('\n');
     }
     out
 }
@@ -96,41 +96,34 @@ pub struct RateSweepPoint {
 /// Runs the proposed scheduler across service rates (in parallel), holding
 /// `V` fixed at `base.controller_v`.
 pub fn rate_sweep(base: &ExperimentConfig, rates: &[f64]) -> Vec<RateSweepPoint> {
-    let results: Mutex<Vec<(usize, RateSweepPoint)>> = Mutex::new(Vec::with_capacity(rates.len()));
-    thread::scope(|scope| {
-        for (i, &rate) in rates.iter().enumerate() {
-            let base = base.clone();
-            let results = &results;
-            scope.spawn(move |_| {
-                let v = base.controller_v;
-                let cfg = base.with_service(crate::experiment::ServiceSpec::Constant(rate));
-                let r = Experiment::new(cfg).run(&mut ProposedDpp::new(v));
-                results.lock().push((
-                    i,
-                    RateSweepPoint {
-                        service_rate: rate,
-                        mean_quality: r.mean_quality,
-                        mean_backlog: r.mean_backlog,
-                        stable: r.stable,
-                    },
-                ));
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    let mut out = results.into_inner();
-    out.sort_by_key(|(i, _)| *i);
-    out.into_iter().map(|(_, p)| p).collect()
+    let mut batch = SessionBatch::full_trace(&Scenario::rate_sweep(base, rates)).with_chunk_size(1);
+    batch.run();
+    batch
+        .into_results()
+        .into_iter()
+        .zip(rates)
+        .map(|(r, &service_rate)| RateSweepPoint {
+            service_rate,
+            mean_quality: r.mean_quality,
+            mean_backlog: r.mean_backlog,
+            stable: r.stable,
+        })
+        .collect()
 }
 
 /// Renders a rate sweep as CSV.
 pub fn rate_sweep_csv(points: &[RateSweepPoint]) -> String {
     let mut out = String::from("service_rate,mean_quality,mean_backlog,stable\n");
     for p in points {
-        out.push_str(&format!(
-            "{},{:.6},{:.3},{}\n",
-            p.service_rate, p.mean_quality, p.mean_backlog, p.stable
-        ));
+        out.push_str(
+            &CsvRow::new()
+                .field(p.service_rate)
+                .fixed(p.mean_quality, 6)
+                .fixed(p.mean_backlog, 3)
+                .field(p.stable)
+                .finish(),
+        );
+        out.push('\n');
     }
     out
 }

@@ -180,8 +180,8 @@ impl NodeArena {
 /// Every internal node aggregates the number of contained points, their
 /// position sum and color sums, so any depth can be rendered without
 /// revisiting the input points. Nodes live in a hybrid arena
-/// ([`NodeArena`]) in breadth-first order: levels are contiguous, nodes
-/// within a level are in Morton order.
+/// (`NodeArena`, private) in breadth-first order: levels are contiguous,
+/// nodes within a level are in Morton order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Octree {
     pub(crate) arena: NodeArena,

@@ -158,6 +158,48 @@ pub fn for_each_chunk_mut<T: Send>(
     }
 }
 
+/// Runs `f(task_index, task)` for every task, fanning contiguous blocks of
+/// tasks out over the workers.
+///
+/// This is the by-value counterpart of [`for_each_chunk_mut`] for callers
+/// whose unit of work is not a single slice — e.g. a tuple of equal-length
+/// `&mut` chunks borrowed from several parallel arrays (the SoA session
+/// batch). Task indices are assigned before any fan-out, so `f` observes
+/// exactly the same `(index, task)` pairs in serial and parallel execution.
+pub fn for_each_task<T: Send>(tasks: Vec<T>, f: impl Fn(usize, T) + Sync) {
+    let w = workers();
+    if w <= 1 || tasks.len() <= 1 {
+        for (i, t) in tasks.into_iter().enumerate() {
+            f(i, t);
+        }
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let per_worker = tasks.len().div_ceil(w);
+        let mut blocks: Vec<(usize, Vec<T>)> = Vec::new();
+        let mut rest = tasks;
+        let mut start = 0;
+        while !rest.is_empty() {
+            let take = per_worker.min(rest.len());
+            let tail = rest.split_off(take);
+            blocks.push((start, rest));
+            start += take;
+            rest = tail;
+        }
+        std::thread::scope(|s| {
+            for (first, block) in blocks {
+                let f = &f;
+                s.spawn(move || {
+                    for (i, t) in block.into_iter().enumerate() {
+                        f(first + i, t);
+                    }
+                });
+            }
+        });
+    }
+}
+
 /// Maps every `chunk`-sized piece of `data` through `f`, returning the
 /// per-chunk results **in chunk order** — the deterministic reduction
 /// pattern: chunk-local accumulation in parallel, then a serial in-order
@@ -264,6 +306,35 @@ mod tests {
         serial_scope(|| {
             assert_eq!(workers(), 1);
         });
+    }
+
+    #[test]
+    fn tasks_run_exactly_once_with_stable_indices() {
+        let n = 101;
+        let hits = std::sync::Mutex::new(vec![0u32; n]);
+        let tasks: Vec<usize> = (0..n).collect();
+        for_each_task(tasks, |i, t| {
+            assert_eq!(i, t, "task index must match construction order");
+            hits.lock().unwrap()[i] += 1;
+        });
+        assert!(hits.lock().unwrap().iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn tasks_may_carry_mutable_borrows() {
+        let mut a = vec![0u64; 64];
+        let mut b = vec![0u64; 64];
+        let tasks: Vec<(&mut [u64], &mut [u64])> = a.chunks_mut(16).zip(b.chunks_mut(16)).collect();
+        for_each_task(tasks, |i, (ca, cb)| {
+            for (x, y) in ca.iter_mut().zip(cb.iter_mut()) {
+                *x = i as u64;
+                *y = i as u64 + 100;
+            }
+        });
+        for (j, (&x, &y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x, (j / 16) as u64);
+            assert_eq!(y, (j / 16) as u64 + 100);
+        }
     }
 
     #[test]

@@ -42,12 +42,12 @@ const LEAF_SIZE: usize = 32;
 /// A static balanced kd-tree over a set of positions.
 ///
 /// Build is `O(n log n)` (median split via `select_nth_unstable`, stopping
-/// at [`LEAF_SIZE`]-point scan leaves), queries are `O(log n)` expected for
+/// at `LEAF_SIZE`-point scan leaves), queries are `O(log n)` expected for
 /// well-distributed data.
 #[derive(Debug, Clone)]
 pub struct KdTree {
     /// Positions re-ordered into an implicit balanced tree layout:
-    /// `nodes[mid]` of every subrange longer than [`LEAF_SIZE`] is the
+    /// `nodes[mid]` of every subrange longer than `LEAF_SIZE` is the
     /// splitting node; shorter subranges are unordered scan leaves.
     nodes: Vec<(Vec3, usize)>,
 }

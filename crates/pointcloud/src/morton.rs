@@ -113,7 +113,7 @@ impl SortItem for (u64, u32) {
 /// Sorts `items` by key bits `start_bit .. start_bit + bits`, stably, using
 /// `scratch` as the ping-pong buffer (grown as needed, retained for reuse).
 ///
-/// Least-significant-digit radix sort with digits up to [`MAX_DIGIT_BITS`]
+/// Least-significant-digit radix sort with digits up to `MAX_DIGIT_BITS`
 /// wide (`⌈bits / 15⌉` linear passes). Histograms are computed in parallel
 /// over fixed chunks; the stable scatter runs serially per pass. Stability
 /// means equal keys keep their input order, so the permutation — and any

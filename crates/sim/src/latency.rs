@@ -47,35 +47,50 @@ impl FifoLatencyTracker {
     /// Mirrors the queue's intra-slot order (serve, then admit): frames
     /// arriving this slot cannot complete before the next slot.
     ///
+    /// Completed frames are retained in [`FifoLatencyTracker::completed`];
+    /// long-running sessions that cannot afford the O(frames) memory should
+    /// use [`FifoLatencyTracker::step_streaming`] instead.
+    ///
     /// # Panics
     ///
     /// Panics on negative or non-finite inputs.
     pub fn step(&mut self, slot: u64, arrival: f64, served: f64) {
-        assert!(
-            arrival.is_finite() && arrival >= 0.0,
-            "bad arrival {arrival}"
+        let completed = &mut self.completed;
+        advance(
+            &mut self.cumulative_arrived,
+            &mut self.cumulative_served,
+            &mut self.in_flight,
+            slot,
+            arrival,
+            served,
+            &mut |f| completed.push(f),
         );
-        assert!(served.is_finite() && served >= 0.0, "bad served {served}");
-        self.cumulative_served += served;
-        // Complete every in-flight frame whose mark is now covered.
-        while let Some(&(arrived_slot, work, mark)) = self.in_flight.front() {
-            if self.cumulative_served + 1e-9 >= mark {
-                self.in_flight.pop_front();
-                self.completed.push(FrameLatency {
-                    arrived_slot,
-                    completed_slot: slot,
-                    latency_slots: slot - arrived_slot,
-                    work,
-                });
-            } else {
-                break;
-            }
-        }
-        if arrival > 0.0 {
-            self.cumulative_arrived += arrival;
-            self.in_flight
-                .push_back((slot, arrival, self.cumulative_arrived));
-        }
+    }
+
+    /// The streaming variant of [`FifoLatencyTracker::step`]: identical
+    /// dynamics, but each completed frame is handed to `on_complete` instead
+    /// of being retained, so the tracker's memory stays bounded by the
+    /// number of frames simultaneously in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite inputs.
+    pub fn step_streaming(
+        &mut self,
+        slot: u64,
+        arrival: f64,
+        served: f64,
+        on_complete: &mut dyn FnMut(FrameLatency),
+    ) {
+        advance(
+            &mut self.cumulative_arrived,
+            &mut self.cumulative_served,
+            &mut self.in_flight,
+            slot,
+            arrival,
+            served,
+            on_complete,
+        );
     }
 
     /// Frames completed so far, in completion order.
@@ -99,6 +114,44 @@ impl FifoLatencyTracker {
     /// Summary statistics of completed-frame latencies.
     pub fn summary(&self) -> crate::stats::SummaryStats {
         crate::stats::SummaryStats::from_slice(&self.latencies())
+    }
+}
+
+/// The shared slot-advance kernel of [`FifoLatencyTracker::step`] and
+/// [`FifoLatencyTracker::step_streaming`].
+#[allow(clippy::too_many_arguments)]
+fn advance(
+    cumulative_arrived: &mut f64,
+    cumulative_served: &mut f64,
+    in_flight: &mut VecDeque<(u64, f64, f64)>,
+    slot: u64,
+    arrival: f64,
+    served: f64,
+    on_complete: &mut dyn FnMut(FrameLatency),
+) {
+    assert!(
+        arrival.is_finite() && arrival >= 0.0,
+        "bad arrival {arrival}"
+    );
+    assert!(served.is_finite() && served >= 0.0, "bad served {served}");
+    *cumulative_served += served;
+    // Complete every in-flight frame whose mark is now covered.
+    while let Some(&(arrived_slot, work, mark)) = in_flight.front() {
+        if *cumulative_served + 1e-9 >= mark {
+            in_flight.pop_front();
+            on_complete(FrameLatency {
+                arrived_slot,
+                completed_slot: slot,
+                latency_slots: slot - arrived_slot,
+                work,
+            });
+        } else {
+            break;
+        }
+    }
+    if arrival > 0.0 {
+        *cumulative_arrived += arrival;
+        in_flight.push_back((slot, arrival, *cumulative_arrived));
     }
 }
 
@@ -192,6 +245,27 @@ mod tests {
             (mean_latency - little).abs() < 0.1,
             "latency {mean_latency} vs Little {little}"
         );
+    }
+
+    #[test]
+    fn streaming_step_matches_retaining_step() {
+        let arrivals = [30.0, 5.0, 0.0, 12.0, 7.0, 0.0, 40.0];
+        let mut retained = FifoLatencyTracker::new();
+        let mut streaming = FifoLatencyTracker::new();
+        let mut streamed: Vec<FrameLatency> = Vec::new();
+        let mut q1 = WorkQueue::new();
+        let mut q2 = WorkQueue::new();
+        for slot in 0..40u64 {
+            let a = *arrivals.get(slot as usize).unwrap_or(&0.0);
+            let s1 = q1.step(a, 9.0);
+            retained.step(slot, a, s1.served);
+            let s2 = q2.step(a, 9.0);
+            streaming.step_streaming(slot, a, s2.served, &mut |f| streamed.push(f));
+        }
+        assert_eq!(retained.completed(), streamed.as_slice());
+        // The streaming tracker retained nothing.
+        assert!(streaming.completed().is_empty());
+        assert_eq!(streaming.in_flight(), retained.in_flight());
     }
 
     #[test]

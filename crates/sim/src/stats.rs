@@ -184,8 +184,153 @@ impl SummaryStats {
     }
 }
 
+/// A streaming quantile estimator (the P² algorithm of Jain & Chlamtac,
+/// CACM 1985): tracks one quantile of an unbounded sample stream in O(1)
+/// memory by maintaining five markers whose heights are adjusted with a
+/// piecewise-parabolic interpolation.
+///
+/// This is what lets summary-only telemetry report p95/p99 backlog and
+/// delay for millions of concurrent sessions without retaining per-slot
+/// traces. For the first five samples the estimate is exact (nearest-rank
+/// over the buffered samples); afterwards it is an approximation whose
+/// error vanishes as the stream grows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights `q_0..q_4` (also the first-five sample buffer).
+    heights: [f64; 5],
+    /// Actual marker positions `n_0..n_4` (1-based sample ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Per-sample increments of the desired positions.
+    rates: [f64; 5],
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `p`-quantile (e.g. `0.95`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not strictly inside `(0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1), got {p}");
+        P2Quantile {
+            p,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            rates: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The tracked quantile level.
+    pub fn quantile(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feeds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite sample.
+    pub fn observe(&mut self, x: f64) {
+        assert!(x.is_finite(), "P2 sample must be finite, got {x}");
+        if self.count < 5 {
+            self.heights[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_unstable_by(|a, b| a.total_cmp(b));
+            }
+            return;
+        }
+        self.count += 1;
+        // Locate the cell containing x and stretch the extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x < self.heights[1] {
+            0
+        } else if x < self.heights[2] {
+            1
+        } else if x < self.heights[3] {
+            2
+        } else if x <= self.heights[4] {
+            3
+        } else {
+            self.heights[4] = x;
+            3
+        };
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.rates[i];
+        }
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                        parabolic
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (q, n) = (&self.heights, &self.positions);
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let (q, n) = (&self.heights, &self.positions);
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+    }
+
+    /// The current quantile estimate (`0.0` before any sample; exact
+    /// nearest-rank while fewer than five samples have been seen).
+    pub fn estimate(&self) -> f64 {
+        let n = self.count as usize;
+        if n == 0 {
+            return 0.0;
+        }
+        if n < 5 {
+            let mut sorted = self.heights[..n].to_vec();
+            sorted.sort_unstable_by(|a, b| a.total_cmp(b));
+            let rank = ((self.p * n as f64).ceil().max(1.0) as usize).min(n);
+            return sorted[rank - 1];
+        }
+        self.heights[2]
+    }
+}
+
 /// Writes aligned time series as CSV: first column `slot`, one column per
 /// series. Shorter series pad with empty cells.
+///
+/// This is the dependency-free primitive (no escaping — series names are
+/// assumed plain). `arvis-core`'s `telemetry::series_csv` produces the same
+/// layout through the escaping-aware shared CSV helper and is the variant
+/// the experiment outputs go through; an equality test over there keeps
+/// the two in lock-step.
 pub fn series_to_csv(series: &[&TimeSeries]) -> String {
     let mut out = String::from("slot");
     for s in series {
@@ -313,6 +458,74 @@ mod tests {
         assert!(stable.is_stable(200, 1e-3));
         // Empty series vacuously stable.
         assert!(TimeSeries::new("q").is_stable(10, 1e-3));
+    }
+
+    #[test]
+    fn p2_exact_below_five_samples() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.estimate(), 0.0);
+        for v in [3.0, 1.0, 2.0] {
+            q.observe(v);
+        }
+        assert_eq!(q.estimate(), 2.0, "nearest-rank median of {{1,2,3}}");
+    }
+
+    #[test]
+    fn p2_tracks_uniform_stream_quantiles() {
+        // A deterministic low-discrepancy stream over [0, 1000).
+        for (p, tol) in [(0.5, 10.0), (0.95, 10.0), (0.99, 10.0)] {
+            let mut q = P2Quantile::new(p);
+            let mut x = 0.0f64;
+            for _ in 0..50_000 {
+                x = (x + 617.0) % 1000.0;
+                q.observe(x);
+            }
+            let want = p * 1000.0;
+            let got = q.estimate();
+            assert!(
+                (got - want).abs() < tol,
+                "p={p}: estimate {got} vs exact {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn p2_agrees_with_exact_on_skewed_data() {
+        // Heavy-tailed deterministic data: x_i = i^2 scaled.
+        let values: Vec<f64> = (0..20_000).map(|i| (i as f64).powi(2) / 1e4).collect();
+        let exact = SummaryStats::from_slice(&values);
+        let mut p95 = P2Quantile::new(0.95);
+        let mut p99 = P2Quantile::new(0.99);
+        // Feed in a shuffled-ish order (stride coprime with the length).
+        for k in 0..values.len() {
+            let v = values[(k * 7919) % values.len()];
+            p95.observe(v);
+            p99.observe(v);
+        }
+        assert!((p95.estimate() - exact.p95).abs() / exact.p95 < 0.02);
+        assert!((p99.estimate() - exact.p99).abs() / exact.p99 < 0.02);
+        assert_eq!(p95.count(), values.len() as u64);
+    }
+
+    #[test]
+    fn p2_monotone_stream_is_tight() {
+        let mut q = P2Quantile::new(0.95);
+        for i in 0..10_000 {
+            q.observe(f64::from(i));
+        }
+        assert!((q.estimate() - 9_499.0).abs() < 60.0, "{}", q.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn p2_rejects_degenerate_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn p2_rejects_nan() {
+        P2Quantile::new(0.5).observe(f64::NAN);
     }
 
     #[test]

@@ -190,7 +190,7 @@ pub mod collection {
     use super::{StdRng, Strategy};
     use rand::Rng as _;
 
-    /// Length bounds for [`vec`].
+    /// Length bounds for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -225,7 +225,7 @@ pub mod collection {
         }
     }
 
-    /// The [`vec`] strategy.
+    /// The [`vec()`] strategy.
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
