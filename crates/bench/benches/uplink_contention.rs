@@ -1,0 +1,112 @@
+//! Contention-plane throughput: slots/second for a 2k-session batch
+//! stepped through the shared uplink, against the uncoupled
+//! session-major [`SessionBatch::run`] baseline.
+//!
+//! The contended path pays for (a) lock-step slot-major stepping (the
+//! whole batch's state streams through cache once per slot), (b) drawing
+//! demands into a side array, and (c) the policy's sort-based
+//! order-invariant allocation. The recorded
+//! `uplink_contention/speedup` entry is the ratio of the uncoupled
+//! baseline's median over the max-weight contended median — the price of
+//! coupling, to be watched as the contention plane grows.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use std::hint::black_box;
+
+use arvis_core::experiment::{ExperimentConfig, ServiceSpec};
+use arvis_core::scenario::{ControllerSpec, Scenario};
+use arvis_core::session::SessionBatch;
+use arvis_core::uplink::{SharedUplink, UplinkPolicy, UplinkSpec};
+use arvis_quality::DepthProfile;
+
+const SESSIONS: usize = 2_000;
+const SLOTS: u64 = 200;
+
+fn profile() -> DepthProfile {
+    DepthProfile::from_parts(
+        5,
+        vec![100.0, 400.0, 1600.0, 6400.0, 25600.0, 102400.0],
+        vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+    )
+}
+
+/// Heterogeneous proposed-scheduler tenants (rates spread ±25%).
+fn scenario() -> Scenario {
+    let base = ExperimentConfig::new(profile(), 2_000.0, SLOTS).with_controller_v(1e7);
+    let mut scenario = Scenario::replicated(
+        &base,
+        ControllerSpec::Proposed {
+            v: base.controller_v,
+        },
+        SESSIONS,
+    );
+    for (i, spec) in scenario.sessions.iter_mut().enumerate() {
+        let frac = i as f64 / (SESSIONS - 1) as f64;
+        spec.service = ServiceSpec::Constant(2_000.0 * (0.75 + 0.5 * frac));
+    }
+    scenario
+}
+
+fn bench_uplink_contention(c: &mut Criterion) {
+    let scenario = scenario();
+    let demand: f64 = scenario
+        .sessions
+        .iter()
+        .map(|s| s.service.mean_rate())
+        .sum();
+    let budget = 0.7 * demand;
+
+    let mut group = c.benchmark_group("uplink_contention");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SESSIONS as u64 * SLOTS));
+
+    group.bench_function("batch_run_uncoupled", |b| {
+        b.iter(|| {
+            let mut batch = SessionBatch::summary_only(black_box(&scenario));
+            batch.run();
+            black_box(batch.into_summaries().len())
+        });
+    });
+
+    for (name, spec) in [
+        ("slot_major_unconstrained", UplinkSpec::unconstrained()),
+        (
+            "proportional_share",
+            UplinkSpec::new(budget, UplinkPolicy::ProportionalShare),
+        ),
+        (
+            "max_weight_backlog",
+            UplinkSpec::new(budget, UplinkPolicy::MaxWeightBacklog),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut batch = SessionBatch::summary_only(black_box(&scenario));
+                let mut uplink = SharedUplink::new(spec);
+                uplink.run(&mut batch);
+                black_box((batch.into_summaries().len(), uplink.summary().slots))
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_uplink_contention);
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let mut c = Criterion::from_args();
+    benches(&mut c);
+    c.final_summary();
+    if !smoke {
+        // "uplink_contention/speedup": the uncoupled session-major
+        // baseline's median over the max-weight contended median — the
+        // cost of the contention plane (a ratio below 1).
+        arvis_bench::report::record_speedups(&[(
+            "uplink_contention",
+            "batch_run_uncoupled",
+            "max_weight_backlog",
+        )]);
+    }
+}

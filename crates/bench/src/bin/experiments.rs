@@ -7,8 +7,8 @@
 //! ```
 //!
 //! Subcommands: `fig1`, `fig2a`, `fig2b`, `vsweep`, `ratesweep`,
-//! `distributed`, `ablation`, `energy`, `latency`, `all`. Outputs land in `results/` (override
-//! with `ARVIS_RESULTS_DIR`).
+//! `distributed`, `ablation`, `energy`, `latency`, `uplink`, `all`.
+//! Outputs land in `results/` (override with `ARVIS_RESULTS_DIR`).
 
 use std::time::Instant;
 
@@ -71,6 +71,7 @@ fn main() {
         "ablation" => ablation(&opts),
         "energy" => energy(&opts),
         "latency" => latency(&opts),
+        "uplink" => uplink(&opts),
         "all" => {
             fig1(&opts);
             fig2(&opts);
@@ -80,10 +81,11 @@ fn main() {
             ablation(&opts);
             energy(&opts);
             latency(&opts);
+            uplink(&opts);
         }
         other => {
             eprintln!(
-                "unknown command {other}; expected fig1|fig2a|fig2b|vsweep|ratesweep|distributed|ablation|energy|latency|all"
+                "unknown command {other}; expected fig1|fig2a|fig2b|vsweep|ratesweep|distributed|ablation|energy|latency|uplink|all"
             );
             std::process::exit(2);
         }
@@ -410,6 +412,87 @@ fn energy(opts: &Options) {
     }
     let path = results_dir().join("ext_energy_budget.csv");
     write_csv_file(&path, &csv).expect("write energy csv");
+    println!("wrote {}\n", path.display());
+}
+
+/// Extension E6: the shared-uplink contention plane — one measured-profile
+/// fleet, three admission policies, one backhaul covering 70 % of demand.
+fn uplink(opts: &Options) {
+    use arvis_core::experiment::ServiceSpec;
+    use arvis_core::scenario::{ControllerSpec, Scenario, SessionSpec};
+    use arvis_core::uplink::{run_contended, ContendedRun, UplinkPolicy, UplinkSpec};
+    use arvis_sim::rng::child_seed;
+
+    println!("== Extension E6: shared-uplink contention ==");
+    let profile = paper_profile(opts.points, opts.seed);
+    let mut cfg = fig2_config(profile);
+    cfg.slots = opts.slots.max(3_200);
+    cfg.warmup = cfg.slots / 4;
+
+    // 16 proposed-scheduler tenants, device rates spread ±40% around the
+    // calibrated operating point, bounded latency trackers (contention can
+    // push a tenant past its stability region).
+    let devices = 16usize;
+    let base_rate = cfg.service.mean_rate();
+    let mut scenario = Scenario::new(cfg.slots);
+    for i in 0..devices {
+        let frac = i as f64 / (devices - 1) as f64;
+        let mut spec = SessionSpec::from_config(
+            &cfg,
+            ControllerSpec::Proposed {
+                v: cfg.controller_v,
+            },
+        );
+        spec.service = ServiceSpec::Constant(base_rate * (0.6 + 0.8 * frac));
+        spec.seed = child_seed(0xF1EE8, i as u64);
+        spec.frame_cap = Some(8_192);
+        scenario.sessions.push(spec);
+    }
+    let demand: f64 = scenario
+        .sessions
+        .iter()
+        .map(|s| s.service.mean_rate())
+        .sum();
+    let budget = 0.7 * demand;
+    println!(
+        "{devices} devices, aggregate demand {demand:.0} points/slot, budget {budget:.0} (70%)"
+    );
+
+    let mut csv = ContendedRun::csv_header();
+    csv.push('\n');
+    println!(
+        "{:<20} {:>9} {:>16} {:>13} {:>11} {:>11}",
+        "policy", "stable", "worst_p99_backlog", "mean_quality", "contended", "utilization"
+    );
+    for policy in [
+        UplinkPolicy::Unconstrained,
+        UplinkPolicy::ProportionalShare,
+        UplinkPolicy::MaxWeightBacklog,
+    ] {
+        let run = run_contended(
+            &scenario
+                .clone()
+                .with_uplink(UplinkSpec::new(budget, policy)),
+        );
+        let stable = run.summaries.iter().filter(|s| s.stable).count();
+        let worst_p99 = run
+            .summaries
+            .iter()
+            .map(|s| s.backlog_p99)
+            .fold(0.0f64, f64::max);
+        let mean_quality: f64 =
+            run.summaries.iter().map(|s| s.mean_quality).sum::<f64>() / devices as f64;
+        println!(
+            "{:<20} {stable:>6}/{devices} {worst_p99:>16.0} {mean_quality:>13.4} {:>10.1}% {:>10.1}%",
+            run.policy.name(),
+            100.0 * run.uplink.contended_fraction(),
+            100.0 * run.uplink.utilization(),
+        );
+        // One header, then the per-session rows of every policy.
+        csv.push_str(run.to_csv().split_once('\n').expect("header").1);
+    }
+    let path = results_dir().join("ext_shared_uplink.csv");
+    write_csv_file(&path, &csv).expect("write uplink csv");
     println!("wrote {}\n", path.display());
 }
 

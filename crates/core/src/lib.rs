@@ -22,6 +22,10 @@
 //! - [`session`]: the incremental runtime — step one [`Session`] slot by
 //!   slot, or thousands at once in a struct-of-arrays [`SessionBatch`]
 //!   fanned out over `arvis_par`;
+//! - [`uplink`]: the shared-uplink contention plane — M sessions' per-slot
+//!   service demands admitted against one backhaul budget by a pluggable
+//!   [`uplink::UplinkPolicy`] (unconstrained / proportional-share /
+//!   max-weight-backlog), riding on the slot-major batch stepping;
 //! - [`telemetry`]: pluggable [`telemetry::TelemetrySink`]s (full trace,
 //!   streaming summary-only, CSV) and the shared CSV helpers;
 //! - [`device`]: mobile-device rendering capacity models;
@@ -102,9 +106,11 @@ pub mod session;
 pub mod stream;
 pub mod sweep;
 pub mod telemetry;
+pub mod uplink;
 
 pub use controller::{DepthController, ProposedDpp};
 pub use experiment::{Experiment, ExperimentConfig, ExperimentResult};
 pub use scenario::{ControllerSpec, Scenario, SessionSpec};
 pub use session::{Session, SessionBatch, SlotOutcome};
 pub use telemetry::{FullTrace, SessionSummary, SummarySink, TelemetrySink};
+pub use uplink::{SharedUplink, UplinkPolicy, UplinkSpec};

@@ -218,6 +218,12 @@ pub struct SessionSpec {
     pub queue_capacity: Option<f64>,
     /// Slots excluded from time-average metrics.
     pub warmup: u64,
+    /// Optional bound on the latency tracker's in-flight frame records
+    /// (see `FifoLatencyTracker::with_max_in_flight`): a diverging
+    /// session's memory stays O(cap) at the price of coarsened (merged,
+    /// upper-bounded) frame latencies once the backlog exceeds the cap.
+    /// `None` (the default) keeps exact per-frame accounting.
+    pub frame_cap: Option<usize>,
 }
 
 impl SessionSpec {
@@ -230,18 +236,33 @@ impl SessionSpec {
             seed: cfg.seed,
             queue_capacity: cfg.queue_capacity,
             warmup: cfg.warmup,
+            frame_cap: None,
+        }
+    }
+
+    /// Builds the session's latency tracker (capped when `frame_cap` is
+    /// set).
+    pub(crate) fn latency_tracker(&self) -> arvis_sim::latency::FifoLatencyTracker {
+        match self.frame_cap {
+            Some(cap) => arvis_sim::latency::FifoLatencyTracker::with_max_in_flight(cap),
+            None => arvis_sim::latency::FifoLatencyTracker::new(),
         }
     }
 }
 
 /// A declarative multi-session workload: N session specs sharing one slot
-/// horizon.
+/// horizon, optionally coupled through a shared uplink.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Scenario {
     /// Number of slots every session simulates.
     pub slots: u64,
     /// The sessions, in batch order.
     pub sessions: Vec<SessionSpec>,
+    /// Optional shared-uplink contention: when set, the sessions' per-slot
+    /// service demands are admitted against one backhaul budget by the
+    /// spec's policy (see [`crate::uplink`]) instead of being served
+    /// independently. `None` keeps the sessions uncoupled.
+    pub uplink: Option<crate::uplink::UplinkSpec>,
 }
 
 impl Scenario {
@@ -250,6 +271,7 @@ impl Scenario {
         Scenario {
             slots,
             sessions: Vec::new(),
+            uplink: None,
         }
     }
 
@@ -257,6 +279,13 @@ impl Scenario {
     #[must_use]
     pub fn with_session(mut self, spec: SessionSpec) -> Scenario {
         self.sessions.push(spec);
+        self
+    }
+
+    /// Couples the sessions through a shared uplink (see [`crate::uplink`]).
+    #[must_use]
+    pub fn with_uplink(mut self, spec: crate::uplink::UplinkSpec) -> Scenario {
+        self.uplink = Some(spec);
         self
     }
 

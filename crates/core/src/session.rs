@@ -92,10 +92,34 @@ impl ServiceState {
 /// The one slot-advance kernel every execution path shares: Algorithm 1's
 /// observe → decide → inject → serve sequence, in exactly the legacy
 /// `Experiment::run` order, with telemetry routed through the sink.
+///
+/// The session's own service process supplies the slot's capacity. The
+/// contention plane ([`crate::uplink`]) instead polls every session's
+/// nominal capacity first ([`SessionBatch::fill_demands`]), admits the
+/// aggregate against a shared budget, and completes the slot through
+/// [`step_kernel_granted`] with the granted capacity. Both paths draw the
+/// service process exactly once per slot, so an unconstrained grant is
+/// bit-identical to this kernel.
 fn step_kernel<C: DepthController + ?Sized, S: TelemetrySink>(
     slot: u64,
     stream: &ArStream,
     service: &mut ServiceState,
+    controller: &mut C,
+    queue: &mut WorkQueue,
+    latency: &mut FifoLatencyTracker,
+    sink: &mut S,
+) -> SlotOutcome {
+    let b = service.capacity(slot);
+    step_kernel_granted(slot, stream, b, controller, queue, latency, sink)
+}
+
+/// [`step_kernel`] with the slot's service capacity supplied by the caller
+/// (already drawn from the service process, possibly scaled down by a
+/// shared-uplink admission policy).
+fn step_kernel_granted<C: DepthController + ?Sized, S: TelemetrySink>(
+    slot: u64,
+    stream: &ArStream,
+    b: f64,
     controller: &mut C,
     queue: &mut WorkQueue,
     latency: &mut FifoLatencyTracker,
@@ -107,7 +131,6 @@ fn step_kernel<C: DepthController + ?Sized, S: TelemetrySink>(
     let d = controller.select_depth(slot, q, &profile);
     let a = profile.arrival(d);
     let p = profile.quality(d);
-    let b = service.capacity(slot);
     let step = queue.step(a, b);
     // Track the admitted work as one frame (drops shrink the frame).
     latency.step_streaming(slot, a - step.dropped, step.served, &mut |f| {
@@ -151,12 +174,12 @@ impl Session {
         Session {
             service: ServiceState::build(spec.service, spec.seed),
             controller: spec.controller.build(),
+            latency: spec.latency_tracker(),
             stream: spec.stream,
             queue: match spec.queue_capacity {
                 Some(c) => WorkQueue::with_capacity(c),
                 None => WorkQueue::new(),
             },
-            latency: FifoLatencyTracker::new(),
             warmup: spec.warmup,
             horizon: slots,
             slot: 0,
@@ -260,6 +283,17 @@ type ChunkTask<'a, S> = (
     &'a mut [S],
 );
 
+/// A [`SessionBatch::step_slot_granted`] work unit: like [`ChunkTask`] but
+/// with the slot's service capacities already drawn and admitted.
+type GrantedChunkTask<'a, S> = (
+    &'a [ArStream],
+    &'a mut [BuiltController],
+    &'a [f64],
+    &'a mut [WorkQueue],
+    &'a mut [FifoLatencyTracker],
+    &'a mut [S],
+);
+
 /// N sessions stepped in lock-step, state stored as struct-of-arrays.
 ///
 /// One `Vec` per component (streams, controllers, service processes,
@@ -280,6 +314,10 @@ pub struct SessionBatch<S: TelemetrySink> {
     slot: u64,
     horizon: u64,
     chunk: usize,
+    /// `true` between [`SessionBatch::fill_demands`] and the matching
+    /// [`SessionBatch::step_slot_granted`] — the service processes have
+    /// already been drawn for the pending slot.
+    demands_drawn: bool,
 }
 
 impl<S: TelemetrySink + Send> SessionBatch<S> {
@@ -301,6 +339,7 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
             slot: 0,
             horizon: scenario.slots,
             chunk: DEFAULT_SESSIONS_PER_CHUNK,
+            demands_drawn: false,
         };
         for (i, spec) in scenario.sessions.iter().enumerate() {
             batch.streams.push(spec.stream.clone());
@@ -312,7 +351,7 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
                 Some(c) => WorkQueue::with_capacity(c),
                 None => WorkQueue::new(),
             });
-            batch.latencies.push(FifoLatencyTracker::new());
+            batch.latencies.push(spec.latency_tracker());
             batch.warmups.push(spec.warmup);
             batch.sinks.push(make_sink(i, spec));
         }
@@ -388,6 +427,107 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
         .sum()
     }
 
+    /// Writes every session's live backlog `Q_i(τ)` into `out` (batch
+    /// order, resized to the batch length) — the per-session observation a
+    /// cross-session admission policy acts on.
+    pub fn fill_backlogs(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.queues.iter().map(WorkQueue::backlog));
+    }
+
+    /// Draws every session's nominal service capacity for the *next* slot
+    /// into `out` (batch order, resized to the batch length), advancing
+    /// each service process by exactly one slot.
+    ///
+    /// This is phase one of a contended slot: poll demands, admit them
+    /// against a shared budget, then complete the slot with
+    /// [`SessionBatch::step_slot_granted`]. Every service process is drawn
+    /// exactly once per slot — the same draws, in the same per-session
+    /// order, as the one-phase [`SessionBatch::step_slot`] — so granting
+    /// each session its full demand reproduces the uncoupled batch
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called twice for the same slot (demands already drawn)
+    /// or when the batch is already past its horizon.
+    pub fn fill_demands(&mut self, out: &mut Vec<f64>) {
+        assert!(
+            !self.demands_drawn,
+            "fill_demands called twice for slot {}",
+            self.slot
+        );
+        assert!(
+            self.slot < self.horizon,
+            "fill_demands past the horizon ({})",
+            self.horizon
+        );
+        self.demands_drawn = true;
+        let slot = self.slot;
+        out.clear();
+        out.resize(self.services.len(), 0.0);
+        let c = self.chunk;
+        let tasks: Vec<(&mut [ServiceState], &mut [f64])> =
+            self.services.chunks_mut(c).zip(out.chunks_mut(c)).collect();
+        arvis_par::for_each_task(tasks, |_, (services, demands)| {
+            for (service, demand) in services.iter_mut().zip(demands.iter_mut()) {
+                *demand = service.capacity(slot);
+            }
+        });
+    }
+
+    /// Phase two of a contended slot: advances every session by one slot
+    /// with the *granted* service capacities (batch order), instead of
+    /// drawing the service processes (already drawn by
+    /// [`SessionBatch::fill_demands`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `granted.len() != self.len()` or when
+    /// [`SessionBatch::fill_demands`] was not called for this slot (the
+    /// service processes would otherwise skip a draw and desynchronize
+    /// from the uncoupled batch).
+    pub fn step_slot_granted(&mut self, granted: &[f64]) {
+        assert_eq!(
+            granted.len(),
+            self.len(),
+            "granted-service vector length must match the batch"
+        );
+        assert!(
+            self.demands_drawn,
+            "step_slot_granted without fill_demands for slot {}",
+            self.slot
+        );
+        self.demands_drawn = false;
+        let slot = self.slot;
+        self.slot += 1;
+        let c = self.chunk;
+        let mut tasks: Vec<GrantedChunkTask<'_, S>> = Vec::with_capacity(granted.len().div_ceil(c));
+        let mut streams = self.streams.chunks(c);
+        let mut controllers = self.controllers.chunks_mut(c);
+        let mut grants = granted.chunks(c);
+        let mut queues = self.queues.chunks_mut(c);
+        let mut latencies = self.latencies.chunks_mut(c);
+        let mut sinks = self.sinks.chunks_mut(c);
+        while let (Some(st), Some(ct), Some(gr), Some(qu), Some(la), Some(si)) = (
+            streams.next(),
+            controllers.next(),
+            grants.next(),
+            queues.next(),
+            latencies.next(),
+            sinks.next(),
+        ) {
+            tasks.push((st, ct, gr, qu, la, si));
+        }
+        arvis_par::for_each_task(tasks, |_, (st, ct, gr, qu, la, si)| {
+            for i in 0..st.len() {
+                step_kernel_granted(
+                    slot, &st[i], gr[i], &mut ct[i], &mut qu[i], &mut la[i], &mut si[i],
+                );
+            }
+        });
+    }
+
     /// Splits the parallel arrays into equal-index chunk tuples — the work
     /// units fanned out over `arvis_par` workers.
     fn chunk_tasks(&mut self) -> Vec<ChunkTask<'_, S>> {
@@ -423,6 +563,11 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
     /// instead of streaming the entire batch's state through cache once per
     /// slot.
     pub fn step_slot(&mut self) {
+        assert!(
+            !self.demands_drawn,
+            "slot {} has polled demands; complete it with step_slot_granted",
+            self.slot
+        );
         let slot = self.slot;
         self.slot += 1;
         let tasks = self.chunk_tasks();
@@ -443,6 +588,11 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
     /// workers — bit-identical to repeated [`SessionBatch::step_slot`]
     /// calls, and the two can be freely interleaved.
     pub fn run(&mut self) {
+        assert!(
+            !self.demands_drawn,
+            "slot {} has polled demands; complete it with step_slot_granted",
+            self.slot
+        );
         let (start, horizon) = (self.slot, self.horizon);
         if start >= horizon {
             return;

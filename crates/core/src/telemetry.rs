@@ -571,6 +571,83 @@ mod tests {
     }
 
     #[test]
+    fn csv_escapes_newlines_and_carriage_returns() {
+        // RFC 4180: embedded line breaks force quoting but are preserved
+        // verbatim inside the quotes.
+        let row = CsvRow::new()
+            .field("line1\nline2")
+            .field("cr\rhere")
+            .field("both\r\nkinds")
+            .finish();
+        assert_eq!(row, "\"line1\nline2\",\"cr\rhere\",\"both\r\nkinds\"");
+    }
+
+    #[test]
+    fn csv_quotes_adjacent_to_metacharacters_double_correctly() {
+        let row = CsvRow::new().field("a\"b,c\"d").field("\"").finish();
+        assert_eq!(row, "\"a\"\"b,c\"\"d\",\"\"\"\"");
+    }
+
+    #[test]
+    fn csv_nonfinite_floats_pass_through_unquoted() {
+        // Rust renders NaN/±inf without CSV metacharacters, so every float
+        // path (escaped, raw, fixed) must emit them bare and identically.
+        let row = CsvRow::new()
+            .field(f64::NAN)
+            .field(f64::INFINITY)
+            .field(f64::NEG_INFINITY)
+            .raw(f64::NAN)
+            .fixed(f64::INFINITY, 3)
+            .fixed(f64::NEG_INFINITY, 1)
+            .fixed(f64::NAN, 6)
+            .finish();
+        assert_eq!(row, "NaN,inf,-inf,NaN,inf,-inf,NaN");
+    }
+
+    #[test]
+    fn csv_raw_and_field_agree_on_numbers_and_bools() {
+        // `raw` skips the escaping scan; for Display output free of
+        // metacharacters the two paths must be byte-identical.
+        let a = CsvRow::new()
+            .raw(42u64)
+            .raw(-7i32)
+            .raw(2.5f64)
+            .raw(true)
+            .finish();
+        let b = CsvRow::new()
+            .field(42u64)
+            .field(-7i32)
+            .field(2.5f64)
+            .field(true)
+            .finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csv_empty_fields_in_every_position() {
+        assert_eq!(CsvRow::new().empty().finish(), "");
+        assert_eq!(CsvRow::new().empty().empty().empty().finish(), ",,");
+        assert_eq!(CsvRow::new().empty().field("x").empty().finish(), ",x,");
+        // An explicitly empty string behaves like `empty()`.
+        assert_eq!(CsvRow::new().field("").field("y").finish(), ",y");
+        // A default row is a fresh row.
+        assert_eq!(CsvRow::default().field(1).finish(), "1");
+    }
+
+    #[test]
+    fn csv_fixed_rounds_like_format_macro() {
+        let row = CsvRow::new()
+            .fixed(1.005, 2)
+            .fixed(-0.0004, 3)
+            .fixed(12345.6789, 0)
+            .finish();
+        assert_eq!(
+            row,
+            format!("{:.2},{:.3},{:.0}", 1.005, -0.0004, 12345.6789)
+        );
+    }
+
+    #[test]
     fn series_csv_matches_sim_series_to_csv() {
         let a = TimeSeries::from_values("a", vec![1.0, 2.5]);
         let b = TimeSeries::from_values("b", vec![10.0]);

@@ -1,0 +1,609 @@
+//! The shared-uplink contention plane: M sessions, one backhaul.
+//!
+//! The paper models a single device whose renderer is the bottleneck; at
+//! fleet scale the binding resource is usually the *shared* link the
+//! sessions stream over. This module couples the sessions of a
+//! [`Scenario`] through per-slot aggregate admission control:
+//!
+//! 1. **Poll** — every session's nominal service capacity for the slot is
+//!    drawn ([`SessionBatch::fill_demands`]), together with its live
+//!    backlog ([`SessionBatch::fill_backlogs`]);
+//! 2. **Admit** — an [`UplinkPolicy`] grants each session an effective
+//!    capacity, never above its demand, with the grand total never above
+//!    the [`UplinkSpec::budget`];
+//! 3. **Complete** — the slot finishes through
+//!    [`SessionBatch::step_slot_granted`] with the granted capacities, and
+//!    the slot's aggregates feed the uplink telemetry.
+//!
+//! Coupling sessions threatens the batch runtime's determinism contract,
+//! so every policy is written to be **order-invariant bit-for-bit**:
+//! aggregate sums are computed over value-sorted copies (permutation
+//! invariant), and [`UplinkPolicy::MaxWeightBacklog`] water-fills over
+//! descending-backlog *groups* (ties share pro rata) instead of picking
+//! an arbitrary order within a tie. `tests/shared_uplink.rs` pins the
+//! resulting invariants: per-slot conservation under a binding budget,
+//! session-order / chunk-size / serial-vs-parallel invariance for every
+//! policy, and [`UplinkPolicy::Unconstrained`] ≡ the uncoupled batch.
+//!
+//! ## Example: one declarative file describes the contended fleet
+//!
+//! ```
+//! use arvis_core::experiment::ExperimentConfig;
+//! use arvis_core::scenario::{ControllerSpec, Scenario};
+//! use arvis_core::uplink::{run_contended, UplinkPolicy, UplinkSpec};
+//! use arvis_quality::DepthProfile;
+//!
+//! let profile = DepthProfile::from_parts(
+//!     5,
+//!     vec![100.0, 400.0, 1600.0, 6400.0, 25600.0, 102400.0],
+//!     vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+//! );
+//! let base = ExperimentConfig::new(profile, 2_000.0, 400).with_controller_v(1e7);
+//!
+//! // 8 tenants sharing a backhaul that covers 70% of their aggregate
+//! // demand, served largest-queue-first.
+//! let scenario = Scenario::replicated(&base, ControllerSpec::Proposed { v: 1e7 }, 8)
+//!     .with_uplink(UplinkSpec::new(0.7 * 8.0 * 2_000.0, UplinkPolicy::MaxWeightBacklog));
+//!
+//! let run = run_contended(&scenario);
+//! assert_eq!(run.summaries.len(), 8);
+//! assert_eq!(run.uplink.contended_slots, 400, "budget binds every slot");
+//! assert!(run.uplink.utilization() > 0.999, "scarce budget fully spent");
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::Scenario;
+use crate::session::SessionBatch;
+use crate::telemetry::{CsvRow, SessionSummary, TelemetrySink};
+
+/// Sums `values` in ascending value order (scratch holds the sorted copy),
+/// so the total is bit-identical under any permutation of `values` —
+/// the primitive every aggregate in this module is built on.
+fn invariant_sum(values: impl Iterator<Item = f64>, scratch: &mut Vec<f64>) -> f64 {
+    scratch.clear();
+    scratch.extend(values);
+    scratch.sort_unstable_by(|a, b| a.total_cmp(b));
+    scratch.iter().sum()
+}
+
+/// How a shared uplink divides its per-slot budget among contending
+/// sessions.
+///
+/// Every policy grants each session at most its demand, grants at most the
+/// budget in total, and — whenever aggregate demand fits the budget —
+/// grants every demand in full (work conservation). They differ only in
+/// how scarcity is split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UplinkPolicy {
+    /// No admission control: every demand is granted verbatim, the budget
+    /// is ignored. Bit-identical to running the batch uncoupled.
+    Unconstrained,
+    /// Scarcity is split pro rata to demand: `g_i = d_i · B / Σd` while
+    /// `Σd > B`. Backlog-blind — an idle tenant's reserved share is
+    /// wasted while a loaded tenant diverges.
+    ProportionalShare,
+    /// The Lyapunov-natural policy: budget water-fills sessions in
+    /// descending backlog order (largest queues first), equal-backlog
+    /// groups sharing pro rata to demand. This is max-weight scheduling
+    /// with weight `Q_i(τ)`, the drift-minimizing choice.
+    MaxWeightBacklog,
+}
+
+impl UplinkPolicy {
+    /// Machine-readable policy name (CSV column value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            UplinkPolicy::Unconstrained => "unconstrained",
+            UplinkPolicy::ProportionalShare => "proportional_share",
+            UplinkPolicy::MaxWeightBacklog => "max_weight_backlog",
+        }
+    }
+
+    /// Computes per-session grants for one slot into `grants` (resized to
+    /// match), given every session's live backlog and polled demand.
+    ///
+    /// Deterministic and order-invariant: permuting the sessions permutes
+    /// the grants bit-for-bit. Each grant is in `[0, demand_i]`; the
+    /// granted total never exceeds `budget` beyond f64 rounding (each
+    /// scarce slot performs one global scale or one scale per backlog
+    /// group, so the accumulated error is a few ulps).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `backlogs` and `demands` disagree in length, or when
+    /// `budget` is NaN or negative (`f64::INFINITY` is allowed and never
+    /// binds).
+    pub fn allocate(&self, budget: f64, backlogs: &[f64], demands: &[f64], grants: &mut Vec<f64>) {
+        let mut scratch = Vec::with_capacity(demands.len());
+        let total = invariant_sum(demands.iter().copied(), &mut scratch);
+        self.allocate_with(
+            budget,
+            backlogs,
+            demands,
+            total,
+            grants,
+            &mut scratch,
+            &mut Vec::new(),
+        );
+    }
+
+    /// [`UplinkPolicy::allocate`] with caller-owned scratch buffers and
+    /// the (permutation-invariant) aggregate demand `total` already
+    /// computed — the allocation-free per-slot path of [`SharedUplink`].
+    #[allow(clippy::too_many_arguments)]
+    fn allocate_with(
+        &self,
+        budget: f64,
+        backlogs: &[f64],
+        demands: &[f64],
+        total: f64,
+        grants: &mut Vec<f64>,
+        scratch: &mut Vec<f64>,
+        order: &mut Vec<usize>,
+    ) {
+        assert_eq!(
+            backlogs.len(),
+            demands.len(),
+            "backlogs and demands must be parallel arrays"
+        );
+        assert!(!budget.is_nan() && budget >= 0.0, "bad budget {budget}");
+        grants.clear();
+        grants.extend_from_slice(demands);
+        if matches!(self, UplinkPolicy::Unconstrained) {
+            return;
+        }
+        if total <= budget {
+            return; // slack: every demand granted in full, bit-for-bit
+        }
+        match self {
+            UplinkPolicy::Unconstrained => unreachable!(),
+            UplinkPolicy::ProportionalShare => {
+                // total > budget ≥ 0 ⟹ total > 0: the scale is finite.
+                let scale = budget / total;
+                for g in grants.iter_mut() {
+                    *g *= scale;
+                }
+            }
+            UplinkPolicy::MaxWeightBacklog => {
+                // Sessions in descending backlog order; equal backlogs
+                // form one group so ties are symmetric (order-invariant).
+                order.clear();
+                order.extend(0..backlogs.len());
+                order.sort_unstable_by(|&i, &j| backlogs[j].total_cmp(&backlogs[i]));
+                let mut remaining = budget;
+                let mut at = 0;
+                while at < order.len() {
+                    let group_backlog = backlogs[order[at]];
+                    let mut end = at;
+                    while end < order.len()
+                        && backlogs[order[end]].total_cmp(&group_backlog).is_eq()
+                    {
+                        end += 1;
+                    }
+                    let group = &order[at..end];
+                    let group_total = invariant_sum(group.iter().map(|&i| demands[i]), scratch);
+                    if group_total <= remaining {
+                        // Whole group served at full demand (grants
+                        // already hold the demands).
+                        remaining -= group_total;
+                    } else {
+                        // The budget runs dry inside this group: split
+                        // what is left pro rata to demand, and starve
+                        // every strictly-smaller backlog group.
+                        // group_total > remaining ≥ 0 ⟹ group_total > 0.
+                        let scale = remaining / group_total;
+                        for &i in group {
+                            grants[i] *= scale;
+                        }
+                        for &i in &order[end..] {
+                            grants[i] = 0.0;
+                        }
+                        return;
+                    }
+                    at = end;
+                }
+            }
+        }
+    }
+}
+
+/// Declarative description of a shared uplink: one backhaul budget
+/// (service units per slot, the same units as [`crate::experiment::ServiceSpec`]
+/// rates) and the policy dividing it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UplinkSpec {
+    /// Aggregate service the backhaul can carry per slot.
+    pub budget: f64,
+    /// How scarcity is divided.
+    pub policy: UplinkPolicy,
+}
+
+impl UplinkSpec {
+    /// A shared uplink with the given per-slot budget and policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `budget` is NaN or negative (`f64::INFINITY` is a
+    /// valid never-binding budget).
+    pub fn new(budget: f64, policy: UplinkPolicy) -> UplinkSpec {
+        assert!(!budget.is_nan() && budget >= 0.0, "bad budget {budget}");
+        UplinkSpec { budget, policy }
+    }
+
+    /// The no-op uplink: infinite budget, [`UplinkPolicy::Unconstrained`].
+    pub fn unconstrained() -> UplinkSpec {
+        UplinkSpec {
+            budget: f64::INFINITY,
+            policy: UplinkPolicy::Unconstrained,
+        }
+    }
+}
+
+/// One slot's aggregate uplink observations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UplinkSlotStats {
+    /// The simulated slot.
+    pub slot: u64,
+    /// Aggregate demand `Σ d_i(τ)` polled from the sessions.
+    pub demand: f64,
+    /// Aggregate service granted by the policy.
+    pub granted: f64,
+    /// Aggregate backlog `Σ Q_i(τ)` observed at the start of the slot.
+    pub backlog: f64,
+    /// `true` when the budget bound (aggregate demand exceeded it).
+    pub contended: bool,
+}
+
+/// Streaming aggregate summary of a contended run (O(1) memory).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UplinkSummary {
+    /// Slots driven through the uplink.
+    pub slots: u64,
+    /// The per-slot budget.
+    pub budget: f64,
+    /// Slots whose aggregate demand exceeded the budget.
+    pub contended_slots: u64,
+    /// Time-average aggregate demand.
+    pub mean_demand: f64,
+    /// Time-average aggregate granted service.
+    pub mean_granted: f64,
+    /// Time-average aggregate backlog.
+    pub mean_backlog: f64,
+    /// Largest aggregate backlog observed.
+    pub peak_backlog: f64,
+}
+
+impl UplinkSummary {
+    /// Fraction of slots whose demand exceeded the budget.
+    pub fn contended_fraction(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.contended_slots as f64 / self.slots as f64
+        }
+    }
+
+    /// Mean granted service as a fraction of the budget (0 for an
+    /// infinite or zero-slot budget).
+    pub fn utilization(&self) -> f64 {
+        if self.budget.is_finite() && self.budget > 0.0 {
+            self.mean_granted / self.budget
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The contention-plane driver: owns the uplink spec, the per-slot scratch
+/// vectors and the streaming aggregate accumulators, and steps a
+/// [`SessionBatch`] slot by slot through poll → admit → complete.
+///
+/// The driver is deliberately separate from the batch: the same
+/// `SharedUplink` can drive batches with any [`TelemetrySink`], and a
+/// batch driven with [`UplinkSpec::unconstrained`] is bit-identical to
+/// [`SessionBatch::run`].
+#[derive(Debug)]
+pub struct SharedUplink {
+    spec: UplinkSpec,
+    backlogs: Vec<f64>,
+    demands: Vec<f64>,
+    grants: Vec<f64>,
+    scratch: Vec<f64>,
+    order: Vec<usize>,
+    slots: u64,
+    contended_slots: u64,
+    demand_sum: f64,
+    granted_sum: f64,
+    backlog_sum: f64,
+    peak_backlog: f64,
+}
+
+impl SharedUplink {
+    /// A driver for the given uplink spec.
+    pub fn new(spec: UplinkSpec) -> SharedUplink {
+        SharedUplink {
+            spec,
+            backlogs: Vec::new(),
+            demands: Vec::new(),
+            grants: Vec::new(),
+            scratch: Vec::new(),
+            order: Vec::new(),
+            slots: 0,
+            contended_slots: 0,
+            demand_sum: 0.0,
+            granted_sum: 0.0,
+            backlog_sum: 0.0,
+            peak_backlog: 0.0,
+        }
+    }
+
+    /// The uplink spec this driver enforces.
+    pub fn spec(&self) -> &UplinkSpec {
+        &self.spec
+    }
+
+    /// The grants of the most recent slot (batch order; empty before the
+    /// first step).
+    pub fn last_grants(&self) -> &[f64] {
+        &self.grants
+    }
+
+    /// Advances the batch one slot through the contention plane and
+    /// returns the slot's aggregate stats.
+    ///
+    /// All aggregates are permutation-invariant sums, so the returned
+    /// stats — like the per-session results — are bit-identical under
+    /// session reordering.
+    pub fn step_slot<S: TelemetrySink + Send>(
+        &mut self,
+        batch: &mut SessionBatch<S>,
+    ) -> UplinkSlotStats {
+        let slot = batch.slot();
+        batch.fill_backlogs(&mut self.backlogs);
+        batch.fill_demands(&mut self.demands);
+        let demand = invariant_sum(self.demands.iter().copied(), &mut self.scratch);
+        self.spec.policy.allocate_with(
+            self.spec.budget,
+            &self.backlogs,
+            &self.demands,
+            demand,
+            &mut self.grants,
+            &mut self.scratch,
+            &mut self.order,
+        );
+        batch.step_slot_granted(&self.grants);
+
+        let granted = invariant_sum(self.grants.iter().copied(), &mut self.scratch);
+        let backlog = invariant_sum(self.backlogs.iter().copied(), &mut self.scratch);
+        let contended = demand > self.spec.budget;
+        self.slots += 1;
+        self.contended_slots += u64::from(contended);
+        self.demand_sum += demand;
+        self.granted_sum += granted;
+        self.backlog_sum += backlog;
+        self.peak_backlog = self.peak_backlog.max(backlog);
+        UplinkSlotStats {
+            slot,
+            demand,
+            granted,
+            backlog,
+            contended,
+        }
+    }
+
+    /// Drives the batch to its horizon.
+    pub fn run<S: TelemetrySink + Send>(&mut self, batch: &mut SessionBatch<S>) {
+        while !batch.is_done() {
+            self.step_slot(batch);
+        }
+    }
+
+    /// Finalizes the streaming aggregates.
+    pub fn summary(&self) -> UplinkSummary {
+        let mean = |sum: f64| {
+            if self.slots == 0 {
+                0.0
+            } else {
+                sum / self.slots as f64
+            }
+        };
+        UplinkSummary {
+            slots: self.slots,
+            budget: self.spec.budget,
+            contended_slots: self.contended_slots,
+            mean_demand: mean(self.demand_sum),
+            mean_granted: mean(self.granted_sum),
+            mean_backlog: mean(self.backlog_sum),
+            peak_backlog: self.peak_backlog,
+        }
+    }
+}
+
+/// A finished contended run: per-session summaries plus the uplink
+/// aggregates.
+#[derive(Debug, Clone)]
+pub struct ContendedRun {
+    /// The policy that ran.
+    pub policy: UplinkPolicy,
+    /// Per-session streaming summaries (batch order).
+    pub summaries: Vec<SessionSummary>,
+    /// The uplink's aggregate summary.
+    pub uplink: UplinkSummary,
+}
+
+impl ContendedRun {
+    /// Header matching [`ContendedRun::to_csv`]: the per-session summary
+    /// columns plus the run's aggregate uplink columns (repeated per row
+    /// so each row is self-describing).
+    pub fn csv_header() -> String {
+        format!(
+            "{},policy,uplink_budget,uplink_contended_frac,uplink_utilization,\
+             uplink_mean_backlog,uplink_peak_backlog",
+            SessionSummary::csv_header()
+        )
+    }
+
+    /// One row per session: the session summary followed by the aggregate
+    /// uplink columns.
+    pub fn to_csv(&self) -> String {
+        let mut out = ContendedRun::csv_header();
+        out.push('\n');
+        // The aggregate columns are run-level constants.
+        let aggregate = CsvRow::new()
+            .field(self.policy.name())
+            .fixed(self.uplink.budget, 1)
+            .fixed(self.uplink.contended_fraction(), 4)
+            .fixed(self.uplink.utilization(), 4)
+            .fixed(self.uplink.mean_backlog, 1)
+            .fixed(self.uplink.peak_backlog, 1)
+            .finish();
+        for (i, s) in self.summaries.iter().enumerate() {
+            out.push_str(&s.csv_row(i));
+            out.push(',');
+            out.push_str(&aggregate);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs a scenario through the contention plane with summary-only sinks:
+/// the scenario's own [`Scenario::uplink`] spec, or
+/// [`UplinkSpec::unconstrained`] when it declares none.
+pub fn run_contended(scenario: &Scenario) -> ContendedRun {
+    let spec = scenario.uplink.unwrap_or_else(UplinkSpec::unconstrained);
+    let mut batch = SessionBatch::summary_only(scenario);
+    let mut uplink = SharedUplink::new(spec);
+    uplink.run(&mut batch);
+    ContendedRun {
+        policy: spec.policy,
+        summaries: batch.into_summaries(),
+        uplink: uplink.summary(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentConfig;
+    use crate::scenario::ControllerSpec;
+    use arvis_quality::DepthProfile;
+
+    fn profile() -> DepthProfile {
+        DepthProfile::from_parts(
+            5,
+            vec![100.0, 400.0, 1600.0, 6400.0, 25600.0, 102400.0],
+            vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+        )
+    }
+
+    #[test]
+    fn slack_budget_grants_every_demand_verbatim() {
+        for policy in [
+            UplinkPolicy::Unconstrained,
+            UplinkPolicy::ProportionalShare,
+            UplinkPolicy::MaxWeightBacklog,
+        ] {
+            let demands = [100.0, 250.0, 0.0, 3.5];
+            let backlogs = [10.0, 0.0, 99.0, 10.0];
+            let mut grants = Vec::new();
+            policy.allocate(1_000.0, &backlogs, &demands, &mut grants);
+            assert_eq!(grants, demands.to_vec(), "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn proportional_share_scales_pro_rata() {
+        let demands = [300.0, 100.0];
+        let mut grants = Vec::new();
+        UplinkPolicy::ProportionalShare.allocate(200.0, &[0.0, 0.0], &demands, &mut grants);
+        assert!((grants[0] - 150.0).abs() < 1e-9);
+        assert!((grants[1] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_weight_serves_largest_queues_first() {
+        let demands = [100.0, 100.0, 100.0];
+        let backlogs = [5.0, 500.0, 50.0];
+        let mut grants = Vec::new();
+        UplinkPolicy::MaxWeightBacklog.allocate(150.0, &backlogs, &demands, &mut grants);
+        // Deepest queue (index 1) gets its full demand, the next (index 2)
+        // the remainder, the shallowest nothing.
+        assert_eq!(grants[1], 100.0);
+        assert!((grants[2] - 50.0).abs() < 1e-9);
+        assert_eq!(grants[0], 0.0);
+    }
+
+    #[test]
+    fn max_weight_splits_ties_pro_rata() {
+        let demands = [60.0, 180.0];
+        let backlogs = [70.0, 70.0];
+        let mut grants = Vec::new();
+        UplinkPolicy::MaxWeightBacklog.allocate(120.0, &backlogs, &demands, &mut grants);
+        // One group of equal backlogs: 120 split 1:3.
+        assert!((grants[0] - 30.0).abs() < 1e-9);
+        assert!((grants[1] - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_demand_under_zero_budget_is_fine() {
+        let mut grants = Vec::new();
+        for policy in [
+            UplinkPolicy::ProportionalShare,
+            UplinkPolicy::MaxWeightBacklog,
+        ] {
+            policy.allocate(0.0, &[1.0, 2.0], &[0.0, 0.0], &mut grants);
+            assert_eq!(grants, vec![0.0, 0.0]);
+            policy.allocate(0.0, &[1.0, 2.0], &[5.0, 0.0], &mut grants);
+            assert_eq!(grants, vec![0.0, 0.0], "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn driver_reports_contention_and_conserves_budget() {
+        let cfg = ExperimentConfig::new(profile(), 3_000.0, 50);
+        let scenario = Scenario::replicated(&cfg, ControllerSpec::OnlyMax, 4)
+            .with_uplink(UplinkSpec::new(5_000.0, UplinkPolicy::ProportionalShare));
+        let mut batch = crate::session::SessionBatch::summary_only(&scenario);
+        let mut uplink = SharedUplink::new(scenario.uplink.unwrap());
+        let mut saw_contended = false;
+        while !batch.is_done() {
+            let stats = uplink.step_slot(&mut batch);
+            // Demand is 4 × 3000 = 12000 > 5000 every slot.
+            assert!(stats.granted <= 5_000.0 * (1.0 + 1e-12));
+            saw_contended |= stats.contended;
+        }
+        assert!(saw_contended);
+        let summary = uplink.summary();
+        assert_eq!(summary.slots, 50);
+        assert_eq!(summary.contended_slots, 50);
+        assert!(summary.utilization() > 0.999 && summary.utilization() < 1.001);
+        assert!((summary.mean_demand - 12_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn run_contended_without_uplink_is_unconstrained() {
+        let cfg = ExperimentConfig::new(profile(), 2_000.0, 80);
+        let scenario = Scenario::replicated(&cfg, ControllerSpec::Proposed { v: 1e7 }, 3);
+        let run = run_contended(&scenario);
+        assert_eq!(run.policy, UplinkPolicy::Unconstrained);
+        assert_eq!(run.summaries.len(), 3);
+        assert_eq!(run.uplink.slots, 80);
+        assert_eq!(run.uplink.contended_slots, 0);
+        assert_eq!(run.uplink.utilization(), 0.0, "infinite budget");
+        let csv = run.to_csv();
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.lines().nth(1).unwrap().contains("unconstrained"));
+        assert_eq!(
+            csv.lines().next().unwrap().split(',').count(),
+            csv.lines().nth(1).unwrap().split(',').count()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad budget")]
+    fn spec_rejects_negative_budget() {
+        let _ = UplinkSpec::new(-1.0, UplinkPolicy::ProportionalShare);
+    }
+}

@@ -33,12 +33,43 @@ pub struct FifoLatencyTracker {
     /// Frames in flight: (arrival slot, work, completion mark).
     in_flight: VecDeque<(u64, f64, f64)>,
     completed: Vec<FrameLatency>,
+    /// Optional bound on `in_flight`; `None` is unbounded (the default).
+    max_in_flight: Option<usize>,
 }
 
 impl FifoLatencyTracker {
     /// Creates an empty tracker.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty tracker whose in-flight deque never exceeds `cap`
+    /// records, so memory stays bounded even for a *diverging* session
+    /// whose backlog (and unserved-frame count) grows without limit.
+    ///
+    /// While the deque is full, newly arriving frames are coalesced into
+    /// the youngest in-flight record (coarse bucketing): the record's work
+    /// and completion mark absorb the arrival while its arrival slot stays
+    /// at the oldest merged frame, so the coalesced record's eventual
+    /// latency upper-bounds every merged frame's true latency. Whenever
+    /// the number of simultaneously in-flight frames never reaches `cap`,
+    /// a capped tracker is bit-for-bit identical to an uncapped one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap == 0` (at least one record is needed to account
+    /// for in-flight work).
+    pub fn with_max_in_flight(cap: usize) -> Self {
+        assert!(cap > 0, "in-flight cap must be positive");
+        FifoLatencyTracker {
+            max_in_flight: Some(cap),
+            ..Self::default()
+        }
+    }
+
+    /// The in-flight bound, if one was set.
+    pub fn max_in_flight(&self) -> Option<usize> {
+        self.max_in_flight
     }
 
     /// Records one slot: `arrival` work entered (one frame; pass 0 for an
@@ -60,6 +91,7 @@ impl FifoLatencyTracker {
             &mut self.cumulative_arrived,
             &mut self.cumulative_served,
             &mut self.in_flight,
+            self.max_in_flight,
             slot,
             arrival,
             served,
@@ -86,6 +118,7 @@ impl FifoLatencyTracker {
             &mut self.cumulative_arrived,
             &mut self.cumulative_served,
             &mut self.in_flight,
+            self.max_in_flight,
             slot,
             arrival,
             served,
@@ -124,6 +157,7 @@ fn advance(
     cumulative_arrived: &mut f64,
     cumulative_served: &mut f64,
     in_flight: &mut VecDeque<(u64, f64, f64)>,
+    max_in_flight: Option<usize>,
     slot: u64,
     arrival: f64,
     served: f64,
@@ -151,7 +185,17 @@ fn advance(
     }
     if arrival > 0.0 {
         *cumulative_arrived += arrival;
-        in_flight.push_back((slot, arrival, *cumulative_arrived));
+        match max_in_flight {
+            // Deque full: coalesce the arrival into the youngest record.
+            // Its arrival slot stays at the oldest merged frame, so the
+            // coalesced latency upper-bounds every merged frame's.
+            Some(cap) if in_flight.len() >= cap => {
+                let back = in_flight.back_mut().expect("cap is positive");
+                back.1 += arrival;
+                back.2 = *cumulative_arrived;
+            }
+            _ => in_flight.push_back((slot, arrival, *cumulative_arrived)),
+        }
     }
 }
 
@@ -266,6 +310,76 @@ mod tests {
         // The streaming tracker retained nothing.
         assert!(streaming.completed().is_empty());
         assert_eq!(streaming.in_flight(), retained.in_flight());
+    }
+
+    #[test]
+    fn capped_tracker_bounds_in_flight_under_divergence() {
+        // No service at all: every frame stays in flight, so an uncapped
+        // tracker's deque grows one record per slot while a capped one
+        // coalesces into its last record.
+        let mut capped = FifoLatencyTracker::with_max_in_flight(16);
+        let mut uncapped = FifoLatencyTracker::new();
+        for slot in 0..10_000u64 {
+            capped.step(slot, 50.0, 0.0);
+            uncapped.step(slot, 50.0, 0.0);
+        }
+        assert_eq!(uncapped.in_flight(), 10_000);
+        assert_eq!(capped.in_flight(), 16);
+        assert_eq!(capped.max_in_flight(), Some(16));
+    }
+
+    #[test]
+    fn capped_tracker_conserves_work_through_coalescing() {
+        // Diverge past the cap, then drain: the total completed work must
+        // equal the total that arrived, and completions stay FIFO.
+        let mut t = FifoLatencyTracker::with_max_in_flight(4);
+        for slot in 0..100u64 {
+            t.step(slot, 10.0, 0.0);
+        }
+        let mut slot = 100u64;
+        while t.in_flight() > 0 {
+            t.step(slot, 0.0, 25.0);
+            slot += 1;
+        }
+        let total: f64 = t.completed().iter().map(|f| f.work).sum();
+        assert!(
+            (total - 1_000.0).abs() < 1e-9,
+            "work conserved, got {total}"
+        );
+        let arrivals: Vec<u64> = t.completed().iter().map(|f| f.arrived_slot).collect();
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        assert_eq!(arrivals, sorted, "coalesced completions stay FIFO");
+        // The coalesced tail record carries the bulk of the work.
+        assert_eq!(t.completed().len(), 4);
+    }
+
+    #[test]
+    fn capped_equals_uncapped_when_cap_never_binds() {
+        // Stable load: at most a handful of frames in flight, far below
+        // the cap — the two trackers must be bit-for-bit identical.
+        let mut capped = FifoLatencyTracker::with_max_in_flight(64);
+        let mut uncapped = FifoLatencyTracker::new();
+        let mut qa = WorkQueue::new();
+        let mut qb = WorkQueue::new();
+        for slot in 0..500u64 {
+            let a = 10.0 + (slot % 7) as f64;
+            let sa = qa.step(a, 14.0);
+            capped.step(slot, a, sa.served);
+            let sb = qb.step(a, 14.0);
+            uncapped.step(slot, a, sb.served);
+        }
+        assert_eq!(capped.completed(), uncapped.completed());
+        assert_eq!(capped.in_flight(), uncapped.in_flight());
+        for (a, b) in capped.latencies().iter().zip(uncapped.latencies()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "in-flight cap must be positive")]
+    fn rejects_zero_cap() {
+        let _ = FifoLatencyTracker::with_max_in_flight(0);
     }
 
     #[test]

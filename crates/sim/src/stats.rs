@@ -191,9 +191,11 @@ impl SummaryStats {
 ///
 /// This is what lets summary-only telemetry report p95/p99 backlog and
 /// delay for millions of concurrent sessions without retaining per-slot
-/// traces. For the first five samples the estimate is exact (nearest-rank
-/// over the buffered samples); afterwards it is an approximation whose
-/// error vanishes as the stream grows.
+/// traces. Through the first five samples the estimate is exact
+/// (nearest-rank over the buffered samples); afterwards it is an
+/// approximation whose error vanishes as the stream grows (accuracy is
+/// pinned against exact sorted percentiles by the property tests in
+/// `tests/p2_accuracy.rs`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct P2Quantile {
     p: f64,
@@ -307,13 +309,17 @@ impl P2Quantile {
     }
 
     /// The current quantile estimate (`0.0` before any sample; exact
-    /// nearest-rank while fewer than five samples have been seen).
+    /// nearest-rank while at most five samples have been seen).
     pub fn estimate(&self) -> f64 {
         let n = self.count as usize;
         if n == 0 {
             return 0.0;
         }
-        if n < 5 {
+        if n <= 5 {
+            // The first five samples are buffered in `heights` (already
+            // sorted once the fifth arrives): report the exact
+            // nearest-rank quantile instead of the middle marker, which
+            // for tail quantiles (p95/p99) would be badly biased low.
             let mut sorted = self.heights[..n].to_vec();
             sorted.sort_unstable_by(|a, b| a.total_cmp(b));
             let rank = ((self.p * n as f64).ceil().max(1.0) as usize).min(n);

@@ -1,0 +1,171 @@
+//! Accuracy property tests for the streaming P² quantile estimator.
+//!
+//! The estimator underpins every summary-only telemetry tail (p95/p99
+//! backlog and frame latency for millions of sessions), so its error
+//! against the exact sorted percentile is pinned here on three stream
+//! shapes drawn from the workspace's xoshiro256++ generator:
+//!
+//! - **uniform** over an interval — the estimator's best case;
+//! - **bimodal** — two well-separated normal-ish clusters, stressing the
+//!   marker interpolation across the density gap;
+//! - **heavy-tailed** — Pareto via inverse-transform sampling, stressing
+//!   the tail markers with rare huge samples.
+//!
+//! Documented tolerance, at 20 000 samples per stream:
+//!
+//! - **uniform**: estimate within **1 %** of the sample *range* for
+//!   p50/p95/p99 (the range is the natural error scale — a uniform
+//!   interval containing zero makes error-relative-to-the-quantile
+//!   ill-conditioned);
+//! - **bimodal**: within **5 %** of the range. The looser bound is
+//!   inherent to P², whose parabolic marker interpolation smooths across
+//!   the near-empty gap between clusters (a quantile landing *in* the gap
+//!   — e.g. the median of an even mixture — is pulled toward the gap's
+//!   middle);
+//! - **heavy-tailed** (Pareto α = 2): within **5 % of the quantile value**
+//!   for p50/p95 and **15 %** for p99, where only ~200 samples lie past
+//!   the marker and the exact order statistic is itself noisy.
+//!
+//! The first five observations are exact by construction and asserted
+//! bitwise.
+
+use proptest::prelude::*;
+
+use arvis_sim::rng::seeded;
+use arvis_sim::stats::{P2Quantile, SummaryStats};
+use rand::Rng as _;
+
+const SAMPLES: usize = 20_000;
+
+/// The denominator the error of one estimate is measured against.
+enum Scale {
+    /// The exact quantile's own magnitude (positive data away from zero).
+    Value,
+    /// The sample range `max − min` (data whose quantiles may sit at or
+    /// cross zero, where relative-to-value error is ill-conditioned).
+    Range,
+}
+
+/// Feeds `values` to a fresh estimator per `(p, tolerance)` pair and
+/// compares each estimate against the exact nearest-rank percentile.
+fn assert_tracks(
+    values: &[f64],
+    tolerances: [(f64, f64); 3],
+    scale: Scale,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    let exact = SummaryStats::from_slice(values);
+    for (p, tol) in tolerances {
+        let mut q = P2Quantile::new(p);
+        for &v in values {
+            q.observe(v);
+        }
+        let want = if p == 0.5 {
+            exact.median
+        } else if p == 0.95 {
+            exact.p95
+        } else {
+            exact.p99
+        };
+        let got = q.estimate();
+        let denom = match scale {
+            Scale::Value => want.abs().max(1e-12),
+            Scale::Range => (exact.max - exact.min).max(1e-12),
+        };
+        let rel = (got - want).abs() / denom;
+        prop_assert!(
+            rel < tol,
+            "{label} p{}: streaming {got} vs exact {want} (scaled err {rel:.4} > {tol})",
+            p * 100.0
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Uniform stream over a seed-dependent interval.
+    #[test]
+    fn p2_tracks_uniform_streams(seed in 0u64..1_000, lo in -50.0f64..50.0, span in 1.0f64..1_000.0) {
+        let mut rng = seeded(seed);
+        let values: Vec<f64> = (0..SAMPLES).map(|_| rng.gen_range(lo..lo + span)).collect();
+        assert_tracks(
+            &values,
+            [(0.5, 0.01), (0.95, 0.01), (0.99, 0.01)],
+            Scale::Range,
+            "uniform",
+        )?;
+    }
+
+    /// Bimodal stream: two uniform clusters of width `w` a large gap
+    /// apart, with a seed-dependent mixture weight. The weight range keeps
+    /// every asserted quantile *inside* a cluster: p50 lands in the lower
+    /// cluster (weight > 0.6) and p95/p99 in the upper. A quantile falling
+    /// in the near-empty gap itself — e.g. the median of an even mixture —
+    /// is P²'s documented failure mode (the parabolic marker interpolation
+    /// pulls the estimate toward the gap's middle, errors of 10–20 % of
+    /// the range) and is deliberately not asserted.
+    #[test]
+    fn p2_tracks_bimodal_streams(seed in 0u64..1_000, weight in 0.6f64..0.85, w in 0.5f64..5.0) {
+        let mut rng = seeded(seed);
+        let values: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let center = if rng.gen_range(0.0..1.0) < weight { 10.0 } else { 500.0 };
+                center + rng.gen_range(-w..w)
+            })
+            .collect();
+        assert_tracks(
+            &values,
+            [(0.5, 0.05), (0.95, 0.05), (0.99, 0.05)],
+            Scale::Range,
+            "bimodal",
+        )?;
+    }
+
+    /// Heavy-tailed stream: Pareto(α = 2) by inverse transform,
+    /// `x = x_m · u^{-1/2}`.
+    #[test]
+    fn p2_tracks_heavy_tailed_streams(seed in 0u64..1_000, scale in 1.0f64..100.0) {
+        let mut rng = seeded(seed);
+        let values: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                scale * u.powf(-0.5)
+            })
+            .collect();
+        assert_tracks(
+            &values,
+            [(0.5, 0.05), (0.95, 0.05), (0.99, 0.15)],
+            Scale::Value,
+            "pareto",
+        )?;
+    }
+
+    /// With at most five observations the estimate is the exact
+    /// nearest-rank percentile, bit for bit.
+    #[test]
+    fn p2_is_exact_through_five_samples(
+        seed in 0u64..10_000,
+        n in 1usize..=5,
+        p in prop::collection::vec(0.01f64..0.99, 3..4),
+    ) {
+        let mut rng = seeded(seed);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e6f64..1e6)).collect();
+        for &p in &p {
+            let mut q = P2Quantile::new(p);
+            for &v in &values {
+                q.observe(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable_by(|a, b| a.total_cmp(b));
+            let rank = ((p * n as f64).ceil().max(1.0) as usize).min(n);
+            let want = sorted[rank - 1];
+            prop_assert_eq!(
+                q.estimate().to_bits(),
+                want.to_bits(),
+                "n={} p={}: {} vs {}", n, p, q.estimate(), want
+            );
+        }
+    }
+}

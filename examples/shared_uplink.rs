@@ -1,0 +1,144 @@
+//! A contended multi-tenant fleet: 24 AR sessions streaming over one
+//! shared backhaul, compared across the three uplink admission policies.
+//!
+//! The paper's model gives every device a private renderer; at fleet scale
+//! the binding resource is the shared link. This example declares one
+//! heterogeneous [`Scenario`], couples it through an [`UplinkSpec`] whose
+//! budget covers only ~60 % of aggregate demand, and shows both contention
+//! regimes:
+//!
+//! - **adaptive tenants** (the paper's Lyapunov scheduler): the depth
+//!   controllers absorb scarcity, so the admission policy shifts *quality*
+//!   rather than stability;
+//! - **fixed-rate tenants** (no controller adaptation): the admission
+//!   policy decides who diverges — backlog-blind `ProportionalShare`
+//!   reserves bandwidth for idle tenants while loaded ones blow up, the
+//!   Lyapunov-natural `MaxWeightBacklog` keeps every queue bounded.
+//!
+//! ```bash
+//! cargo run --release --example shared_uplink
+//! ```
+
+use arvis::core::experiment::{ExperimentConfig, ServiceSpec};
+use arvis::core::scenario::{ControllerSpec, Scenario, SessionSpec};
+use arvis::core::uplink::{run_contended, ContendedRun, UplinkPolicy, UplinkSpec};
+use arvis::quality::DepthProfile;
+use arvis::sim::rng::child_seed;
+
+const POLICIES: [UplinkPolicy; 3] = [
+    UplinkPolicy::Unconstrained,
+    UplinkPolicy::ProportionalShare,
+    UplinkPolicy::MaxWeightBacklog,
+];
+
+fn paper_shaped_profile() -> DepthProfile {
+    // Synthetic paper-shaped profile: arrivals quadruple per depth,
+    // quality saturates.
+    DepthProfile::from_parts(
+        5,
+        vec![100.0, 400.0, 1600.0, 6400.0, 25600.0, 102400.0],
+        vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+    )
+}
+
+fn report(devices: usize, run: &ContendedRun) {
+    let stable = run.summaries.iter().filter(|s| s.stable).count();
+    let worst_p99 = run
+        .summaries
+        .iter()
+        .map(|s| s.backlog_p99)
+        .fold(0.0f64, f64::max);
+    let mean_quality: f64 =
+        run.summaries.iter().map(|s| s.mean_quality).sum::<f64>() / run.summaries.len() as f64;
+    println!(
+        "{:<20} stable {stable:>2}/{devices}  worst p99 backlog {worst_p99:>12.0}  \
+         mean quality {mean_quality:.4}  contended {:>5.1}%",
+        run.policy.name(),
+        100.0 * run.uplink.contended_fraction(),
+    );
+}
+
+/// Regime 1: every tenant runs the paper's scheduler — scarcity degrades
+/// quality gracefully, nobody diverges.
+fn adaptive_fleet() {
+    let base = ExperimentConfig::new(paper_shaped_profile(), 2_000.0, 2_000).with_controller_v(1e7);
+    let devices = 24usize;
+    let mut scenario = Scenario::new(base.slots);
+    for i in 0..devices {
+        let heavy = i % 3 == 2;
+        let mut spec = SessionSpec::from_config(
+            &base,
+            ControllerSpec::Proposed {
+                v: base.controller_v,
+            },
+        );
+        spec.service = ServiceSpec::Constant(if heavy { 4_000.0 } else { 1_600.0 });
+        spec.seed = child_seed(0xB4CC, i as u64);
+        // A contended tenant may diverge; its memory must not.
+        spec.frame_cap = Some(4_096);
+        scenario.sessions.push(spec);
+    }
+    let demand: f64 = scenario
+        .sessions
+        .iter()
+        .map(|s| s.service.mean_rate())
+        .sum();
+    let budget = 0.6 * demand;
+    println!(
+        "== adaptive tenants: {devices} proposed-scheduler sessions, demand {demand:.0}/slot, \
+         budget {budget:.0}/slot ==",
+    );
+    for policy in POLICIES {
+        let run = run_contended(
+            &scenario
+                .clone()
+                .with_uplink(UplinkSpec::new(budget, policy)),
+        );
+        report(devices, &run);
+    }
+    println!(
+        "-> the Lyapunov depth loop absorbs scarcity: every policy keeps every tenant\n\
+         stable, the budget shows up as lost quality instead.\n"
+    );
+}
+
+/// Regime 2: fixed-rate tenants — the admission policy alone decides who
+/// survives contention (the scenario asserted in tests/shared_uplink.rs).
+fn fixed_rate_fleet() {
+    let profile = DepthProfile::from_parts(5, vec![400.0, 2_500.0], vec![0.4, 1.0]);
+    let base = ExperimentConfig::new(profile, 3_000.0, 800);
+    let devices = 8usize;
+    let mut scenario = Scenario::new(base.slots);
+    for i in 0..devices {
+        let depth = if i < 4 { 6 } else { 5 }; // 4 heavy, 4 light tenants
+        let mut spec = SessionSpec::from_config(&base, ControllerSpec::Fixed { depth });
+        spec.seed = 77 + i as u64;
+        spec.frame_cap = Some(4_096);
+        scenario.sessions.push(spec);
+    }
+    // Demand 8 × 3000; the aggregate *load* (4×2500 + 4×400 = 11600) fits
+    // a 14400 budget — if the budget goes where the queues are.
+    let budget = 14_400.0;
+    println!(
+        "== fixed-rate tenants: 4 heavy (2500/slot) + 4 light (400/slot), \
+         budget {budget:.0}/slot ==",
+    );
+    for policy in POLICIES {
+        let run = run_contended(
+            &scenario
+                .clone()
+                .with_uplink(UplinkSpec::new(budget, policy)),
+        );
+        report(devices, &run);
+    }
+    println!(
+        "-> proportional share grants every tenant 1800/slot regardless of need: the\n\
+         heavy tenants diverge at 700 points/slot. Max-weight water-fills the deepest\n\
+         queues first and keeps all eight bounded from the same budget."
+    );
+}
+
+fn main() {
+    adaptive_fleet();
+    fixed_rate_fleet();
+}

@@ -19,7 +19,7 @@
 //! | [`quality`] | `arvis-quality` | PSNR/Hausdorff metrics, quality models `p_a(d)`, depth profiles |
 //! | [`sim`] | `arvis-sim` | slotted simulation, arrivals, queues, statistics |
 //! | [`lyapunov`] | `arvis-lyapunov` | generic drift-plus-penalty framework and bounds |
-//! | [`core`] | `arvis-core` | the paper's scheduler (Algorithm 1), baselines, and the session runtime (`Scenario` → `SessionBatch` with pluggable telemetry sinks) |
+//! | [`core`] | `arvis-core` | the paper's scheduler (Algorithm 1), baselines, the session runtime (`Scenario` → `SessionBatch` with pluggable telemetry sinks), and the shared-uplink contention plane (`core::uplink`) |
 //!
 //! ## Quickstart
 //!
