@@ -16,7 +16,7 @@ use std::hint::black_box;
 use arvis_core::experiment::{ExperimentConfig, ServiceSpec};
 use arvis_core::scenario::{ControllerSpec, Scenario};
 use arvis_core::session::SessionBatch;
-use arvis_core::uplink::{SharedUplink, UplinkPolicy, UplinkSpec};
+use arvis_core::uplink::{BudgetProfile, SharedUplink, UplinkPolicy, UplinkSpec, UplinkVAdaptSpec};
 use arvis_quality::DepthProfile;
 
 const SESSIONS: usize = 2_000;
@@ -68,6 +68,12 @@ fn bench_uplink_contention(c: &mut Criterion) {
         });
     });
 
+    let diurnal = BudgetProfile::Diurnal {
+        mean: budget,
+        amplitude: 0.5 * budget,
+        period: 50,
+        phase: 0.0,
+    };
     for (name, spec) in [
         ("slot_major_unconstrained", UplinkSpec::unconstrained()),
         (
@@ -78,16 +84,52 @@ fn bench_uplink_contention(c: &mut Criterion) {
             "max_weight_backlog",
             UplinkSpec::new(budget, UplinkPolicy::MaxWeightBacklog),
         ),
+        (
+            "weighted_max_weight",
+            UplinkSpec::new(
+                budget,
+                UplinkPolicy::WeightedMaxWeight {
+                    weights: (0..SESSIONS).map(|i| 1.0 + (i % 4) as f64).collect(),
+                },
+            ),
+        ),
+        (
+            "alpha_fair",
+            UplinkSpec::new(budget, UplinkPolicy::AlphaFair { alpha: 2.0 }),
+        ),
+        (
+            "diurnal_max_weight",
+            UplinkSpec::with_profile(diurnal.clone(), UplinkPolicy::MaxWeightBacklog),
+        ),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut batch = SessionBatch::summary_only(black_box(&scenario));
-                let mut uplink = SharedUplink::new(spec);
+                let mut uplink = SharedUplink::new(spec.clone());
                 uplink.run(&mut batch);
                 black_box((batch.into_summaries().len(), uplink.summary().slots))
             });
         });
     }
+
+    // The full adaptive stack: diurnal budget, max-weight admission, and
+    // every tenant running uplink-aware V adaptation — the per-slot cost
+    // of the grant-ratio feedback loop on top of the contention plane.
+    let mut adaptive = scenario.clone();
+    for spec in adaptive.sessions.iter_mut() {
+        spec.uplink_v_adapt = Some(UplinkVAdaptSpec::default());
+    }
+    group.bench_function("diurnal_max_weight_adaptive_v", |b| {
+        b.iter(|| {
+            let mut batch = SessionBatch::summary_only(black_box(&adaptive));
+            let mut uplink = SharedUplink::new(UplinkSpec::with_profile(
+                diurnal.clone(),
+                UplinkPolicy::MaxWeightBacklog,
+            ));
+            uplink.run(&mut batch);
+            black_box((batch.into_summaries().len(), uplink.summary().slots))
+        });
+    });
 
     group.finish();
 }

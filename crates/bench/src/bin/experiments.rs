@@ -420,7 +420,9 @@ fn energy(opts: &Options) {
 fn uplink(opts: &Options) {
     use arvis_core::experiment::ServiceSpec;
     use arvis_core::scenario::{ControllerSpec, Scenario, SessionSpec};
-    use arvis_core::uplink::{run_contended, ContendedRun, UplinkPolicy, UplinkSpec};
+    use arvis_core::uplink::{
+        run_contended, BudgetProfile, ContendedRun, UplinkPolicy, UplinkSpec, UplinkVAdaptSpec,
+    };
     use arvis_sim::rng::child_seed;
 
     println!("== Extension E6: shared-uplink contention ==");
@@ -468,6 +470,10 @@ fn uplink(opts: &Options) {
         UplinkPolicy::Unconstrained,
         UplinkPolicy::ProportionalShare,
         UplinkPolicy::MaxWeightBacklog,
+        UplinkPolicy::WeightedMaxWeight {
+            weights: (0..devices).map(|i| 1.0 + (i % 4) as f64).collect(),
+        },
+        UplinkPolicy::AlphaFair { alpha: 2.0 },
     ] {
         let run = run_contended(
             &scenario
@@ -493,6 +499,66 @@ fn uplink(opts: &Options) {
     }
     let path = results_dir().join("ext_shared_uplink.csv");
     write_csv_file(&path, &csv).expect("write uplink csv");
+    println!("wrote {}", path.display());
+
+    // E6b: the diurnal-backhaul family — budget mean 60% of demand
+    // swinging to a 15% trough, fixed-V vs uplink-aware adaptive-V
+    // tenants, under the two differentiated-tenant policies.
+    let diurnal = BudgetProfile::Diurnal {
+        mean: 0.6 * demand,
+        amplitude: 0.45 * demand,
+        period: 200,
+        phase: 0.0,
+    };
+    println!(
+        "-- diurnal backhaul: mean {:.0} (60%), trough {:.0}, period 200 slots --",
+        0.6 * demand,
+        0.15 * demand
+    );
+    let mut adaptive_csv = format!("v_mode,{}\n", ContendedRun::csv_header());
+    println!(
+        "{:<20} {:<10} {:>9} {:>16} {:>13}",
+        "policy", "v_mode", "stable", "worst_p99_backlog", "mean_quality"
+    );
+    for policy in [
+        UplinkPolicy::WeightedMaxWeight {
+            weights: (0..devices).map(|i| 1.0 + (i % 4) as f64).collect(),
+        },
+        UplinkPolicy::AlphaFair { alpha: 2.0 },
+    ] {
+        for (v_mode, adapt) in [
+            ("fixed", None),
+            ("adaptive", Some(UplinkVAdaptSpec::default())),
+        ] {
+            let mut contended = scenario.clone();
+            for spec in contended.sessions.iter_mut() {
+                spec.uplink_v_adapt = adapt;
+            }
+            let run = run_contended(
+                &contended.with_uplink(UplinkSpec::with_profile(diurnal.clone(), policy.clone())),
+            );
+            let stable = run.summaries.iter().filter(|s| s.stable).count();
+            let worst_p99 = run
+                .summaries
+                .iter()
+                .map(|s| s.backlog_p99)
+                .fold(0.0f64, f64::max);
+            let mean_quality: f64 =
+                run.summaries.iter().map(|s| s.mean_quality).sum::<f64>() / devices as f64;
+            println!(
+                "{:<20} {v_mode:<10} {stable:>6}/{devices} {worst_p99:>16.0} {mean_quality:>13.4}",
+                run.policy.name(),
+            );
+            for row in run.to_csv().split_once('\n').expect("header").1.lines() {
+                adaptive_csv.push_str(v_mode);
+                adaptive_csv.push(',');
+                adaptive_csv.push_str(row);
+                adaptive_csv.push('\n');
+            }
+        }
+    }
+    let path = results_dir().join("ext_uplink_adaptive.csv");
+    write_csv_file(&path, &adaptive_csv).expect("write adaptive uplink csv");
     println!("wrote {}\n", path.display());
 }
 

@@ -23,9 +23,12 @@
 //!   slot, or thousands at once in a struct-of-arrays [`SessionBatch`]
 //!   fanned out over `arvis_par`;
 //! - [`uplink`]: the shared-uplink contention plane — M sessions' per-slot
-//!   service demands admitted against one backhaul budget by a pluggable
-//!   [`uplink::UplinkPolicy`] (unconstrained / proportional-share /
-//!   max-weight-backlog), riding on the slot-major batch stepping;
+//!   service demands admitted against a time-varying backhaul budget
+//!   ([`uplink::BudgetProfile`]: constant / diurnal / piecewise steps /
+//!   trace) by a pluggable [`uplink::UplinkPolicy`] (unconstrained /
+//!   proportional-share / max-weight-backlog / weighted-max-weight /
+//!   α-fair), riding on the slot-major batch stepping, with optional
+//!   uplink-aware Lyapunov-`V` adaptation ([`uplink::UplinkVAdaptSpec`]);
 //! - [`telemetry`]: pluggable [`telemetry::TelemetrySink`]s (full trace,
 //!   streaming summary-only, CSV) and the shared CSV helpers;
 //! - [`device`]: mobile-device rendering capacity models;
@@ -113,4 +116,4 @@ pub use experiment::{Experiment, ExperimentConfig, ExperimentResult};
 pub use scenario::{ControllerSpec, Scenario, SessionSpec};
 pub use session::{Session, SessionBatch, SlotOutcome};
 pub use telemetry::{FullTrace, SessionSummary, SummarySink, TelemetrySink};
-pub use uplink::{SharedUplink, UplinkPolicy, UplinkSpec};
+pub use uplink::{BudgetProfile, SharedUplink, UplinkPolicy, UplinkSpec, UplinkVAdaptSpec};

@@ -140,6 +140,17 @@ impl ControllerSpec {
             ControllerSpec::Extern(spec) => BuiltController::Extern(spec.build()),
         }
     }
+
+    /// The fixed trade-off coefficient `V` of a
+    /// [`ControllerSpec::Proposed`] spec, `None` for every other policy —
+    /// the base value uplink-aware `V` adaptation
+    /// ([`SessionSpec::uplink_v_adapt`]) scales around.
+    pub fn proposed_v(&self) -> Option<f64> {
+        match self {
+            ControllerSpec::Proposed { v } => Some(*v),
+            _ => None,
+        }
+    }
 }
 
 /// Runnable controller state: the closed enum the session hot loop
@@ -161,6 +172,18 @@ pub enum BuiltController {
     Adaptive(AdaptiveDpp),
     /// A user-defined controller behind the open trait.
     Extern(Box<dyn DepthController + Send>),
+}
+
+impl BuiltController {
+    /// Replaces the Lyapunov trade-off `V` of a
+    /// [`BuiltController::Proposed`] controller; a no-op for every other
+    /// policy. The hook the uplink-aware `V` adaptation
+    /// ([`crate::uplink::UplinkVAdaptSpec`]) drives each contended slot.
+    pub fn set_v(&mut self, v: f64) {
+        if let BuiltController::Proposed(c) = self {
+            c.set_v(v);
+        }
+    }
 }
 
 impl DepthController for BuiltController {
@@ -224,6 +247,15 @@ pub struct SessionSpec {
     /// upper-bounded) frame latencies once the backlog exceeds the cap.
     /// `None` (the default) keeps exact per-frame accounting.
     pub frame_cap: Option<usize>,
+    /// Optional uplink-aware `V` adaptation (see
+    /// [`crate::uplink::UplinkVAdaptSpec`]): when the session is stepped
+    /// through the shared-uplink contention plane, it observes its
+    /// grant/demand ratio each slot and scales its Lyapunov `V` with a
+    /// bounded multiplicative update, shedding quality instead of
+    /// diverging when the link saturates. Requires a
+    /// [`ControllerSpec::Proposed`] controller (the knob scales that
+    /// controller's `V`); uncoupled runs never engage it.
+    pub uplink_v_adapt: Option<crate::uplink::UplinkVAdaptSpec>,
 }
 
 impl SessionSpec {
@@ -237,7 +269,16 @@ impl SessionSpec {
             queue_capacity: cfg.queue_capacity,
             warmup: cfg.warmup,
             frame_cap: None,
+            uplink_v_adapt: None,
         }
+    }
+
+    /// Enables uplink-aware `V` adaptation for this session (see
+    /// [`SessionSpec::uplink_v_adapt`]).
+    #[must_use]
+    pub fn with_uplink_v_adapt(mut self, adapt: crate::uplink::UplinkVAdaptSpec) -> SessionSpec {
+        self.uplink_v_adapt = Some(adapt);
+        self
     }
 
     /// Builds the session's latency tracker (capped when `frame_cap` is

@@ -23,6 +23,7 @@
 //! in-flight frame records of a *diverging* session, whose backlog (and
 //! hence unserved-frame count) is unbounded by definition.
 
+use arvis_lyapunov::adaptive::GrantRatioV;
 use arvis_sim::latency::FifoLatencyTracker;
 use arvis_sim::queue::WorkQueue;
 use arvis_sim::service::{ConstantRate, DutyCycledRate, JitteredRate, ServiceProcess};
@@ -284,11 +285,15 @@ type ChunkTask<'a, S> = (
 );
 
 /// A [`SessionBatch::step_slot_granted`] work unit: like [`ChunkTask`] but
-/// with the slot's service capacities already drawn and admitted.
+/// with the slot's service capacities already drawn (demands) and admitted
+/// (grants), plus the per-session uplink-aware `V` adapters the
+/// grant/demand feedback drives.
 type GrantedChunkTask<'a, S> = (
     &'a [ArStream],
     &'a mut [BuiltController],
     &'a [f64],
+    &'a [f64],
+    &'a mut [Option<GrantRatioV>],
     &'a mut [WorkQueue],
     &'a mut [FifoLatencyTracker],
     &'a mut [S],
@@ -311,6 +316,13 @@ pub struct SessionBatch<S: TelemetrySink> {
     latencies: Vec<FifoLatencyTracker>,
     warmups: Vec<u64>,
     sinks: Vec<S>,
+    /// Per-session uplink-aware `V` adapters (`None` for sessions without
+    /// the knob). Driven only by [`SessionBatch::step_slot_granted`].
+    adapters: Vec<Option<GrantRatioV>>,
+    /// The demands drawn by the most recent
+    /// [`SessionBatch::fill_demands`] — kept so the granted step can
+    /// compute each session's grant/demand ratio.
+    last_demands: Vec<f64>,
     slot: u64,
     horizon: u64,
     chunk: usize,
@@ -323,6 +335,13 @@ pub struct SessionBatch<S: TelemetrySink> {
 impl<S: TelemetrySink + Send> SessionBatch<S> {
     /// Builds a batch from a scenario, constructing one sink per session
     /// via `make_sink(index, spec)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a session declares `uplink_v_adapt` without a
+    /// [`crate::scenario::ControllerSpec::Proposed`] controller — the
+    /// adaptation scales that controller's `V` and has nothing to act on
+    /// otherwise.
     pub fn new(
         scenario: &Scenario,
         mut make_sink: impl FnMut(usize, &SessionSpec) -> S,
@@ -336,6 +355,8 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
             latencies: Vec::with_capacity(n),
             warmups: Vec::with_capacity(n),
             sinks: Vec::with_capacity(n),
+            adapters: Vec::with_capacity(n),
+            last_demands: Vec::new(),
             slot: 0,
             horizon: scenario.slots,
             chunk: DEFAULT_SESSIONS_PER_CHUNK,
@@ -354,6 +375,12 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
             batch.latencies.push(spec.latency_tracker());
             batch.warmups.push(spec.warmup);
             batch.sinks.push(make_sink(i, spec));
+            batch.adapters.push(spec.uplink_v_adapt.map(|adapt| {
+                let base_v = spec.controller.proposed_v().unwrap_or_else(|| {
+                    panic!("session {i}: uplink_v_adapt requires a Proposed controller")
+                });
+                adapt.build(base_v)
+            }));
         }
         batch
     }
@@ -474,6 +501,10 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
                 *demand = service.capacity(slot);
             }
         });
+        // Keep the draws so step_slot_granted can feed each session's
+        // grant/demand ratio to its uplink-aware V adapter.
+        self.last_demands.clear();
+        self.last_demands.extend_from_slice(out);
     }
 
     /// Phase two of a contended slot: advances every session by one slot
@@ -506,21 +537,31 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
         let mut streams = self.streams.chunks(c);
         let mut controllers = self.controllers.chunks_mut(c);
         let mut grants = granted.chunks(c);
+        let mut demands = self.last_demands.chunks(c);
+        let mut adapters = self.adapters.chunks_mut(c);
         let mut queues = self.queues.chunks_mut(c);
         let mut latencies = self.latencies.chunks_mut(c);
         let mut sinks = self.sinks.chunks_mut(c);
-        while let (Some(st), Some(ct), Some(gr), Some(qu), Some(la), Some(si)) = (
+        while let (Some(st), Some(ct), Some(gr), Some(dm), Some(ad), Some(qu), Some(la), Some(si)) = (
             streams.next(),
             controllers.next(),
             grants.next(),
+            demands.next(),
+            adapters.next(),
             queues.next(),
             latencies.next(),
             sinks.next(),
         ) {
-            tasks.push((st, ct, gr, qu, la, si));
+            tasks.push((st, ct, gr, dm, ad, qu, la, si));
         }
-        arvis_par::for_each_task(tasks, |_, (st, ct, gr, qu, la, si)| {
+        arvis_par::for_each_task(tasks, |_, (st, ct, gr, dm, ad, qu, la, si)| {
             for i in 0..st.len() {
+                if let Some(adapter) = ad[i].as_mut() {
+                    // The slot's admission outcome: what fraction of the
+                    // polled demand the uplink granted (1 when idle).
+                    let ratio = if dm[i] > 0.0 { gr[i] / dm[i] } else { 1.0 };
+                    ct[i].set_v(adapter.observe(ratio));
+                }
                 step_kernel_granted(
                     slot, &st[i], gr[i], &mut ct[i], &mut qu[i], &mut la[i], &mut si[i],
                 );

@@ -10,27 +10,65 @@
 //!    backlog ([`SessionBatch::fill_backlogs`]);
 //! 2. **Admit** — an [`UplinkPolicy`] grants each session an effective
 //!    capacity, never above its demand, with the grand total never above
-//!    the [`UplinkSpec::budget`];
+//!    the slot's budget ([`BudgetProfile::budget_at`]);
 //! 3. **Complete** — the slot finishes through
 //!    [`SessionBatch::step_slot_granted`] with the granted capacities, and
 //!    the slot's aggregates feed the uplink telemetry.
 //!
+//! ## Time-varying budgets
+//!
+//! The backhaul budget is a [`BudgetProfile`] evaluated per slot:
+//! [`BudgetProfile::Constant`] (the PR-3 behavior),
+//! [`BudgetProfile::Diurnal`] (a sinusoid around a mean — the
+//! day/night backhaul cycle), [`BudgetProfile::PiecewiseSteps`]
+//! (scheduled capacity changes) and [`BudgetProfile::Trace`] (a measured
+//! per-slot budget series). [`UplinkSummary::utilization`] accordingly
+//! normalizes by the *realized mean* budget, not a single constant.
+//!
+//! ## Policies
+//!
+//! - [`UplinkPolicy::Unconstrained`] — no admission control;
+//! - [`UplinkPolicy::ProportionalShare`] — scarcity pro rata to demand
+//!   (backlog-blind);
+//! - [`UplinkPolicy::MaxWeightBacklog`] — largest queues first, the
+//!   Lyapunov drift-minimizing choice;
+//! - [`UplinkPolicy::WeightedMaxWeight`] — max-weight on `w_i · Q_i`,
+//!   expressing per-tenant priority classes; uniform weights reproduce
+//!   `MaxWeightBacklog` bit-for-bit;
+//! - [`UplinkPolicy::AlphaFair`] — the demand-weighted α-fair family:
+//!   `α = 1` is proportional fairness (pro rata to demand), `α → ∞` is
+//!   max-min fairness (deterministic water-filling to a common level).
+//!
 //! Coupling sessions threatens the batch runtime's determinism contract,
 //! so every policy is written to be **order-invariant bit-for-bit**:
 //! aggregate sums are computed over value-sorted copies (permutation
-//! invariant), and [`UplinkPolicy::MaxWeightBacklog`] water-fills over
-//! descending-backlog *groups* (ties share pro rata) instead of picking
-//! an arbitrary order within a tie. `tests/shared_uplink.rs` pins the
-//! resulting invariants: per-slot conservation under a binding budget,
-//! session-order / chunk-size / serial-vs-parallel invariance for every
-//! policy, and [`UplinkPolicy::Unconstrained`] ≡ the uncoupled batch.
+//! invariant), max-weight water-fills over descending-priority *groups*
+//! (ties share pro rata) instead of picking an arbitrary order within a
+//! tie, and α-fair derives its water level from permutation-invariant
+//! sums with pointwise capping. `tests/shared_uplink.rs` and
+//! `tests/uplink_adaptive.rs` pin the resulting invariants: per-slot
+//! conservation under a binding budget, session-order / chunk-size /
+//! serial-vs-parallel invariance for every policy, and
+//! [`UplinkPolicy::Unconstrained`] ≡ the uncoupled batch.
+//!
+//! ## Uplink-aware `V` adaptation
+//!
+//! A tenant that keeps its Lyapunov `V` fixed while the link starves it
+//! parks its backlog at the fixed-`V` plateau. [`UplinkVAdaptSpec`]
+//! (surfaced as `SessionSpec::uplink_v_adapt`) closes the loop: each
+//! contended slot the session observes its grant/demand ratio and feeds an
+//! [`arvis_lyapunov::adaptive::GrantRatioV`] — a bounded multiplicative
+//! update with a hysteresis band — so saturation shrinks `V` (shedding
+//! quality and arrivals) and slack restores it. The adaptation only acts
+//! through the contention plane's granted stepping; uncoupled runs never
+//! touch it.
 //!
 //! ## Example: one declarative file describes the contended fleet
 //!
 //! ```
 //! use arvis_core::experiment::ExperimentConfig;
 //! use arvis_core::scenario::{ControllerSpec, Scenario};
-//! use arvis_core::uplink::{run_contended, UplinkPolicy, UplinkSpec};
+//! use arvis_core::uplink::{run_contended, BudgetProfile, UplinkPolicy, UplinkSpec};
 //! use arvis_quality::DepthProfile;
 //!
 //! let profile = DepthProfile::from_parts(
@@ -40,18 +78,28 @@
 //! );
 //! let base = ExperimentConfig::new(profile, 2_000.0, 400).with_controller_v(1e7);
 //!
-//! // 8 tenants sharing a backhaul that covers 70% of their aggregate
-//! // demand, served largest-queue-first.
+//! // 8 tenants sharing a diurnal backhaul averaging 70% of their
+//! // aggregate demand, served largest-queue-first.
 //! let scenario = Scenario::replicated(&base, ControllerSpec::Proposed { v: 1e7 }, 8)
-//!     .with_uplink(UplinkSpec::new(0.7 * 8.0 * 2_000.0, UplinkPolicy::MaxWeightBacklog));
+//!     .with_uplink(UplinkSpec::with_profile(
+//!         BudgetProfile::Diurnal {
+//!             mean: 0.7 * 8.0 * 2_000.0,
+//!             amplitude: 0.2 * 8.0 * 2_000.0,
+//!             period: 100,
+//!             phase: 0.0,
+//!         },
+//!         UplinkPolicy::MaxWeightBacklog,
+//!     ));
 //!
 //! let run = run_contended(&scenario);
 //! assert_eq!(run.summaries.len(), 8);
-//! assert_eq!(run.uplink.contended_slots, 400, "budget binds every slot");
-//! assert!(run.uplink.utilization() > 0.999, "scarce budget fully spent");
+//! assert!(run.uplink.contended_slots > 0, "budget binds below the mean");
+//! assert!(run.uplink.utilization() > 0.9, "scarce budget mostly spent");
 //! ```
 
 use serde::{Deserialize, Serialize};
+
+use arvis_lyapunov::adaptive::GrantRatioV;
 
 use crate::scenario::Scenario;
 use crate::session::SessionBatch;
@@ -67,6 +115,121 @@ fn invariant_sum(values: impl Iterator<Item = f64>, scratch: &mut Vec<f64>) -> f
     scratch.iter().sum()
 }
 
+/// A per-slot backhaul budget, evaluated as a pure function of the slot
+/// index — deterministic by construction, so time-varying budgets keep the
+/// batch runtime's bit-reproducibility.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BudgetProfile {
+    /// The same budget every slot (`f64::INFINITY` = never binds).
+    Constant(f64),
+    /// A sinusoidal day/night cycle:
+    /// `mean + amplitude · sin(2π · (slot / period + phase))`.
+    Diurnal {
+        /// Time-average budget.
+        mean: f64,
+        /// Swing around the mean (`amplitude <= mean` keeps the budget
+        /// non-negative).
+        amplitude: f64,
+        /// Cycle length in slots.
+        period: u64,
+        /// Phase offset in cycles (`0.25` starts at the peak).
+        phase: f64,
+    },
+    /// Scheduled capacity changes: each step's budget holds from its
+    /// `start` slot until the next step. The first step must start at
+    /// slot 0.
+    PiecewiseSteps(Vec<BudgetStep>),
+    /// A measured per-slot budget series; slots past the end hold the last
+    /// value.
+    Trace(Vec<f64>),
+}
+
+/// One step of a [`BudgetProfile::PiecewiseSteps`] schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetStep {
+    /// First slot this budget applies to.
+    pub start: u64,
+    /// The per-slot budget from `start` on.
+    pub budget: f64,
+}
+
+impl BudgetProfile {
+    /// The budget for `slot`.
+    pub fn budget_at(&self, slot: u64) -> f64 {
+        match self {
+            BudgetProfile::Constant(b) => *b,
+            BudgetProfile::Diurnal {
+                mean,
+                amplitude,
+                period,
+                phase,
+            } => {
+                let cycles = slot as f64 / *period as f64 + phase;
+                mean + amplitude * (std::f64::consts::TAU * cycles).sin()
+            }
+            BudgetProfile::PiecewiseSteps(steps) => {
+                let idx = steps.partition_point(|s| s.start <= slot);
+                steps[idx.saturating_sub(1)].budget
+            }
+            BudgetProfile::Trace(budgets) => {
+                let idx = (slot as usize).min(budgets.len() - 1);
+                budgets[idx]
+            }
+        }
+    }
+
+    /// Validates the profile's parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any budget value is NaN or negative, a `Diurnal` swing
+    /// can go negative (`amplitude > mean`) or its `period` is zero, a
+    /// `PiecewiseSteps` schedule is empty / unsorted / does not start at
+    /// slot 0, or a `Trace` is empty.
+    pub fn validate(&self) {
+        let check = |b: f64| assert!(!b.is_nan() && b >= 0.0, "bad budget {b}");
+        match self {
+            BudgetProfile::Constant(b) => check(*b),
+            BudgetProfile::Diurnal {
+                mean,
+                amplitude,
+                period,
+                phase,
+            } => {
+                assert!(mean.is_finite() && *mean >= 0.0, "bad diurnal mean {mean}");
+                assert!(
+                    amplitude.is_finite() && *amplitude >= 0.0 && amplitude <= mean,
+                    "diurnal amplitude must be in [0, mean], got {amplitude}"
+                );
+                assert!(*period > 0, "diurnal period must be positive");
+                assert!(phase.is_finite(), "bad diurnal phase {phase}");
+            }
+            BudgetProfile::PiecewiseSteps(steps) => {
+                assert!(!steps.is_empty(), "need at least one budget step");
+                assert_eq!(steps[0].start, 0, "first budget step must start at slot 0");
+                assert!(
+                    steps.windows(2).all(|w| w[0].start < w[1].start),
+                    "budget steps must have strictly ascending starts"
+                );
+                steps.iter().for_each(|s| check(s.budget));
+            }
+            BudgetProfile::Trace(budgets) => {
+                assert!(!budgets.is_empty(), "need at least one traced budget");
+                budgets.iter().copied().for_each(check);
+            }
+        }
+    }
+}
+
+/// Caller-owned scratch for the allocation hot path (sorted-sum buffer,
+/// priority order, per-session keys).
+#[derive(Debug, Default)]
+struct AllocScratch {
+    sums: Vec<f64>,
+    order: Vec<usize>,
+    keys: Vec<f64>,
+}
+
 /// How a shared uplink divides its per-slot budget among contending
 /// sessions.
 ///
@@ -74,7 +237,7 @@ fn invariant_sum(values: impl Iterator<Item = f64>, scratch: &mut Vec<f64>) -> f
 /// budget in total, and — whenever aggregate demand fits the budget —
 /// grants every demand in full (work conservation). They differ only in
 /// how scarcity is split.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum UplinkPolicy {
     /// No admission control: every demand is granted verbatim, the budget
     /// is ignored. Bit-identical to running the batch uncoupled.
@@ -88,6 +251,31 @@ pub enum UplinkPolicy {
     /// groups sharing pro rata to demand. This is max-weight scheduling
     /// with weight `Q_i(τ)`, the drift-minimizing choice.
     MaxWeightBacklog,
+    /// Max-weight with per-tenant priorities: sessions are served in
+    /// descending `w_i · Q_i(τ)` order, equal-priority groups sharing pro
+    /// rata to demand (the same tie-group construction as
+    /// [`UplinkPolicy::MaxWeightBacklog`], so order-invariance survives).
+    /// A gold tenant with `w = 4` tolerates a 4× smaller backlog than a
+    /// `w = 1` tenant before outranking it. Uniform weights reproduce
+    /// `MaxWeightBacklog` bit-for-bit.
+    WeightedMaxWeight {
+        /// Per-session priority weights, batch order (must be finite and
+        /// positive, one per session).
+        weights: Vec<f64>,
+    },
+    /// The demand-weighted α-fair family: maximizes
+    /// `Σ_i d_i · x_i^(1-α) / (1-α)` subject to `Σ x_i ≤ B`,
+    /// `0 ≤ x_i ≤ d_i`, whose KKT solution is
+    /// `x_i = min(d_i, θ · d_i^(1/α))` with the water level `θ` chosen to
+    /// spend the budget. `α = 1` allocates pro rata to demand
+    /// (proportional fairness ≡ [`UplinkPolicy::ProportionalShare`]);
+    /// `α = ∞` allocates max-min fair (equal levels, capped at demand).
+    /// Backlog-blind like `ProportionalShare`, but tunably less biased
+    /// toward heavy demanders as `α` grows.
+    AlphaFair {
+        /// Fairness exponent, `α ≥ 1` (`f64::INFINITY` = max-min).
+        alpha: f64,
+    },
 }
 
 impl UplinkPolicy {
@@ -97,41 +285,76 @@ impl UplinkPolicy {
             UplinkPolicy::Unconstrained => "unconstrained",
             UplinkPolicy::ProportionalShare => "proportional_share",
             UplinkPolicy::MaxWeightBacklog => "max_weight_backlog",
+            UplinkPolicy::WeightedMaxWeight { .. } => "weighted_max_weight",
+            UplinkPolicy::AlphaFair { .. } => "alpha_fair",
+        }
+    }
+
+    /// Validates the policy's own parameters (session-count-independent
+    /// checks; weight-length mismatches surface in
+    /// [`UplinkPolicy::allocate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a `WeightedMaxWeight` weight is non-finite or
+    /// non-positive, or an `AlphaFair` exponent is NaN or below 1.
+    pub fn validate(&self) {
+        match self {
+            UplinkPolicy::WeightedMaxWeight { weights } => {
+                assert!(!weights.is_empty(), "need at least one weight");
+                for &w in weights {
+                    assert!(w.is_finite() && w > 0.0, "bad max-weight weight {w}");
+                }
+            }
+            UplinkPolicy::AlphaFair { alpha } => {
+                assert!(
+                    !alpha.is_nan() && *alpha >= 1.0,
+                    "alpha must be >= 1 (inf = max-min), got {alpha}"
+                );
+            }
+            _ => {}
         }
     }
 
     /// Computes per-session grants for one slot into `grants` (resized to
     /// match), given every session's live backlog and polled demand.
     ///
-    /// Deterministic and order-invariant: permuting the sessions permutes
-    /// the grants bit-for-bit. Each grant is in `[0, demand_i]`; the
-    /// granted total never exceeds `budget` beyond f64 rounding (each
-    /// scarce slot performs one global scale or one scale per backlog
-    /// group, so the accumulated error is a few ulps).
+    /// Deterministic and order-invariant: permuting the sessions (together
+    /// with any per-session policy weights) permutes the grants
+    /// bit-for-bit. Each grant is in `[0, demand_i]`; the granted total
+    /// never exceeds `budget` beyond f64 rounding (each scarce slot
+    /// performs one global scale, one scale per priority group, or one
+    /// water-level multiply per session, so the accumulated error is a few
+    /// ulps). A zero budget yields exactly `+0.0` grants.
+    ///
+    /// # Contract
+    ///
+    /// Backlogs and demands must be finite and non-negative — checked with
+    /// debug assertions only, so the release hot path stays branch-light.
+    /// A NaN backlog would otherwise sort above every finite queue in the
+    /// max-weight order and capture the whole budget, and one infinite
+    /// demand would zero `ProportionalShare`'s scale and produce
+    /// `inf · 0 = NaN` grants; both are programming errors upstream, not
+    /// allocator states.
     ///
     /// # Panics
     ///
-    /// Panics when `backlogs` and `demands` disagree in length, or when
+    /// Panics when `backlogs` and `demands` disagree in length, when
     /// `budget` is NaN or negative (`f64::INFINITY` is allowed and never
-    /// binds).
+    /// binds), when a `WeightedMaxWeight` weight vector does not match the
+    /// session count, or when [`UplinkPolicy::validate`] rejects the
+    /// policy parameters. With debug assertions on, also panics on
+    /// non-finite or negative backlogs/demands.
     pub fn allocate(&self, budget: f64, backlogs: &[f64], demands: &[f64], grants: &mut Vec<f64>) {
-        let mut scratch = Vec::with_capacity(demands.len());
-        let total = invariant_sum(demands.iter().copied(), &mut scratch);
-        self.allocate_with(
-            budget,
-            backlogs,
-            demands,
-            total,
-            grants,
-            &mut scratch,
-            &mut Vec::new(),
-        );
+        self.validate();
+        let mut scratch = AllocScratch::default();
+        let total = invariant_sum(demands.iter().copied(), &mut scratch.sums);
+        self.allocate_with(budget, backlogs, demands, total, grants, &mut scratch);
     }
 
     /// [`UplinkPolicy::allocate`] with caller-owned scratch buffers and
     /// the (permutation-invariant) aggregate demand `total` already
     /// computed — the allocation-free per-slot path of [`SharedUplink`].
-    #[allow(clippy::too_many_arguments)]
     fn allocate_with(
         &self,
         budget: f64,
@@ -139,8 +362,7 @@ impl UplinkPolicy {
         demands: &[f64],
         total: f64,
         grants: &mut Vec<f64>,
-        scratch: &mut Vec<f64>,
-        order: &mut Vec<usize>,
+        scratch: &mut AllocScratch,
     ) {
         assert_eq!(
             backlogs.len(),
@@ -148,14 +370,30 @@ impl UplinkPolicy {
             "backlogs and demands must be parallel arrays"
         );
         assert!(!budget.is_nan() && budget >= 0.0, "bad budget {budget}");
+        debug_assert!(
+            backlogs.iter().all(|q| q.is_finite() && *q >= 0.0),
+            "backlogs must be finite and non-negative: {backlogs:?}"
+        );
+        debug_assert!(
+            demands.iter().all(|d| d.is_finite() && *d >= 0.0),
+            "demands must be finite and non-negative: {demands:?}"
+        );
         grants.clear();
         grants.extend_from_slice(demands);
         if matches!(self, UplinkPolicy::Unconstrained) {
             return;
         }
+        if let UplinkPolicy::WeightedMaxWeight { weights } = self {
+            assert_eq!(
+                weights.len(),
+                demands.len(),
+                "need one max-weight weight per session"
+            );
+        }
         if total <= budget {
             return; // slack: every demand granted in full, bit-for-bit
         }
+        let AllocScratch { sums, order, keys } = scratch;
         match self {
             UplinkPolicy::Unconstrained => unreachable!(),
             UplinkPolicy::ProportionalShare => {
@@ -166,77 +404,240 @@ impl UplinkPolicy {
                 }
             }
             UplinkPolicy::MaxWeightBacklog => {
-                // Sessions in descending backlog order; equal backlogs
-                // form one group so ties are symmetric (order-invariant).
-                order.clear();
-                order.extend(0..backlogs.len());
-                order.sort_unstable_by(|&i, &j| backlogs[j].total_cmp(&backlogs[i]));
-                let mut remaining = budget;
-                let mut at = 0;
-                while at < order.len() {
-                    let group_backlog = backlogs[order[at]];
-                    let mut end = at;
-                    while end < order.len()
-                        && backlogs[order[end]].total_cmp(&group_backlog).is_eq()
-                    {
-                        end += 1;
-                    }
-                    let group = &order[at..end];
-                    let group_total = invariant_sum(group.iter().map(|&i| demands[i]), scratch);
-                    if group_total <= remaining {
-                        // Whole group served at full demand (grants
-                        // already hold the demands).
-                        remaining -= group_total;
-                    } else {
-                        // The budget runs dry inside this group: split
-                        // what is left pro rata to demand, and starve
-                        // every strictly-smaller backlog group.
-                        // group_total > remaining ≥ 0 ⟹ group_total > 0.
-                        let scale = remaining / group_total;
-                        for &i in group {
-                            grants[i] *= scale;
-                        }
-                        for &i in &order[end..] {
-                            grants[i] = 0.0;
-                        }
-                        return;
-                    }
-                    at = end;
-                }
+                // Priority = the raw backlog (max-weight with w ≡ 1).
+                max_weight_fill(backlogs, demands, budget, grants, sums, order);
+            }
+            UplinkPolicy::WeightedMaxWeight { weights } => {
+                // Priority = w_i · Q_i; uniform w = 1 gives bit-identical
+                // keys (1.0 · Q == Q), hence bit-identical grants.
+                keys.clear();
+                keys.extend(backlogs.iter().zip(weights).map(|(&q, &w)| w * q));
+                max_weight_fill(keys, demands, budget, grants, sums, order);
+            }
+            UplinkPolicy::AlphaFair { alpha } => {
+                alpha_fair_fill(*alpha, demands, budget, grants, sums, order, keys);
             }
         }
     }
 }
 
-/// Declarative description of a shared uplink: one backhaul budget
-/// (service units per slot, the same units as [`crate::experiment::ServiceSpec`]
-/// rates) and the policy dividing it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// Water-fills `budget` over sessions in descending `priority` order:
+/// whole equal-priority groups are served at full demand while the budget
+/// lasts, the group where it runs dry shares the remainder pro rata to
+/// demand, and all lower-priority groups get zero. Order-invariant: groups
+/// are formed by priority *value*, their demand totals by value-sorted
+/// sums, and the in-group scale is one multiply per session.
+fn max_weight_fill(
+    priorities: &[f64],
+    demands: &[f64],
+    budget: f64,
+    grants: &mut [f64],
+    sums: &mut Vec<f64>,
+    order: &mut Vec<usize>,
+) {
+    order.clear();
+    order.extend(0..priorities.len());
+    order.sort_unstable_by(|&i, &j| priorities[j].total_cmp(&priorities[i]));
+    let mut remaining = budget;
+    let mut at = 0;
+    while at < order.len() {
+        let group_priority = priorities[order[at]];
+        let mut end = at;
+        while end < order.len() && priorities[order[end]].total_cmp(&group_priority).is_eq() {
+            end += 1;
+        }
+        let group = &order[at..end];
+        let group_total = invariant_sum(group.iter().map(|&i| demands[i]), sums);
+        if group_total <= remaining {
+            // Whole group served at full demand (grants already hold the
+            // demands).
+            remaining -= group_total;
+        } else {
+            // The budget runs dry inside this group: split what is left
+            // pro rata to demand, and starve every strictly-lower
+            // priority group. group_total > remaining ≥ 0 ⟹
+            // group_total > 0.
+            let scale = remaining / group_total;
+            for &i in group {
+                grants[i] *= scale;
+            }
+            for &i in &order[end..] {
+                grants[i] = 0.0;
+            }
+            return;
+        }
+        at = end;
+    }
+}
+
+/// The α-fair allocation `x_i = min(d_i, θ · d_i^(1/α))` by deterministic
+/// water-filling: repeatedly compute the tentative water level `θ` from
+/// the remaining budget and the active sessions' share weights, cap every
+/// session whose fair share meets its demand, and stop when no new caps
+/// appear. Each round's `θ` comes from permutation-invariant sums and the
+/// capping test is pointwise, so the result is order-invariant bitwise.
+/// Converges in at most `n` rounds (every round caps a session or stops).
+fn alpha_fair_fill(
+    alpha: f64,
+    demands: &[f64],
+    budget: f64,
+    grants: &mut [f64],
+    sums: &mut Vec<f64>,
+    active: &mut Vec<usize>,
+    shares: &mut Vec<f64>,
+) {
+    let inv_alpha = if alpha.is_finite() { 1.0 / alpha } else { 0.0 };
+    // Share weights s_i = d_i^(1/α), special-cased so α = 1 is exactly
+    // pro-rata (s = d, no powf rounding) and α = ∞ exactly max-min
+    // (s = 1). Zero-demand sessions keep their grant of 0 and never join
+    // the active set.
+    shares.clear();
+    shares.extend(demands.iter().map(|&d| {
+        if d <= 0.0 {
+            0.0
+        } else if inv_alpha == 1.0 {
+            d
+        } else if inv_alpha == 0.0 {
+            1.0
+        } else {
+            d.powf(inv_alpha)
+        }
+    }));
+    active.clear();
+    active.extend((0..demands.len()).filter(|&i| demands[i] > 0.0));
+    let mut remaining = budget;
+    while !active.is_empty() {
+        let share_total = invariant_sum(active.iter().map(|&i| shares[i]), sums);
+        // Active sessions have d > 0 hence s > 0, so share_total > 0.
+        let level = remaining / share_total;
+        let capped = |i: usize| level * shares[i] >= demands[i];
+        if !active.iter().any(|&i| capped(i)) {
+            for &i in active.iter() {
+                grants[i] = level * shares[i];
+            }
+            return;
+        }
+        // Capped sessions keep their full demand (grants already hold the
+        // demands); charge them against the budget order-invariantly and
+        // re-level the rest.
+        let freed = invariant_sum(
+            active
+                .iter()
+                .copied()
+                .filter(|&i| capped(i))
+                .map(|i| demands[i]),
+            sums,
+        );
+        remaining = (remaining - freed).max(0.0);
+        active.retain(|&i| !capped(i));
+    }
+}
+
+/// Declarative description of a shared uplink: a per-slot backhaul budget
+/// profile (service units per slot, the same units as
+/// [`crate::experiment::ServiceSpec`] rates) and the policy dividing it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UplinkSpec {
-    /// Aggregate service the backhaul can carry per slot.
-    pub budget: f64,
+    /// Per-slot aggregate service the backhaul can carry.
+    pub budget: BudgetProfile,
     /// How scarcity is divided.
     pub policy: UplinkPolicy,
 }
 
 impl UplinkSpec {
-    /// A shared uplink with the given per-slot budget and policy.
+    /// A shared uplink with a constant per-slot budget — the common case,
+    /// shorthand for [`UplinkSpec::with_profile`] +
+    /// [`BudgetProfile::Constant`].
     ///
     /// # Panics
     ///
     /// Panics when `budget` is NaN or negative (`f64::INFINITY` is a
-    /// valid never-binding budget).
+    /// valid never-binding budget), or the policy parameters are invalid.
     pub fn new(budget: f64, policy: UplinkPolicy) -> UplinkSpec {
-        assert!(!budget.is_nan() && budget >= 0.0, "bad budget {budget}");
+        UplinkSpec::with_profile(BudgetProfile::Constant(budget), policy)
+    }
+
+    /// A shared uplink with a time-varying budget profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`BudgetProfile::validate`] or
+    /// [`UplinkPolicy::validate`] rejects the parameters.
+    pub fn with_profile(budget: BudgetProfile, policy: UplinkPolicy) -> UplinkSpec {
+        budget.validate();
+        policy.validate();
         UplinkSpec { budget, policy }
     }
 
     /// The no-op uplink: infinite budget, [`UplinkPolicy::Unconstrained`].
     pub fn unconstrained() -> UplinkSpec {
         UplinkSpec {
-            budget: f64::INFINITY,
+            budget: BudgetProfile::Constant(f64::INFINITY),
             policy: UplinkPolicy::Unconstrained,
         }
+    }
+}
+
+/// Per-session uplink-aware `V` adaptation (see
+/// [`arvis_lyapunov::adaptive::GrantRatioV`]): the session observes its
+/// grant/demand ratio each contended slot and scales its Lyapunov `V`
+/// with a bounded multiplicative update and a hysteresis band, shedding
+/// quality instead of backlog when the link saturates.
+///
+/// Attach to a session via `SessionSpec::uplink_v_adapt`
+/// ([`crate::scenario::SessionSpec`]); only sessions running
+/// [`crate::scenario::ControllerSpec::Proposed`] can adapt (the knob
+/// scales that controller's `V`). The adaptation acts only through
+/// [`SessionBatch::step_slot_granted`] — uncoupled runs are untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UplinkVAdaptSpec {
+    /// Hysteresis band floor on the smoothed grant ratio: below it `V`
+    /// shrinks.
+    pub low: f64,
+    /// Hysteresis band ceiling: above it `V` grows back (never past its
+    /// configured starting point).
+    pub high: f64,
+    /// Per-slot multiplicative step in `(0, 1)`.
+    pub step: f64,
+    /// Floor on the adapted `V`, as a fraction of the starting `V`.
+    pub min_v_scale: f64,
+}
+
+impl Default for UplinkVAdaptSpec {
+    /// Shrink `V` 5%/slot once the smoothed grant ratio falls below 0.85,
+    /// recover once it exceeds 0.95, never below `1% ×` the starting `V`.
+    ///
+    /// The floor matters: it bounds how far quality falls during an
+    /// outage *and* how long recovery takes once the link comes back
+    /// (multiplicative growth from a `1e-2` floor needs ~90 slack slots
+    /// at 5%/slot; a `1e-4` floor would need twice that and can starve
+    /// quality forever under short recovery windows like diurnal peaks).
+    fn default() -> UplinkVAdaptSpec {
+        UplinkVAdaptSpec {
+            low: 0.85,
+            high: 0.95,
+            step: 0.05,
+            min_v_scale: 1e-2,
+        }
+    }
+}
+
+impl UplinkVAdaptSpec {
+    /// Builds the runnable adapter state around a controller's starting
+    /// `V`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the [`GrantRatioV`] constructor panics (bad band, step
+    /// outside `(0, 1)`, non-positive scales).
+    pub fn build(&self, base_v: f64) -> GrantRatioV {
+        assert!(
+            self.min_v_scale > 0.0 && self.min_v_scale <= 1.0,
+            "min_v_scale must be in (0, 1], got {}",
+            self.min_v_scale
+        );
+        GrantRatioV::new(base_v, self.low, self.high, self.step)
+            .with_bounds(base_v * self.min_v_scale, base_v)
     }
 }
 
@@ -245,6 +646,8 @@ impl UplinkSpec {
 pub struct UplinkSlotStats {
     /// The simulated slot.
     pub slot: u64,
+    /// The slot's budget ([`BudgetProfile::budget_at`]).
+    pub budget: f64,
     /// Aggregate demand `Σ d_i(τ)` polled from the sessions.
     pub demand: f64,
     /// Aggregate service granted by the policy.
@@ -260,8 +663,9 @@ pub struct UplinkSlotStats {
 pub struct UplinkSummary {
     /// Slots driven through the uplink.
     pub slots: u64,
-    /// The per-slot budget.
-    pub budget: f64,
+    /// Time-average per-slot budget (infinite when any slot's budget was
+    /// infinite).
+    pub mean_budget: f64,
     /// Slots whose aggregate demand exceeded the budget.
     pub contended_slots: u64,
     /// Time-average aggregate demand.
@@ -284,11 +688,14 @@ impl UplinkSummary {
         }
     }
 
-    /// Mean granted service as a fraction of the budget (0 for an
-    /// infinite or zero-slot budget).
+    /// Mean granted service as a fraction of the *mean* budget, so the
+    /// figure stays meaningful under time-varying [`BudgetProfile`]s.
+    /// Documented 0 for a zero-slot run, a zero mean budget, or whenever
+    /// any slot's budget was infinite (the mean is then infinite and
+    /// "utilization of an unbounded link" is not a meaningful ratio).
     pub fn utilization(&self) -> f64 {
-        if self.budget.is_finite() && self.budget > 0.0 {
-            self.mean_granted / self.budget
+        if self.mean_budget.is_finite() && self.mean_budget > 0.0 {
+            self.mean_granted / self.mean_budget
         } else {
             0.0
         }
@@ -309,10 +716,10 @@ pub struct SharedUplink {
     backlogs: Vec<f64>,
     demands: Vec<f64>,
     grants: Vec<f64>,
-    scratch: Vec<f64>,
-    order: Vec<usize>,
+    scratch: AllocScratch,
     slots: u64,
     contended_slots: u64,
+    budget_sum: f64,
     demand_sum: f64,
     granted_sum: f64,
     backlog_sum: f64,
@@ -321,16 +728,23 @@ pub struct SharedUplink {
 
 impl SharedUplink {
     /// A driver for the given uplink spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec's budget profile or policy parameters are
+    /// invalid (see [`UplinkSpec::with_profile`]).
     pub fn new(spec: UplinkSpec) -> SharedUplink {
+        spec.budget.validate();
+        spec.policy.validate();
         SharedUplink {
             spec,
             backlogs: Vec::new(),
             demands: Vec::new(),
             grants: Vec::new(),
-            scratch: Vec::new(),
-            order: Vec::new(),
+            scratch: AllocScratch::default(),
             slots: 0,
             contended_slots: 0,
+            budget_sum: 0.0,
             demand_sum: 0.0,
             granted_sum: 0.0,
             backlog_sum: 0.0,
@@ -360,31 +774,33 @@ impl SharedUplink {
         batch: &mut SessionBatch<S>,
     ) -> UplinkSlotStats {
         let slot = batch.slot();
+        let budget = self.spec.budget.budget_at(slot);
         batch.fill_backlogs(&mut self.backlogs);
         batch.fill_demands(&mut self.demands);
-        let demand = invariant_sum(self.demands.iter().copied(), &mut self.scratch);
+        let demand = invariant_sum(self.demands.iter().copied(), &mut self.scratch.sums);
         self.spec.policy.allocate_with(
-            self.spec.budget,
+            budget,
             &self.backlogs,
             &self.demands,
             demand,
             &mut self.grants,
             &mut self.scratch,
-            &mut self.order,
         );
         batch.step_slot_granted(&self.grants);
 
-        let granted = invariant_sum(self.grants.iter().copied(), &mut self.scratch);
-        let backlog = invariant_sum(self.backlogs.iter().copied(), &mut self.scratch);
-        let contended = demand > self.spec.budget;
+        let granted = invariant_sum(self.grants.iter().copied(), &mut self.scratch.sums);
+        let backlog = invariant_sum(self.backlogs.iter().copied(), &mut self.scratch.sums);
+        let contended = demand > budget;
         self.slots += 1;
         self.contended_slots += u64::from(contended);
+        self.budget_sum += budget;
         self.demand_sum += demand;
         self.granted_sum += granted;
         self.backlog_sum += backlog;
         self.peak_backlog = self.peak_backlog.max(backlog);
         UplinkSlotStats {
             slot,
+            budget,
             demand,
             granted,
             backlog,
@@ -410,7 +826,7 @@ impl SharedUplink {
         };
         UplinkSummary {
             slots: self.slots,
-            budget: self.spec.budget,
+            mean_budget: mean(self.budget_sum),
             contended_slots: self.contended_slots,
             mean_demand: mean(self.demand_sum),
             mean_granted: mean(self.granted_sum),
@@ -438,7 +854,7 @@ impl ContendedRun {
     /// so each row is self-describing).
     pub fn csv_header() -> String {
         format!(
-            "{},policy,uplink_budget,uplink_contended_frac,uplink_utilization,\
+            "{},policy,uplink_mean_budget,uplink_contended_frac,uplink_utilization,\
              uplink_mean_backlog,uplink_peak_backlog",
             SessionSummary::csv_header()
         )
@@ -452,7 +868,7 @@ impl ContendedRun {
         // The aggregate columns are run-level constants.
         let aggregate = CsvRow::new()
             .field(self.policy.name())
-            .fixed(self.uplink.budget, 1)
+            .fixed(self.uplink.mean_budget, 1)
             .fixed(self.uplink.contended_fraction(), 4)
             .fixed(self.uplink.utilization(), 4)
             .fixed(self.uplink.mean_backlog, 1)
@@ -472,12 +888,16 @@ impl ContendedRun {
 /// the scenario's own [`Scenario::uplink`] spec, or
 /// [`UplinkSpec::unconstrained`] when it declares none.
 pub fn run_contended(scenario: &Scenario) -> ContendedRun {
-    let spec = scenario.uplink.unwrap_or_else(UplinkSpec::unconstrained);
+    let spec = scenario
+        .uplink
+        .clone()
+        .unwrap_or_else(UplinkSpec::unconstrained);
+    let policy = spec.policy.clone();
     let mut batch = SessionBatch::summary_only(scenario);
     let mut uplink = SharedUplink::new(spec);
     uplink.run(&mut batch);
     ContendedRun {
-        policy: spec.policy,
+        policy,
         summaries: batch.into_summaries(),
         uplink: uplink.summary(),
     }
@@ -504,6 +924,10 @@ mod tests {
             UplinkPolicy::Unconstrained,
             UplinkPolicy::ProportionalShare,
             UplinkPolicy::MaxWeightBacklog,
+            UplinkPolicy::WeightedMaxWeight {
+                weights: vec![1.0, 2.0, 3.0, 4.0],
+            },
+            UplinkPolicy::AlphaFair { alpha: 2.0 },
         ] {
             let demands = [100.0, 250.0, 0.0, 3.5];
             let backlogs = [10.0, 0.0, 99.0, 10.0];
@@ -547,11 +971,99 @@ mod tests {
     }
 
     #[test]
+    fn weighted_max_weight_reorders_by_priority() {
+        // Session 0 has the deeper queue, but session 1's 4x weight
+        // outranks it: 300·4 > 1000·1.
+        let demands = [100.0, 100.0];
+        let backlogs = [1_000.0, 300.0];
+        let weights = vec![1.0, 4.0];
+        let mut grants = Vec::new();
+        UplinkPolicy::WeightedMaxWeight { weights }.allocate(
+            100.0,
+            &backlogs,
+            &demands,
+            &mut grants,
+        );
+        assert_eq!(grants[1], 100.0, "gold tenant served first");
+        assert_eq!(grants[0], 0.0);
+    }
+
+    #[test]
+    fn weighted_max_weight_uniform_weights_match_unweighted_bitwise() {
+        let demands = [130.0, 70.0, 240.0, 0.0, 55.5];
+        let backlogs = [400.0, 400.0, 90.0, 10.0, 1_200.0];
+        for budget in [0.0, 120.0, 333.3, 495.5, 1e4] {
+            let mut plain = Vec::new();
+            let mut weighted = Vec::new();
+            UplinkPolicy::MaxWeightBacklog.allocate(budget, &backlogs, &demands, &mut plain);
+            UplinkPolicy::WeightedMaxWeight {
+                weights: vec![1.0; demands.len()],
+            }
+            .allocate(budget, &backlogs, &demands, &mut weighted);
+            for (p, w) in plain.iter().zip(&weighted) {
+                assert_eq!(p.to_bits(), w.to_bits(), "budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_fair_one_matches_proportional_share_bitwise() {
+        let demands = [300.0, 100.0, 0.0, 751.25, 40.0];
+        let backlogs = [1.0, 2.0, 3.0, 4.0, 5.0]; // ignored by both
+        for budget in [0.0, 150.0, 800.0, 1_191.24] {
+            let mut ps = Vec::new();
+            let mut af = Vec::new();
+            UplinkPolicy::ProportionalShare.allocate(budget, &backlogs, &demands, &mut ps);
+            UplinkPolicy::AlphaFair { alpha: 1.0 }.allocate(budget, &backlogs, &demands, &mut af);
+            for (p, a) in ps.iter().zip(&af) {
+                assert_eq!(p.to_bits(), a.to_bits(), "budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_fair_infinity_is_max_min() {
+        // Max-min: everyone gets the common level 40, except the 10-demand
+        // session which is capped and frees budget for the rest.
+        let demands = [100.0, 10.0, 100.0];
+        let mut grants = Vec::new();
+        UplinkPolicy::AlphaFair {
+            alpha: f64::INFINITY,
+        }
+        .allocate(90.0, &[0.0; 3], &demands, &mut grants);
+        assert_eq!(grants[1], 10.0, "small demand served in full");
+        assert!((grants[0] - 40.0).abs() < 1e-9);
+        assert!((grants[2] - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_fair_interpolates_between_pro_rata_and_max_min() {
+        let demands = [900.0, 100.0];
+        let budget = 300.0;
+        let grant0 = |alpha: f64| {
+            let mut g = Vec::new();
+            UplinkPolicy::AlphaFair { alpha }.allocate(budget, &[0.0, 0.0], &demands, &mut g);
+            g[0]
+        };
+        let pf = grant0(1.0); // pro rata 9:1 → 270
+        let mid = grant0(2.0); // shares √900:√100 = 3:1 → 225
+        let mm = grant0(f64::INFINITY); // equal level 150 caps d=100 → 200
+        assert!((pf - 270.0).abs() < 1e-9);
+        assert!((mid - 225.0).abs() < 1e-9);
+        assert!((mm - 200.0).abs() < 1e-9);
+        assert!(mid < pf && mid > mm, "α=2 between PF {pf} and max-min {mm}");
+    }
+
+    #[test]
     fn zero_demand_under_zero_budget_is_fine() {
         let mut grants = Vec::new();
         for policy in [
             UplinkPolicy::ProportionalShare,
             UplinkPolicy::MaxWeightBacklog,
+            UplinkPolicy::WeightedMaxWeight {
+                weights: vec![1.0, 2.0],
+            },
+            UplinkPolicy::AlphaFair { alpha: 1.0 },
         ] {
             policy.allocate(0.0, &[1.0, 2.0], &[0.0, 0.0], &mut grants);
             assert_eq!(grants, vec![0.0, 0.0]);
@@ -561,25 +1073,229 @@ mod tests {
     }
 
     #[test]
+    fn zero_budget_grants_are_exactly_positive_zero() {
+        // The zero-budget slot path: grants must be +0.0 bit-for-bit (not
+        // -0.0, not NaN) for every policy, including inside tie groups.
+        let demands = [500.0, 0.0, 3.25, 1e9];
+        let backlogs = [70.0, 70.0, 0.0, 1e12];
+        for policy in [
+            UplinkPolicy::ProportionalShare,
+            UplinkPolicy::MaxWeightBacklog,
+            UplinkPolicy::WeightedMaxWeight {
+                weights: vec![2.0, 1.0, 1.0, 0.5],
+            },
+            UplinkPolicy::AlphaFair { alpha: 1.0 },
+            UplinkPolicy::AlphaFair { alpha: 2.0 },
+            UplinkPolicy::AlphaFair {
+                alpha: f64::INFINITY,
+            },
+        ] {
+            let mut grants = Vec::new();
+            policy.allocate(0.0, &backlogs, &demands, &mut grants);
+            for (i, g) in grants.iter().enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    0.0f64.to_bits(),
+                    "{} grant {i} is {g:?}, want +0.0",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "demands must be finite")]
+    fn infinite_demand_rejected_in_debug() {
+        let mut grants = Vec::new();
+        UplinkPolicy::ProportionalShare.allocate(
+            100.0,
+            &[0.0, 0.0],
+            &[f64::INFINITY, 5.0],
+            &mut grants,
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "demands must be finite")]
+    fn nan_demand_rejected_in_debug() {
+        let mut grants = Vec::new();
+        UplinkPolicy::MaxWeightBacklog.allocate(100.0, &[0.0, 0.0], &[f64::NAN, 5.0], &mut grants);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "backlogs must be finite")]
+    fn nan_backlog_rejected_in_debug() {
+        let mut grants = Vec::new();
+        UplinkPolicy::MaxWeightBacklog.allocate(100.0, &[f64::NAN, 0.0], &[5.0, 5.0], &mut grants);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "demands must be finite")]
+    fn negative_demand_rejected_in_debug() {
+        let mut grants = Vec::new();
+        UplinkPolicy::ProportionalShare.allocate(100.0, &[0.0], &[-1.0], &mut grants);
+    }
+
+    #[test]
+    #[should_panic(expected = "one max-weight weight per session")]
+    fn weighted_max_weight_rejects_length_mismatch() {
+        let mut grants = Vec::new();
+        UplinkPolicy::WeightedMaxWeight { weights: vec![1.0] }.allocate(
+            1.0,
+            &[1.0, 2.0],
+            &[5.0, 5.0],
+            &mut grants,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad max-weight weight")]
+    fn weighted_max_weight_rejects_zero_weight() {
+        let _ = UplinkSpec::new(
+            10.0,
+            UplinkPolicy::WeightedMaxWeight {
+                weights: vec![1.0, 0.0],
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be >= 1")]
+    fn alpha_fair_rejects_sub_one_alpha() {
+        let _ = UplinkSpec::new(10.0, UplinkPolicy::AlphaFair { alpha: 0.5 });
+    }
+
+    #[test]
+    fn budget_profiles_evaluate_per_slot() {
+        assert_eq!(BudgetProfile::Constant(5.0).budget_at(123), 5.0);
+
+        let diurnal = BudgetProfile::Diurnal {
+            mean: 100.0,
+            amplitude: 50.0,
+            period: 40,
+            phase: 0.0,
+        };
+        diurnal.validate();
+        assert!((diurnal.budget_at(0) - 100.0).abs() < 1e-9);
+        assert!((diurnal.budget_at(10) - 150.0).abs() < 1e-9, "quarter peak");
+        assert!((diurnal.budget_at(30) - 50.0).abs() < 1e-9, "trough");
+        // One full period averages back to the mean.
+        let mean: f64 = (0..40).map(|s| diurnal.budget_at(s)).sum::<f64>() / 40.0;
+        assert!((mean - 100.0).abs() < 1e-6);
+
+        let steps = BudgetProfile::PiecewiseSteps(vec![
+            BudgetStep {
+                start: 0,
+                budget: 10.0,
+            },
+            BudgetStep {
+                start: 5,
+                budget: 2.0,
+            },
+            BudgetStep {
+                start: 9,
+                budget: 7.0,
+            },
+        ]);
+        steps.validate();
+        assert_eq!(steps.budget_at(0), 10.0);
+        assert_eq!(steps.budget_at(4), 10.0);
+        assert_eq!(steps.budget_at(5), 2.0);
+        assert_eq!(steps.budget_at(8), 2.0);
+        assert_eq!(steps.budget_at(9), 7.0);
+        assert_eq!(steps.budget_at(1_000), 7.0);
+
+        let trace = BudgetProfile::Trace(vec![3.0, 1.0, 4.0]);
+        trace.validate();
+        assert_eq!(trace.budget_at(0), 3.0);
+        assert_eq!(trace.budget_at(2), 4.0);
+        assert_eq!(trace.budget_at(99), 4.0, "past the end holds the last");
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn diurnal_rejects_negative_trough() {
+        BudgetProfile::Diurnal {
+            mean: 10.0,
+            amplitude: 11.0,
+            period: 5,
+            phase: 0.0,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "start at slot 0")]
+    fn piecewise_steps_must_cover_slot_zero() {
+        BudgetProfile::PiecewiseSteps(vec![BudgetStep {
+            start: 3,
+            budget: 1.0,
+        }])
+        .validate();
+    }
+
+    #[test]
     fn driver_reports_contention_and_conserves_budget() {
         let cfg = ExperimentConfig::new(profile(), 3_000.0, 50);
         let scenario = Scenario::replicated(&cfg, ControllerSpec::OnlyMax, 4)
             .with_uplink(UplinkSpec::new(5_000.0, UplinkPolicy::ProportionalShare));
         let mut batch = crate::session::SessionBatch::summary_only(&scenario);
-        let mut uplink = SharedUplink::new(scenario.uplink.unwrap());
+        let mut uplink = SharedUplink::new(scenario.uplink.clone().unwrap());
         let mut saw_contended = false;
         while !batch.is_done() {
             let stats = uplink.step_slot(&mut batch);
             // Demand is 4 × 3000 = 12000 > 5000 every slot.
             assert!(stats.granted <= 5_000.0 * (1.0 + 1e-12));
+            assert_eq!(stats.budget, 5_000.0);
             saw_contended |= stats.contended;
         }
         assert!(saw_contended);
         let summary = uplink.summary();
         assert_eq!(summary.slots, 50);
         assert_eq!(summary.contended_slots, 50);
+        assert_eq!(summary.mean_budget, 5_000.0);
         assert!(summary.utilization() > 0.999 && summary.utilization() < 1.001);
         assert!((summary.mean_demand - 12_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn utilization_normalizes_by_the_mean_budget() {
+        // Alternating 8000/2000 budget against a constant 12000 demand:
+        // every slot is contended and fully spent, so utilization must be
+        // 1 — dividing by either constant would misreport it.
+        let cfg = ExperimentConfig::new(profile(), 3_000.0, 40);
+        let scenario = Scenario::replicated(&cfg, ControllerSpec::OnlyMax, 4).with_uplink(
+            UplinkSpec::with_profile(
+                BudgetProfile::Trace((0..40).map(|s| [8_000.0, 2_000.0][s % 2]).collect()),
+                UplinkPolicy::ProportionalShare,
+            ),
+        );
+        let run = run_contended(&scenario);
+        assert_eq!(run.uplink.contended_slots, 40);
+        assert!((run.uplink.mean_budget - 5_000.0).abs() < 1e-9);
+        assert!(
+            (run.uplink.utilization() - 1.0).abs() < 1e-9,
+            "got {}",
+            run.uplink.utilization()
+        );
+    }
+
+    #[test]
+    fn utilization_is_zero_when_any_slot_budget_is_infinite() {
+        let cfg = ExperimentConfig::new(profile(), 2_000.0, 10);
+        let scenario = Scenario::replicated(&cfg, ControllerSpec::OnlyMax, 2).with_uplink(
+            UplinkSpec::with_profile(
+                BudgetProfile::Trace(vec![1_000.0, f64::INFINITY, 1_000.0]),
+                UplinkPolicy::ProportionalShare,
+            ),
+        );
+        let run = run_contended(&scenario);
+        assert!(run.uplink.mean_budget.is_infinite());
+        assert_eq!(run.uplink.utilization(), 0.0, "documented degradation");
     }
 
     #[test]

@@ -1,11 +1,20 @@
-//! Adaptive-`V` control: track a backlog target by adjusting `V` online.
+//! Adaptive-`V` control: track a feedback signal by adjusting `V` online.
 //!
 //! The paper uses a fixed `V`. Choosing it requires knowing the arrival and
-//! service scales; this extension removes that tuning burden by treating the
-//! time-average backlog itself as a feedback signal: multiplicatively
-//! decrease `V` when the smoothed backlog exceeds the target (prioritize
-//! stability), increase it when below (spend the slack on quality). This is
-//! the standard practical companion to DPP deployments.
+//! service scales; the extensions here remove that tuning burden by turning
+//! an observed signal into online multiplicative `V` updates:
+//!
+//! - [`AdaptiveV`] regulates the *backlog* around a target — decrease `V`
+//!   when the smoothed backlog exceeds the target (prioritize stability),
+//!   increase it when below (spend the slack on quality). The standard
+//!   practical companion to DPP deployments.
+//! - [`GrantRatioV`] regulates the *service grant/demand ratio* a session
+//!   observes from a shared, admission-controlled uplink — when the link
+//!   grants less than the session asked for, shrink `V` so the depth
+//!   controller sheds quality (and thus arrivals) instead of letting the
+//!   queue diverge; when grants run full, grow `V` back. A hysteresis band
+//!   keeps `V` still under mild contention, and hard bounds keep the
+//!   update safe.
 
 use serde::{Deserialize, Serialize};
 
@@ -108,6 +117,129 @@ impl AdaptiveV {
     }
 }
 
+/// Uplink-aware `V` adaptation: bounded multiplicative updates driven by
+/// the grant/demand ratio a session observes from a shared uplink.
+///
+/// Each slot the session reports the fraction of its polled service demand
+/// that the admission policy actually granted (`1.0` = served in full).
+/// The ratio is exponentially smoothed, then compared against a hysteresis
+/// band `[low, high]`:
+///
+/// - smoothed ratio `< low` — the link is starving this session: shrink
+///   `V` by the multiplicative `step`, trading quality for queue headroom;
+/// - smoothed ratio `> high` — the link serves (nearly) everything: grow
+///   `V` by the same factor, spending the slack on quality;
+/// - inside the band — hold `V` (hysteresis: mild contention does not
+///   make `V` oscillate).
+///
+/// `V` is clamped to `[min_v, max_v]`, so a long outage degrades quality
+/// to a floor instead of driving `V` to zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrantRatioV {
+    v: f64,
+    low: f64,
+    high: f64,
+    step: f64,
+    min_v: f64,
+    max_v: f64,
+    smoothed: f64,
+    alpha: f64,
+    initialized: bool,
+}
+
+impl GrantRatioV {
+    /// Creates an uplink-aware adapter.
+    ///
+    /// * `initial_v` — starting coefficient;
+    /// * `low`, `high` — the hysteresis band on the smoothed grant ratio
+    ///   (`0 < low <= high <= 1`);
+    /// * `step` — per-slot multiplicative adjustment in `(0, 1)` (e.g.
+    ///   `0.05` shrinks `V` by 5% per starved slot and grows it by the
+    ///   reciprocal per slack slot).
+    ///
+    /// Default bounds are `initial_v × [1e-4, 1]`: adaptation only *sheds*
+    /// quality relative to the configured operating point, never exceeds
+    /// it. Override with [`GrantRatioV::with_bounds`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `initial_v` is non-positive/non-finite, the band is not
+    /// `0 < low <= high <= 1`, or `step` is outside `(0, 1)`.
+    pub fn new(initial_v: f64, low: f64, high: f64, step: f64) -> Self {
+        assert!(
+            initial_v.is_finite() && initial_v > 0.0,
+            "initial V must be > 0"
+        );
+        assert!(
+            low > 0.0 && low <= high && high <= 1.0,
+            "need 0 < low <= high <= 1, got [{low}, {high}]"
+        );
+        assert!(
+            step.is_finite() && step > 0.0 && step < 1.0,
+            "step must be in (0, 1)"
+        );
+        GrantRatioV {
+            v: initial_v,
+            low,
+            high,
+            step,
+            min_v: initial_v * 1e-4,
+            max_v: initial_v,
+            smoothed: 1.0,
+            alpha: 0.1,
+            initialized: false,
+        }
+    }
+
+    /// Bounds the adapted `V` to `[min_v, max_v]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min_v <= max_v`.
+    #[must_use]
+    pub fn with_bounds(mut self, min_v: f64, max_v: f64) -> Self {
+        assert!(min_v > 0.0 && min_v <= max_v, "need 0 < min_v <= max_v");
+        self.min_v = min_v;
+        self.max_v = max_v;
+        self.v = self.v.clamp(min_v, max_v);
+        self
+    }
+
+    /// The current `V`.
+    pub fn v(&self) -> f64 {
+        self.v
+    }
+
+    /// The exponentially smoothed grant ratio.
+    pub fn smoothed_ratio(&self) -> f64 {
+        self.smoothed
+    }
+
+    /// Observes one slot's grant/demand ratio and adapts `V`. Returns the
+    /// new `V`. Ratios are clamped into `[0, 1]` (a policy never grants
+    /// more than the demand; a slot with zero demand should report `1.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ratio` is NaN.
+    pub fn observe(&mut self, ratio: f64) -> f64 {
+        assert!(!ratio.is_nan(), "grant ratio must not be NaN");
+        let ratio = ratio.clamp(0.0, 1.0);
+        if self.initialized {
+            self.smoothed = (1.0 - self.alpha) * self.smoothed + self.alpha * ratio;
+        } else {
+            self.smoothed = ratio;
+            self.initialized = true;
+        }
+        if self.smoothed < self.low {
+            self.v = (self.v * (1.0 - self.step)).clamp(self.min_v, self.max_v);
+        } else if self.smoothed > self.high {
+            self.v = (self.v / (1.0 - self.step)).clamp(self.min_v, self.max_v);
+        }
+        self.v
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +301,71 @@ mod tests {
     #[should_panic(expected = "gain")]
     fn bad_gain_rejected() {
         let _ = AdaptiveV::new(1.0, 1.0, 1.5);
+    }
+
+    #[test]
+    fn grant_ratio_sheds_v_when_starved() {
+        let mut a = GrantRatioV::new(1e6, 0.9, 0.98, 0.05);
+        let v0 = a.v();
+        for _ in 0..50 {
+            a.observe(0.5);
+        }
+        assert!(a.v() < 0.5 * v0, "starvation must shrink V, got {}", a.v());
+    }
+
+    #[test]
+    fn grant_ratio_recovers_v_when_slack() {
+        let mut a = GrantRatioV::new(1e6, 0.9, 0.98, 0.05);
+        for _ in 0..100 {
+            a.observe(0.3);
+        }
+        let starved = a.v();
+        for _ in 0..400 {
+            a.observe(1.0);
+        }
+        assert!(a.v() > starved, "full grants must restore V");
+        assert!(a.v() <= 1e6, "default bounds never exceed the initial V");
+    }
+
+    #[test]
+    fn grant_ratio_holds_inside_hysteresis_band() {
+        let mut a = GrantRatioV::new(1e6, 0.8, 0.99, 0.05);
+        // Drive the smoothed ratio into the band, then hold it there.
+        for _ in 0..200 {
+            a.observe(0.9);
+        }
+        let v = a.v();
+        for _ in 0..100 {
+            a.observe(0.9);
+        }
+        assert_eq!(a.v(), v, "V must not drift inside the band");
+    }
+
+    #[test]
+    fn grant_ratio_respects_bounds() {
+        let mut a = GrantRatioV::new(100.0, 0.9, 0.98, 0.3).with_bounds(10.0, 400.0);
+        for _ in 0..500 {
+            a.observe(0.0);
+        }
+        assert_eq!(a.v(), 10.0);
+        for _ in 0..500 {
+            a.observe(1.0);
+        }
+        assert_eq!(a.v(), 400.0);
+    }
+
+    #[test]
+    fn grant_ratio_clamps_out_of_range_ratios() {
+        let mut a = GrantRatioV::new(100.0, 0.9, 0.98, 0.05);
+        a.observe(7.5); // clamped to 1.0
+        assert_eq!(a.smoothed_ratio(), 1.0);
+        a.observe(-3.0); // clamped to 0.0
+        assert!(a.smoothed_ratio() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "low")]
+    fn grant_ratio_rejects_bad_band() {
+        let _ = GrantRatioV::new(1.0, 0.9, 0.5, 0.05);
     }
 }

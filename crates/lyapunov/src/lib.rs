@@ -12,8 +12,9 @@
 //!   stability;
 //! - [`bounds`]: the standard `O(1/V)` utility-gap and `O(V)` backlog bounds,
 //!   so experiments can check measurements against theory;
-//! - [`adaptive`]: an adaptive-`V` controller that tracks a backlog target
-//!   (an extension beyond the paper).
+//! - [`adaptive`]: adaptive-`V` controllers — backlog-target tracking
+//!   ([`AdaptiveV`]) and uplink-grant-ratio feedback ([`GrantRatioV`])
+//!   (extensions beyond the paper).
 //!
 //! # Example
 //!
@@ -39,7 +40,7 @@ pub mod bounds;
 pub mod dpp;
 pub mod vq;
 
-pub use adaptive::AdaptiveV;
+pub use adaptive::{AdaptiveV, GrantRatioV};
 pub use bounds::DppBounds;
 pub use dpp::{Candidate, Decision, DppController, Objective};
 pub use vq::VirtualQueue;
