@@ -9,6 +9,19 @@
 //! Subcommands: `fig1`, `fig2a`, `fig2b`, `vsweep`, `ratesweep`,
 //! `distributed`, `ablation`, `energy`, `latency`, `uplink`, `all`.
 //! Outputs land in `results/` (override with `ARVIS_RESULTS_DIR`).
+//!
+//! Scenario files (the "one JSON → a run" path):
+//!
+//! ```bash
+//! # Load a declarative scenario and drive the session batch — the
+//! # contended path is auto-selected when the file declares an uplink.
+//! cargo run -p arvis-bench --bin experiments --release -- run scenarios/e1_fig2.json
+//! cargo run -p arvis-bench --bin experiments --release -- run scenarios/e6_diurnal_adaptive.json --csv out.csv
+//!
+//! # Dump a built-in preset as canonical JSON (E1–E6).
+//! cargo run -p arvis-bench --bin experiments --release -- emit e1_fig2
+//! cargo run -p arvis-bench --bin experiments --release -- emit all --dir scenarios
+//! ```
 
 use std::time::Instant;
 
@@ -60,6 +73,20 @@ fn parse_args() -> Options {
 }
 
 fn main() {
+    // `run` and `emit` take a positional argument; handle them before the
+    // flag-only figure subcommands.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            run_scenario_command(&args[1..]);
+            return;
+        }
+        Some("emit") => {
+            emit_scenario_command(&args[1..]);
+            return;
+        }
+        _ => {}
+    }
     let opts = parse_args();
     let start = Instant::now();
     match opts.command.as_str() {
@@ -85,12 +112,190 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other}; expected fig1|fig2a|fig2b|vsweep|ratesweep|distributed|ablation|energy|latency|uplink|all"
+                "unknown command {other}; expected run|emit|fig1|fig2a|fig2b|vsweep|ratesweep|distributed|ablation|energy|latency|uplink|all"
             );
             std::process::exit(2);
         }
     }
     eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
+}
+
+/// `experiments run <scenario.json> [--csv out.csv]`: loads a declarative
+/// scenario file and drives the session batch — through the shared-uplink
+/// contention plane when the file declares an `uplink`, as uncoupled
+/// summary-only sessions otherwise. The summary CSV goes to stdout (and to
+/// `--csv` when given).
+fn run_scenario_command(args: &[String]) {
+    use arvis_core::scenario::Scenario;
+    use arvis_core::session::SessionBatch;
+    use arvis_core::telemetry::SessionSummary;
+    use arvis_core::uplink::run_contended;
+
+    let mut path: Option<&str> = None;
+    let mut csv_out: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--csv" => match it.next() {
+                Some(value) => csv_out = Some(value),
+                None => {
+                    eprintln!("--csv needs a value");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                std::process::exit(2);
+            }
+            positional if path.is_none() => path = Some(positional),
+            extra => {
+                eprintln!("unexpected argument {extra}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: experiments run <scenario.json> [--csv out.csv]");
+        std::process::exit(2);
+    };
+
+    let start = Instant::now();
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    let scenario = Scenario::from_json_str(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+
+    let csv = if scenario.uplink.is_some() {
+        let run = run_contended(&scenario);
+        eprintln!(
+            "{path}: {} sessions x {} slots, contended ({}): \
+             {} stable, {:.1}% slots contended, utilization {:.1}%",
+            scenario.len(),
+            scenario.slots,
+            run.policy.name(),
+            run.summaries.iter().filter(|s| s.stable).count(),
+            100.0 * run.uplink.contended_fraction(),
+            100.0 * run.uplink.utilization(),
+        );
+        run.to_csv()
+    } else {
+        let mut batch = SessionBatch::summary_only(&scenario);
+        batch.run();
+        let summaries = batch.into_summaries();
+        eprintln!(
+            "{path}: {} sessions x {} slots, uncoupled: {} stable",
+            scenario.len(),
+            scenario.slots,
+            summaries.iter().filter(|s| s.stable).count(),
+        );
+        let mut out = String::from(SessionSummary::csv_header());
+        out.push('\n');
+        for (i, s) in summaries.iter().enumerate() {
+            out.push_str(&s.csv_row(i));
+            out.push('\n');
+        }
+        out
+    };
+    print!("{csv}");
+    if let Some(csv_path) = csv_out {
+        std::fs::write(csv_path, &csv).unwrap_or_else(|e| {
+            eprintln!("{csv_path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {csv_path}");
+    }
+    eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
+}
+
+/// `experiments emit <preset|all> [--out file] [--dir dir]`: dumps a
+/// built-in scenario preset (see `arvis_bench::presets`) as canonical
+/// JSON — to stdout by default, to `--out` for one preset, or one file per
+/// preset under `--dir` for `all` (how `scenarios/` is regenerated).
+fn emit_scenario_command(args: &[String]) {
+    use arvis_bench::presets::{scenario_preset, SCENARIO_PRESETS};
+
+    let mut name: Option<&str> = None;
+    let mut out: Option<&str> = None;
+    let mut dir: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" | "--dir" => {
+                let flag = arg.as_str();
+                match it.next() {
+                    Some(value) if flag == "--out" => out = Some(value),
+                    Some(value) => dir = Some(value),
+                    None => {
+                        eprintln!("{flag} needs a value");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                std::process::exit(2);
+            }
+            positional if name.is_none() => name = Some(positional),
+            extra => {
+                eprintln!("unexpected argument {extra}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(name) = name else {
+        eprintln!(
+            "usage: experiments emit <preset|all> [--out file] [--dir dir]; presets: {}",
+            SCENARIO_PRESETS.join(", ")
+        );
+        std::process::exit(2);
+    };
+
+    let emit_one = |preset: &str| -> String {
+        let scenario = scenario_preset(preset).unwrap_or_else(|| {
+            eprintln!(
+                "unknown preset {preset}; expected one of: {}",
+                SCENARIO_PRESETS.join(", ")
+            );
+            std::process::exit(2);
+        });
+        scenario
+            .to_json_string()
+            .expect("presets use built-in controllers")
+    };
+
+    if name == "all" {
+        if out.is_some() {
+            eprintln!("--out applies to a single preset; use --dir with `emit all`");
+            std::process::exit(2);
+        }
+        let dir = std::path::Path::new(dir.unwrap_or("scenarios"));
+        std::fs::create_dir_all(dir).expect("create scenario dir");
+        for preset in SCENARIO_PRESETS {
+            let path = dir.join(format!("{preset}.json"));
+            std::fs::write(&path, emit_one(preset)).expect("write scenario");
+            eprintln!("wrote {}", path.display());
+        }
+    } else {
+        if dir.is_some() {
+            eprintln!("--dir applies to `emit all`; use --out for a single preset");
+            std::process::exit(2);
+        }
+        let text = emit_one(name);
+        match out {
+            Some(path) => {
+                std::fs::write(path, text).unwrap_or_else(|e| {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("wrote {path}");
+            }
+            None => print!("{text}"),
+        }
+    }
 }
 
 /// Fig. 1: AR visualization resolution depending on octree depth.

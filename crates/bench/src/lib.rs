@@ -40,6 +40,7 @@
 #![deny(missing_docs)]
 
 pub mod baseline;
+pub mod presets;
 pub mod report;
 
 use arvis_core::experiment::{v_for_knee, ExperimentConfig};

@@ -16,9 +16,13 @@
 //! - [`controller`]: the proposed scheduler (Algorithm 1) and all baselines
 //!   (only-max-depth, only-min-depth, fixed, random, queue-threshold,
 //!   adaptive-V), behind the open [`DepthController`] trait;
-//! - [`scenario`]: declarative, serde-annotated descriptions of N
-//!   heterogeneous sessions ([`Scenario`], [`scenario::SessionSpec`],
-//!   enum-dispatched [`scenario::ControllerSpec`]);
+//! - [`scenario`]: declarative descriptions of N heterogeneous sessions
+//!   ([`Scenario`], [`scenario::SessionSpec`], enum-dispatched
+//!   [`scenario::ControllerSpec`]), storable as JSON scenario files
+//!   (see below);
+//! - [`json`]: the self-contained JSON layer behind scenario files — a
+//!   strict parser with line/column errors and a canonical pretty-printer
+//!   with exact `f64`/`u64` round-trips;
 //! - [`session`]: the incremental runtime — step one [`Session`] slot by
 //!   slot, or thousands at once in a struct-of-arrays [`SessionBatch`]
 //!   fanned out over `arvis_par`;
@@ -94,6 +98,93 @@
 //! let result = Experiment::new(config).run(&mut ProposedDpp::default());
 //! assert!(result.backlog.is_stable(400, 1e-3));
 //! ```
+//!
+//! ## Scenario files
+//!
+//! Every [`Scenario`] — all controllers except the programmatic
+//! [`scenario::ControllerSpec::Extern`], all services, streams, uplink
+//! budgets/policies, and the uplink-aware `V` knob — round-trips through a
+//! versioned JSON file: [`Scenario::to_json_string`] /
+//! [`Scenario::from_json_str`]. The `experiments` binary runs them
+//! directly (`experiments run scenario.json`), and the golden suite in
+//! `tests/scenario_files.rs` pins that a file replays **bit-identically**
+//! to the same scenario built in Rust.
+//!
+//! The format (schema version 1; every object rejects unknown keys, and
+//! all errors carry line/column):
+//!
+//! ```json
+//! {
+//!   "schema": 1,                    // required; this build reads version 1
+//!   "slots": 800,                   // shared horizon
+//!   "sessions": [
+//!     {
+//!       "stream": {                 // "constant" | "cycle" | "modulated"
+//!         "type": "constant",
+//!         "profile": {              // the per-depth table of Fig. 2
+//!           "min_depth": 5,
+//!           "arrivals": [100, 400, 1600, 6400, 25600, 102400],
+//!           "quality": [0, 0.2, 0.4, 0.6, 0.8, 1]
+//!         }
+//!       },
+//!       "service": {                // "constant" | "jittered" | "duty_cycled"
+//!         "type": "constant",
+//!         "rate": 2000
+//!       },
+//!       "controller": {             // "proposed" | "only_max" | "only_min" |
+//!         "type": "proposed",       // "fixed" | "random" | "threshold" |
+//!         "v": 10000000             // "adaptive_v" ("extern" is rejected)
+//!       },
+//!       "seed": 7,                  // exact u64 (integers stay exact)
+//!       "warmup": 200,
+//!       "queue_capacity": 50000,    // optional; omit for an infinite queue
+//!       "frame_cap": 8192,          // optional latency-tracker bound
+//!       "uplink_v_adapt": {         // optional; requires "proposed"
+//!         "low": 0.85, "high": 0.95, "step": 0.05, "min_v_scale": 0.01
+//!       }
+//!     }
+//!   ],
+//!   "uplink": {                     // optional shared-uplink contention
+//!     "budget": {                   // "constant" | "diurnal" |
+//!       "type": "diurnal",          // "piecewise_steps" | "trace"
+//!       "mean": 9600, "amplitude": 7200, "period": 200, "phase": 0
+//!     },
+//!     "policy": {                   // "unconstrained" | "proportional_share" |
+//!       "type": "alpha_fair",       // "max_weight_backlog" |
+//!       "alpha": 2                  // "weighted_max_weight" | "alpha_fair"
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! Floats print in shortest round-trip form and parse back bit-identically;
+//! the infinite budget / max-min `alpha` encode as the string `"inf"`
+//! (bare `Infinity`/`NaN` literals are parse errors). Emission is
+//! canonical — `emit → parse → emit` is byte-identical — so files diff
+//! cleanly under version control:
+//!
+//! ```
+//! use arvis_core::scenario::{ControllerSpec, Scenario};
+//! use arvis_core::experiment::ExperimentConfig;
+//! use arvis_quality::DepthProfile;
+//!
+//! let profile = DepthProfile::from_parts(
+//!     5,
+//!     vec![100.0, 400.0, 1600.0, 6400.0, 25600.0, 102400.0],
+//!     vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+//! );
+//! let base = ExperimentConfig::new(profile, 2_000.0, 400);
+//! let scenario = Scenario::replicated(&base, ControllerSpec::Proposed { v: 1e7 }, 4);
+//!
+//! let text = scenario.to_json_string().unwrap();
+//! let back = Scenario::from_json_str(&text).unwrap();
+//! assert_eq!(back.to_json_string().unwrap(), text, "canonical round-trip");
+//! assert_eq!(back.len(), 4);
+//!
+//! // Malformed input errors carry line/column, and never panic.
+//! let err = Scenario::from_json_str("{\n  \"schema\": 1,\n  \"slots\": }\n").unwrap_err();
+//! assert_eq!(err.pos.unwrap().line, 3);
+//! ```
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -103,6 +194,7 @@ pub mod device;
 pub mod distributed;
 pub mod energy;
 pub mod experiment;
+pub mod json;
 pub mod pipeline;
 pub mod scenario;
 pub mod session;

@@ -26,7 +26,14 @@ use crate::controller::{
 };
 use crate::distributed::FleetSpec;
 use crate::experiment::{ExperimentConfig, ServiceSpec};
+use crate::json::{self, JsonError, JsonValue};
 use crate::stream::ArStream;
+
+/// The scenario-file schema version this build reads and writes (the
+/// required top-level `"schema"` field). Bump on any
+/// backwards-incompatible change to the file format so old binaries fail
+/// loudly instead of misreading new files.
+pub const SCENARIO_SCHEMA_VERSION: u64 = 1;
 
 /// Factory for a user-defined depth controller, pluggable into a
 /// [`ControllerSpec`] (and therefore into scenarios and batches) without
@@ -150,6 +157,159 @@ impl ControllerSpec {
             ControllerSpec::Proposed { v } => Some(*v),
             _ => None,
         }
+    }
+
+    /// Encodes the spec for a scenario file (see [`crate::json`]): a
+    /// `"type"`-tagged object (`proposed` / `only_max` / `only_min` /
+    /// `fixed` / `random` / `threshold` / `adaptive_v`).
+    ///
+    /// # Errors
+    ///
+    /// Errors on [`ControllerSpec::Extern`]: a trait-object factory has no
+    /// file form, so extern controllers must be attached programmatically
+    /// after loading — exactly the limitation the old `#[serde(skip)]`
+    /// annotation expressed, now surfaced as a clear error.
+    pub fn to_json(&self) -> Result<JsonValue, JsonError> {
+        Ok(match self {
+            ControllerSpec::Proposed { v } => JsonValue::obj(vec![
+                ("type", JsonValue::str("proposed")),
+                ("v", json::finite_num("v", *v)?),
+            ]),
+            ControllerSpec::OnlyMax => JsonValue::obj(vec![("type", JsonValue::str("only_max"))]),
+            ControllerSpec::OnlyMin => JsonValue::obj(vec![("type", JsonValue::str("only_min"))]),
+            ControllerSpec::Fixed { depth } => JsonValue::obj(vec![
+                ("type", JsonValue::str("fixed")),
+                ("depth", JsonValue::int(*depth)),
+            ]),
+            ControllerSpec::Random { seed } => JsonValue::obj(vec![
+                ("type", JsonValue::str("random")),
+                ("seed", JsonValue::int(*seed)),
+            ]),
+            ControllerSpec::Threshold { thresholds } => JsonValue::obj(vec![
+                ("type", JsonValue::str("threshold")),
+                (
+                    "thresholds",
+                    JsonValue::arr(
+                        thresholds
+                            .iter()
+                            .map(|&t| json::finite_num("threshold", t))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                ),
+            ]),
+            ControllerSpec::AdaptiveV {
+                initial_v,
+                target_backlog,
+            } => JsonValue::obj(vec![
+                ("type", JsonValue::str("adaptive_v")),
+                ("initial_v", json::finite_num("initial_v", *initial_v)?),
+                (
+                    "target_backlog",
+                    json::finite_num("target_backlog", *target_backlog)?,
+                ),
+            ]),
+            ControllerSpec::Extern(_) => {
+                return Err(JsonError::new(
+                    "extern controllers cannot be encoded in a scenario file; \
+                     attach them programmatically after loading",
+                ))
+            }
+        })
+    }
+
+    /// Decodes a spec from its scenario-file form, enforcing the
+    /// controller constructors' invariants (non-negative `v`, positive
+    /// adaptive targets, non-empty strictly-ascending thresholds) as
+    /// errors instead of panics. The `extern` tag is rejected explicitly:
+    /// scenario files can describe every built-in policy, never a
+    /// user-defined one.
+    ///
+    /// # Errors
+    ///
+    /// Errors (with the offending position) on unknown `"type"` tags,
+    /// unknown or missing keys, wrong types, and invalid parameters.
+    pub fn from_json(v: &JsonValue) -> Result<ControllerSpec, JsonError> {
+        let mut obj = v.as_obj()?;
+        let tag = obj.req("type")?;
+        let spec = match tag.as_str()? {
+            "proposed" => {
+                let v_node = obj.req("v")?;
+                let v = v_node.as_f64()?;
+                if v < 0.0 {
+                    return Err(JsonError::at(
+                        v_node.pos,
+                        format!("v must be >= 0, got {v}"),
+                    ));
+                }
+                ControllerSpec::Proposed { v }
+            }
+            "only_max" => ControllerSpec::OnlyMax,
+            "only_min" => ControllerSpec::OnlyMin,
+            "fixed" => ControllerSpec::Fixed {
+                depth: obj.req("depth")?.as_u8()?,
+            },
+            "random" => ControllerSpec::Random {
+                seed: obj.req("seed")?.as_u64()?,
+            },
+            "threshold" => {
+                let node = obj.req("thresholds")?;
+                let items = node.as_array()?;
+                if items.is_empty() {
+                    return Err(JsonError::at(node.pos, "need at least one threshold"));
+                }
+                let thresholds = items
+                    .iter()
+                    .map(JsonValue::as_f64)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if !thresholds.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(JsonError::at(
+                        node.pos,
+                        "thresholds must be strictly ascending",
+                    ));
+                }
+                ControllerSpec::Threshold { thresholds }
+            }
+            "adaptive_v" => {
+                let v_node = obj.req("initial_v")?;
+                let initial_v = v_node.as_f64()?;
+                if initial_v <= 0.0 {
+                    return Err(JsonError::at(
+                        v_node.pos,
+                        format!("initial V must be > 0, got {initial_v}"),
+                    ));
+                }
+                let t_node = obj.req("target_backlog")?;
+                let target_backlog = t_node.as_f64()?;
+                if target_backlog <= 0.0 {
+                    return Err(JsonError::at(
+                        t_node.pos,
+                        format!("target backlog must be > 0, got {target_backlog}"),
+                    ));
+                }
+                ControllerSpec::AdaptiveV {
+                    initial_v,
+                    target_backlog,
+                }
+            }
+            "extern" => {
+                return Err(JsonError::at(
+                    tag.pos,
+                    "extern controllers cannot be described in a scenario file; \
+                     use a built-in controller type and attach externs programmatically",
+                ))
+            }
+            other => {
+                return Err(JsonError::at(
+                    tag.pos,
+                    format!(
+                        "unknown controller type \"{other}\" (expected proposed, only_max, \
+                         only_min, fixed, random, threshold, or adaptive_v)"
+                    ),
+                ))
+            }
+        };
+        obj.finish()?;
+        Ok(spec)
     }
 }
 
@@ -289,6 +449,116 @@ impl SessionSpec {
             None => arvis_sim::latency::FifoLatencyTracker::new(),
         }
     }
+
+    /// Encodes the spec for a scenario file (see [`crate::json`]).
+    /// Optional fields (`queue_capacity`, `frame_cap`, `uplink_v_adapt`)
+    /// are emitted only when set, so files stay minimal and diffs stay
+    /// focused.
+    ///
+    /// # Errors
+    ///
+    /// Errors on an [`ControllerSpec::Extern`] controller (no file form).
+    pub fn to_json(&self) -> Result<JsonValue, JsonError> {
+        let mut members = vec![
+            ("stream", self.stream.to_json()?),
+            ("service", self.service.to_json()?),
+            ("controller", self.controller.to_json()?),
+            ("seed", JsonValue::int(self.seed)),
+            ("warmup", JsonValue::int(self.warmup)),
+        ];
+        if let Some(capacity) = self.queue_capacity {
+            members.push((
+                "queue_capacity",
+                json::finite_num("queue_capacity", capacity)?,
+            ));
+        }
+        if let Some(cap) = self.frame_cap {
+            members.push(("frame_cap", JsonValue::int(cap as u64)));
+        }
+        if let Some(adapt) = &self.uplink_v_adapt {
+            members.push(("uplink_v_adapt", adapt.to_json()?));
+        }
+        Ok(JsonValue::obj(members))
+    }
+
+    /// Decodes a spec from its scenario-file form. Optional fields may be
+    /// absent or `null`. Cross-field constraints are enforced here with
+    /// specific errors: `uplink_v_adapt` requires a `proposed` controller
+    /// with `v > 0` (the adaptation scales that controller's `V`), the
+    /// queue capacity must be finite and non-negative, and `frame_cap`
+    /// must be at least 1.
+    ///
+    /// # Errors
+    ///
+    /// Errors (with the offending position) on unknown or missing keys,
+    /// wrong types, and invalid or inconsistent parameters.
+    pub fn from_json(v: &JsonValue) -> Result<SessionSpec, JsonError> {
+        let mut obj = v.as_obj()?;
+        let stream = ArStream::from_json(obj.req("stream")?)?;
+        let service = ServiceSpec::from_json(obj.req("service")?)?;
+        let controller = ControllerSpec::from_json(obj.req("controller")?)?;
+        let seed = obj.req("seed")?.as_u64()?;
+        let warmup = obj.req("warmup")?.as_u64()?;
+        let queue_capacity = match obj.opt("queue_capacity") {
+            Some(node) => {
+                let capacity = node.as_f64()?;
+                if capacity < 0.0 {
+                    return Err(JsonError::at(
+                        node.pos,
+                        format!("queue_capacity must be >= 0, got {capacity}"),
+                    ));
+                }
+                Some(capacity)
+            }
+            None => None,
+        };
+        let frame_cap = match obj.opt("frame_cap") {
+            Some(node) => {
+                let cap = node.as_usize()?;
+                if cap == 0 {
+                    return Err(JsonError::at(node.pos, "frame_cap must be positive"));
+                }
+                Some(cap)
+            }
+            None => None,
+        };
+        let uplink_v_adapt = match obj.opt("uplink_v_adapt") {
+            Some(node) => {
+                let adapt = crate::uplink::UplinkVAdaptSpec::from_json(node)?;
+                match controller.proposed_v() {
+                    Some(v) if v > 0.0 => {}
+                    Some(v) => {
+                        return Err(JsonError::at(
+                            node.pos,
+                            format!(
+                                "uplink_v_adapt requires v > 0 on the proposed controller, got {v}"
+                            ),
+                        ))
+                    }
+                    None => {
+                        return Err(JsonError::at(
+                            node.pos,
+                            "uplink_v_adapt requires a proposed controller \
+                             (the adaptation scales its V)",
+                        ))
+                    }
+                }
+                Some(adapt)
+            }
+            None => None,
+        };
+        obj.finish()?;
+        Ok(SessionSpec {
+            stream,
+            service,
+            controller,
+            seed,
+            queue_capacity,
+            warmup,
+            frame_cap,
+            uplink_v_adapt,
+        })
+    }
 }
 
 /// A declarative multi-session workload: N session specs sharing one slot
@@ -415,6 +685,120 @@ impl Scenario {
     /// `true` when no sessions are declared.
     pub fn is_empty(&self) -> bool {
         self.sessions.is_empty()
+    }
+
+    /// Encodes the scenario as a JSON tree (see [`crate::json`] for the
+    /// format contract). The top level is
+    /// `{"schema": 1, "slots": …, "sessions": […], "uplink": …?}` with
+    /// members in that fixed order — [`SCENARIO_SCHEMA_VERSION`] plus
+    /// unknown-key rejection keeps files forward-diffable.
+    ///
+    /// # Errors
+    ///
+    /// Errors when any session's controller is [`ControllerSpec::Extern`]
+    /// (no file form), naming the offending session index.
+    pub fn to_json(&self) -> Result<JsonValue, JsonError> {
+        let mut sessions = Vec::with_capacity(self.sessions.len());
+        for (i, spec) in self.sessions.iter().enumerate() {
+            sessions.push(
+                spec.to_json()
+                    .map_err(|e| JsonError::new(format!("session {i}: {}", e.msg)))?,
+            );
+        }
+        let mut members = vec![
+            ("schema", JsonValue::int(SCENARIO_SCHEMA_VERSION)),
+            ("slots", JsonValue::int(self.slots)),
+            ("sessions", JsonValue::arr(sessions)),
+        ];
+        if let Some(uplink) = &self.uplink {
+            members.push(("uplink", uplink.to_json()?));
+        }
+        Ok(JsonValue::obj(members))
+    }
+
+    /// Decodes a scenario from a JSON tree, checking the schema version,
+    /// rejecting unknown keys at every level, and enforcing the one
+    /// cross-object constraint a single spec cannot see: a
+    /// `weighted_max_weight` uplink must carry exactly one weight per
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// Errors (with the offending position) on a missing or unsupported
+    /// `"schema"`, unknown or missing keys, wrong types, and invalid
+    /// parameters anywhere in the tree.
+    pub fn from_json(v: &JsonValue) -> Result<Scenario, JsonError> {
+        let mut obj = v.as_obj()?;
+        let schema_node = obj.req("schema")?;
+        let schema = schema_node.as_u64()?;
+        if schema != SCENARIO_SCHEMA_VERSION {
+            return Err(JsonError::at(
+                schema_node.pos,
+                format!(
+                    "unsupported schema version {schema} \
+                     (this build reads version {SCENARIO_SCHEMA_VERSION})"
+                ),
+            ));
+        }
+        let slots = obj.req("slots")?.as_u64()?;
+        let sessions_node = obj.req("sessions")?;
+        let sessions = sessions_node
+            .as_array()?
+            .iter()
+            .map(SessionSpec::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let uplink = match obj.opt("uplink") {
+            Some(node) => {
+                let spec = crate::uplink::UplinkSpec::from_json(node)?;
+                if let crate::uplink::UplinkPolicy::WeightedMaxWeight { weights } = &spec.policy {
+                    if weights.len() != sessions.len() {
+                        return Err(JsonError::at(
+                            node.pos,
+                            format!(
+                                "weighted_max_weight declares {} weights for {} sessions \
+                                 (need exactly one per session)",
+                                weights.len(),
+                                sessions.len()
+                            ),
+                        ));
+                    }
+                }
+                Some(spec)
+            }
+            None => None,
+        };
+        obj.finish()?;
+        Ok(Scenario {
+            slots,
+            sessions,
+            uplink,
+        })
+    }
+
+    /// Renders the scenario in the canonical file form: the
+    /// [`Scenario::to_json`] tree pretty-printed with a trailing newline.
+    /// Canonical means reproducible: `from_json_str` followed by
+    /// `to_json_string` is byte-identical for any canonically-formatted
+    /// file (pinned by the golden suite in `tests/scenario_files.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Errors when the scenario contains an extern controller.
+    pub fn to_json_string(&self) -> Result<String, JsonError> {
+        let mut out = self.to_json()?.to_pretty();
+        out.push('\n');
+        Ok(out)
+    }
+
+    /// Parses a scenario file: strict JSON ([`crate::json::parse`])
+    /// followed by [`Scenario::from_json`].
+    ///
+    /// # Errors
+    ///
+    /// Errors with line/column on any syntax or schema violation; never
+    /// panics, whatever the input bytes.
+    pub fn from_json_str(text: &str) -> Result<Scenario, JsonError> {
+        Scenario::from_json(&crate::json::parse(text)?)
     }
 }
 
@@ -550,6 +934,87 @@ mod tests {
             sigma: 0.1,
         });
         let _ = Scenario::fleet(&base, FleetSpec::homogeneous(2));
+    }
+
+    #[test]
+    fn scenario_json_roundtrip_is_exact_and_canonical() {
+        use crate::uplink::{BudgetProfile, UplinkPolicy, UplinkSpec, UplinkVAdaptSpec};
+        let cfg = config();
+        let mut scenario = Scenario::new(1_600);
+        for controller in [
+            ControllerSpec::Proposed { v: 1e7 },
+            ControllerSpec::OnlyMax,
+            ControllerSpec::OnlyMin,
+            ControllerSpec::Fixed { depth: 7 },
+            ControllerSpec::Random { seed: u64::MAX },
+            ControllerSpec::Threshold {
+                thresholds: vec![0.1, 1e4, 1e8],
+            },
+            ControllerSpec::AdaptiveV {
+                initial_v: 3.5e6,
+                target_backlog: 1234.5,
+            },
+        ] {
+            let mut spec = SessionSpec::from_config(&cfg, controller);
+            spec.seed = 0x1234_5678_9abc_def0;
+            scenario.sessions.push(spec);
+        }
+        scenario.sessions[0].queue_capacity = Some(50_000.0);
+        scenario.sessions[0].frame_cap = Some(4_096);
+        scenario.sessions[0].uplink_v_adapt = Some(UplinkVAdaptSpec::default());
+        scenario.sessions[1].service = ServiceSpec::Jittered {
+            rate: 2_000.0,
+            sigma: 0.2,
+        };
+        scenario.sessions[2].service = ServiceSpec::DutyCycled {
+            high: 3_000.0,
+            low: 750.0,
+            high_slots: 30,
+            low_slots: 10,
+        };
+        scenario.sessions[3].stream = ArStream::modulated(profile(), 0.25, 400.0);
+        scenario = scenario.with_uplink(UplinkSpec::with_profile(
+            BudgetProfile::Diurnal {
+                mean: 9_600.0,
+                amplitude: 7_200.0,
+                period: 200,
+                phase: 0.25,
+            },
+            UplinkPolicy::WeightedMaxWeight {
+                weights: (1..=7).map(f64::from).collect(),
+            },
+        ));
+
+        let text = scenario.to_json_string().expect("encode");
+        let back = Scenario::from_json_str(&text).expect("decode");
+        // Canonical: re-encoding the decoded scenario is byte-identical.
+        assert_eq!(back.to_json_string().unwrap(), text);
+        // And the decoded structure matches bitwise where it matters.
+        assert_eq!(back.slots, scenario.slots);
+        assert_eq!(back.len(), scenario.len());
+        assert_eq!(back.sessions[0].seed, scenario.sessions[0].seed);
+        assert_eq!(back.sessions[0].frame_cap, Some(4_096));
+        assert_eq!(back.uplink, scenario.uplink);
+        for (a, b) in back.sessions.iter().zip(&scenario.sessions) {
+            let pa = a.stream.profile_at(7);
+            let pb = b.stream.profile_at(7);
+            for d in pa.depths() {
+                assert_eq!(pa.arrival(d).to_bits(), pb.arrival(d).to_bits());
+                assert_eq!(pa.quality(d).to_bits(), pb.quality(d).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn extern_controllers_have_no_file_form() {
+        let spec = ControllerSpec::Extern(ExternSpec::new(|| {
+            Box::new(FixedDepth::new(6)) as Box<dyn DepthController + Send>
+        }));
+        let err = spec.to_json().unwrap_err();
+        assert!(err.msg.contains("extern"), "{}", err.msg);
+        let scenario = Scenario::new(10).with_session(SessionSpec::from_config(&config(), spec));
+        let err = scenario.to_json_string().unwrap_err();
+        assert!(err.msg.contains("session 0"), "{}", err.msg);
     }
 
     #[test]

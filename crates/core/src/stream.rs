@@ -17,6 +17,8 @@ use std::borrow::Cow;
 use arvis_pointcloud::synth::FrameSequence;
 use arvis_quality::profile::{DepthProfile, ProfileError, QualityMetric};
 
+use crate::json::{self, JsonError, JsonValue};
+
 /// A source of per-slot depth profiles.
 #[derive(Debug, Clone)]
 pub struct ArStream {
@@ -163,6 +165,185 @@ impl ArStream {
             StreamKind::Modulated { base, .. } => base.depths(),
         }
     }
+
+    /// Encodes the stream for a scenario file (see [`crate::json`]):
+    /// a `"type"`-tagged object (`constant` / `cycle` / `modulated`)
+    /// whose profiles are `{min_depth, arrivals, quality}` tables.
+    ///
+    /// # Errors
+    ///
+    /// Errors when a profile value is non-finite (nothing non-finite has a
+    /// scenario-file form here).
+    pub fn to_json(&self) -> Result<JsonValue, JsonError> {
+        Ok(match &self.kind {
+            StreamKind::Constant(p) => JsonValue::obj(vec![
+                ("type", JsonValue::str("constant")),
+                ("profile", profile_to_json(p)?),
+            ]),
+            StreamKind::Cycle(ps) => JsonValue::obj(vec![
+                ("type", JsonValue::str("cycle")),
+                (
+                    "profiles",
+                    JsonValue::arr(
+                        ps.iter()
+                            .map(profile_to_json)
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                ),
+            ]),
+            StreamKind::Modulated {
+                base,
+                amplitude,
+                period_slots,
+            } => JsonValue::obj(vec![
+                ("type", JsonValue::str("modulated")),
+                ("base", profile_to_json(base)?),
+                ("amplitude", json::finite_num("amplitude", *amplitude)?),
+                (
+                    "period_slots",
+                    json::finite_num("period_slots", *period_slots)?,
+                ),
+            ]),
+        })
+    }
+
+    /// Decodes a stream from its scenario-file form, enforcing every
+    /// constructor invariant as an error (never a panic): non-empty
+    /// cycles with matching depth ranges, `amplitude ∈ [0, 1)`,
+    /// `period_slots > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Errors (with the offending position) on unknown `"type"` tags,
+    /// unknown or missing keys, wrong types, and invalid parameters.
+    pub fn from_json(v: &JsonValue) -> Result<ArStream, JsonError> {
+        let mut obj = v.as_obj()?;
+        let tag = obj.req("type")?;
+        let stream = match tag.as_str()? {
+            "constant" => ArStream::constant(profile_from_json(obj.req("profile")?)?),
+            "cycle" => {
+                let node = obj.req("profiles")?;
+                let items = node.as_array()?;
+                if items.is_empty() {
+                    return Err(JsonError::at(node.pos, "need at least one frame profile"));
+                }
+                let profiles = items
+                    .iter()
+                    .map(profile_from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                let r = profiles[0].depths();
+                if let Some(i) = profiles.iter().position(|p| p.depths() != r) {
+                    return Err(JsonError::at(
+                        items[i].pos,
+                        "all frame profiles must share the same depth range",
+                    ));
+                }
+                ArStream::cycle(profiles)
+            }
+            "modulated" => {
+                let base = profile_from_json(obj.req("base")?)?;
+                let amplitude_node = obj.req("amplitude")?;
+                let amplitude = amplitude_node.as_f64()?;
+                if !(0.0..1.0).contains(&amplitude) {
+                    return Err(JsonError::at(
+                        amplitude_node.pos,
+                        format!("amplitude must be in [0, 1), got {amplitude}"),
+                    ));
+                }
+                let period_node = obj.req("period_slots")?;
+                let period_slots = period_node.as_f64()?;
+                if period_slots <= 0.0 {
+                    return Err(JsonError::at(
+                        period_node.pos,
+                        format!("period_slots must be positive, got {period_slots}"),
+                    ));
+                }
+                ArStream::modulated(base, amplitude, period_slots)
+            }
+            other => {
+                return Err(JsonError::at(
+                    tag.pos,
+                    format!(
+                        "unknown stream type \"{other}\" \
+                         (expected constant, cycle, or modulated)"
+                    ),
+                ))
+            }
+        };
+        obj.finish()?;
+        Ok(stream)
+    }
+}
+
+/// Encodes a [`DepthProfile`] as its `{min_depth, arrivals, quality}`
+/// table (the exact `from_parts` surface; PSNR columns are measurement
+/// artifacts and never serialized).
+fn profile_to_json(p: &DepthProfile) -> Result<JsonValue, JsonError> {
+    Ok(JsonValue::obj(vec![
+        ("min_depth", JsonValue::int(p.min_depth())),
+        (
+            "arrivals",
+            JsonValue::arr(
+                p.depths()
+                    .map(|d| json::finite_num("arrival", p.arrival(d)))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+        ),
+        (
+            "quality",
+            JsonValue::arr(
+                p.depths()
+                    .map(|d| json::finite_num("quality", p.quality(d)))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+        ),
+    ]))
+}
+
+/// Decodes a depth profile, turning every `DepthProfile::from_parts` panic
+/// condition into a positioned error.
+fn profile_from_json(v: &JsonValue) -> Result<DepthProfile, JsonError> {
+    let mut obj = v.as_obj()?;
+    let min_depth = obj.req("min_depth")?.as_u8()?;
+    let arrivals_node = obj.req("arrivals")?;
+    let arrivals = finite_f64_array(arrivals_node)?;
+    if arrivals.len() < 2 {
+        return Err(JsonError::at(arrivals_node.pos, "need at least two depths"));
+    }
+    if arrivals.len() - 1 > usize::from(u8::MAX - min_depth) {
+        return Err(JsonError::at(
+            arrivals_node.pos,
+            format!(
+                "depth range overflows u8: min_depth {min_depth} + {} levels",
+                arrivals.len()
+            ),
+        ));
+    }
+    if let Some(i) = arrivals.iter().position(|&a| a <= 0.0) {
+        return Err(JsonError::at(
+            arrivals_node.as_array()?[i].pos,
+            format!("arrivals must be positive, got {}", arrivals[i]),
+        ));
+    }
+    let quality_node = obj.req("quality")?;
+    let quality = finite_f64_array(quality_node)?;
+    if quality.len() != arrivals.len() {
+        return Err(JsonError::at(
+            quality_node.pos,
+            format!(
+                "quality has {} entries but arrivals has {}",
+                quality.len(),
+                arrivals.len()
+            ),
+        ));
+    }
+    obj.finish()?;
+    Ok(DepthProfile::from_parts(min_depth, arrivals, quality))
+}
+
+/// Decodes an array of finite floats (the common profile-table shape).
+pub(crate) fn finite_f64_array(v: &JsonValue) -> Result<Vec<f64>, JsonError> {
+    v.as_array()?.iter().map(JsonValue::as_f64).collect()
 }
 
 #[cfg(test)]

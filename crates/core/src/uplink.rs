@@ -101,6 +101,7 @@ use serde::{Deserialize, Serialize};
 
 use arvis_lyapunov::adaptive::GrantRatioV;
 
+use crate::json::{self, JsonError, JsonValue};
 use crate::scenario::Scenario;
 use crate::session::SessionBatch;
 use crate::telemetry::{CsvRow, SessionSummary, TelemetrySink};
@@ -176,6 +177,183 @@ impl BudgetProfile {
                 budgets[idx]
             }
         }
+    }
+
+    /// Encodes the profile for a scenario file (see [`crate::json`]): a
+    /// `"type"`-tagged object; infinite budgets encode as the string
+    /// `"inf"`.
+    ///
+    /// # Errors
+    ///
+    /// Errors on NaN or `-∞` values (nothing non-finite besides `+∞`
+    /// budgets has a file form).
+    pub fn to_json(&self) -> Result<JsonValue, JsonError> {
+        Ok(match self {
+            BudgetProfile::Constant(b) => JsonValue::obj(vec![
+                ("type", JsonValue::str("constant")),
+                ("budget", json::num_or_inf_checked("budget", *b)?),
+            ]),
+            BudgetProfile::Diurnal {
+                mean,
+                amplitude,
+                period,
+                phase,
+            } => JsonValue::obj(vec![
+                ("type", JsonValue::str("diurnal")),
+                ("mean", json::finite_num("mean", *mean)?),
+                ("amplitude", json::finite_num("amplitude", *amplitude)?),
+                ("period", JsonValue::int(*period)),
+                ("phase", json::finite_num("phase", *phase)?),
+            ]),
+            BudgetProfile::PiecewiseSteps(steps) => JsonValue::obj(vec![
+                ("type", JsonValue::str("piecewise_steps")),
+                (
+                    "steps",
+                    JsonValue::arr(
+                        steps
+                            .iter()
+                            .map(|s| {
+                                Ok(JsonValue::obj(vec![
+                                    ("start", JsonValue::int(s.start)),
+                                    ("budget", json::num_or_inf_checked("budget", s.budget)?),
+                                ]))
+                            })
+                            .collect::<Result<Vec<_>, JsonError>>()?,
+                    ),
+                ),
+            ]),
+            BudgetProfile::Trace(budgets) => JsonValue::obj(vec![
+                ("type", JsonValue::str("trace")),
+                (
+                    "budgets",
+                    JsonValue::arr(
+                        budgets
+                            .iter()
+                            .map(|&b| json::num_or_inf_checked("budget", b))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                ),
+            ]),
+        })
+    }
+
+    /// Decodes a profile from its scenario-file form, enforcing every
+    /// [`BudgetProfile::validate`] condition as an error instead of a
+    /// panic — including the empty-`Trace` case, whose pinned behavior is
+    /// rejection at spec-validation time (a trace with no entries has no
+    /// slot-0 budget to evaluate).
+    ///
+    /// # Errors
+    ///
+    /// Errors (with the offending position) on unknown `"type"` tags,
+    /// unknown or missing keys, wrong types, negative/NaN budgets,
+    /// `amplitude > mean`, zero periods, unsorted or slot-0-less step
+    /// schedules, and empty traces.
+    pub fn from_json(v: &JsonValue) -> Result<BudgetProfile, JsonError> {
+        let budget_value = |node: &JsonValue| {
+            let b = node.as_f64_or_inf()?;
+            if b < 0.0 {
+                return Err(JsonError::at(node.pos, format!("bad budget {b}")));
+            }
+            Ok(b)
+        };
+        let mut obj = v.as_obj()?;
+        let tag = obj.req("type")?;
+        let profile = match tag.as_str()? {
+            "constant" => BudgetProfile::Constant(budget_value(obj.req("budget")?)?),
+            "diurnal" => {
+                let mean_node = obj.req("mean")?;
+                let mean = mean_node.as_f64()?;
+                if mean < 0.0 {
+                    return Err(JsonError::at(
+                        mean_node.pos,
+                        format!("bad diurnal mean {mean}"),
+                    ));
+                }
+                let amplitude_node = obj.req("amplitude")?;
+                let amplitude = amplitude_node.as_f64()?;
+                if !(0.0..=mean).contains(&amplitude) {
+                    return Err(JsonError::at(
+                        amplitude_node.pos,
+                        format!("diurnal amplitude must be in [0, mean], got {amplitude}"),
+                    ));
+                }
+                let period_node = obj.req("period")?;
+                let period = period_node.as_u64()?;
+                if period == 0 {
+                    return Err(JsonError::at(
+                        period_node.pos,
+                        "diurnal period must be positive",
+                    ));
+                }
+                let phase = obj.req("phase")?.as_f64()?;
+                BudgetProfile::Diurnal {
+                    mean,
+                    amplitude,
+                    period,
+                    phase,
+                }
+            }
+            "piecewise_steps" => {
+                let steps_node = obj.req("steps")?;
+                let items = steps_node.as_array()?;
+                if items.is_empty() {
+                    return Err(JsonError::at(
+                        steps_node.pos,
+                        "need at least one budget step",
+                    ));
+                }
+                let mut steps: Vec<BudgetStep> = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    let mut step = item.as_obj()?;
+                    let start_node = step.req("start")?;
+                    let start = start_node.as_u64()?;
+                    if i == 0 && start != 0 {
+                        return Err(JsonError::at(
+                            start_node.pos,
+                            "first budget step must start at slot 0",
+                        ));
+                    }
+                    if i > 0 && start <= steps[i - 1].start {
+                        return Err(JsonError::at(
+                            start_node.pos,
+                            "budget steps must have strictly ascending starts",
+                        ));
+                    }
+                    let budget = budget_value(step.req("budget")?)?;
+                    step.finish()?;
+                    steps.push(BudgetStep { start, budget });
+                }
+                BudgetProfile::PiecewiseSteps(steps)
+            }
+            "trace" => {
+                let budgets_node = obj.req("budgets")?;
+                let items = budgets_node.as_array()?;
+                if items.is_empty() {
+                    return Err(JsonError::at(
+                        budgets_node.pos,
+                        "need at least one traced budget",
+                    ));
+                }
+                BudgetProfile::Trace(
+                    items
+                        .iter()
+                        .map(budget_value)
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+            other => {
+                return Err(JsonError::at(
+                    tag.pos,
+                    format!(
+                        "unknown budget profile type \"{other}\" \
+                         (expected constant, diurnal, piecewise_steps, or trace)"
+                    ),
+                ))
+            }
+        };
+        obj.finish()?;
+        Ok(profile)
     }
 
     /// Validates the profile's parameters.
@@ -288,6 +466,104 @@ impl UplinkPolicy {
             UplinkPolicy::WeightedMaxWeight { .. } => "weighted_max_weight",
             UplinkPolicy::AlphaFair { .. } => "alpha_fair",
         }
+    }
+
+    /// Encodes the policy for a scenario file (see [`crate::json`]): a
+    /// `"type"`-tagged object whose tag matches [`UplinkPolicy::name`];
+    /// the max-min `α = ∞` encodes as the string `"inf"`.
+    ///
+    /// # Errors
+    ///
+    /// Errors on non-finite weights or a NaN/`-∞` alpha (values
+    /// [`UplinkPolicy::validate`] rejects too, so nothing non-finite
+    /// besides the max-min α has a file form).
+    pub fn to_json(&self) -> Result<JsonValue, JsonError> {
+        Ok(match self {
+            UplinkPolicy::Unconstrained
+            | UplinkPolicy::ProportionalShare
+            | UplinkPolicy::MaxWeightBacklog => {
+                JsonValue::obj(vec![("type", JsonValue::str(self.name()))])
+            }
+            UplinkPolicy::WeightedMaxWeight { weights } => JsonValue::obj(vec![
+                ("type", JsonValue::str(self.name())),
+                (
+                    "weights",
+                    JsonValue::arr(
+                        weights
+                            .iter()
+                            .map(|&w| json::finite_num("weight", w))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                ),
+            ]),
+            UplinkPolicy::AlphaFair { alpha } => JsonValue::obj(vec![
+                ("type", JsonValue::str(self.name())),
+                ("alpha", json::num_or_inf_checked("alpha", *alpha)?),
+            ]),
+        })
+    }
+
+    /// Decodes a policy from its scenario-file form, enforcing every
+    /// [`UplinkPolicy::validate`] condition as an error instead of a
+    /// panic (positive finite weights, `α ≥ 1`). The weight-count ↔
+    /// session-count match is checked at the scenario level, where both
+    /// are known.
+    ///
+    /// # Errors
+    ///
+    /// Errors (with the offending position) on unknown `"type"` tags,
+    /// unknown or missing keys, wrong types, empty/non-positive/non-finite
+    /// weight vectors, and `α < 1`.
+    pub fn from_json(v: &JsonValue) -> Result<UplinkPolicy, JsonError> {
+        let mut obj = v.as_obj()?;
+        let tag = obj.req("type")?;
+        let policy = match tag.as_str()? {
+            "unconstrained" => UplinkPolicy::Unconstrained,
+            "proportional_share" => UplinkPolicy::ProportionalShare,
+            "max_weight_backlog" => UplinkPolicy::MaxWeightBacklog,
+            "weighted_max_weight" => {
+                let weights_node = obj.req("weights")?;
+                let items = weights_node.as_array()?;
+                if items.is_empty() {
+                    return Err(JsonError::at(weights_node.pos, "need at least one weight"));
+                }
+                let mut weights = Vec::with_capacity(items.len());
+                for item in items {
+                    let w = item.as_f64()?;
+                    if w <= 0.0 {
+                        return Err(JsonError::at(
+                            item.pos,
+                            format!("bad max-weight weight {w} (must be finite and positive)"),
+                        ));
+                    }
+                    weights.push(w);
+                }
+                UplinkPolicy::WeightedMaxWeight { weights }
+            }
+            "alpha_fair" => {
+                let alpha_node = obj.req("alpha")?;
+                let alpha = alpha_node.as_f64_or_inf()?;
+                if alpha < 1.0 {
+                    return Err(JsonError::at(
+                        alpha_node.pos,
+                        format!("alpha must be >= 1 (inf = max-min), got {alpha}"),
+                    ));
+                }
+                UplinkPolicy::AlphaFair { alpha }
+            }
+            other => {
+                return Err(JsonError::at(
+                    tag.pos,
+                    format!(
+                        "unknown uplink policy type \"{other}\" (expected unconstrained, \
+                         proportional_share, max_weight_backlog, weighted_max_weight, \
+                         or alpha_fair)"
+                    ),
+                ))
+            }
+        };
+        obj.finish()?;
+        Ok(policy)
     }
 
     /// Validates the policy's own parameters (session-count-independent
@@ -576,6 +852,33 @@ impl UplinkSpec {
             policy: UplinkPolicy::Unconstrained,
         }
     }
+
+    /// Encodes the spec for a scenario file: `{"budget": …, "policy": …}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the budget/policy encode errors (non-finite values with
+    /// no file form).
+    pub fn to_json(&self) -> Result<JsonValue, JsonError> {
+        Ok(JsonValue::obj(vec![
+            ("budget", self.budget.to_json()?),
+            ("policy", self.policy.to_json()?),
+        ]))
+    }
+
+    /// Decodes a spec from its scenario-file form.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BudgetProfile::from_json`] / [`UplinkPolicy::from_json`]
+    /// errors and rejects unknown keys.
+    pub fn from_json(v: &JsonValue) -> Result<UplinkSpec, JsonError> {
+        let mut obj = v.as_obj()?;
+        let budget = BudgetProfile::from_json(obj.req("budget")?)?;
+        let policy = UplinkPolicy::from_json(obj.req("policy")?)?;
+        obj.finish()?;
+        Ok(UplinkSpec { budget, policy })
+    }
 }
 
 /// Per-session uplink-aware `V` adaptation (see
@@ -623,6 +926,71 @@ impl Default for UplinkVAdaptSpec {
 }
 
 impl UplinkVAdaptSpec {
+    /// Encodes the adaptation knob for a scenario file:
+    /// `{"low": …, "high": …, "step": …, "min_v_scale": …}`.
+    ///
+    /// # Errors
+    ///
+    /// Errors when a field is non-finite (the [`UplinkVAdaptSpec::build`]
+    /// invariants reject those values too).
+    pub fn to_json(&self) -> Result<JsonValue, JsonError> {
+        Ok(JsonValue::obj(vec![
+            ("low", json::finite_num("low", self.low)?),
+            ("high", json::finite_num("high", self.high)?),
+            ("step", json::finite_num("step", self.step)?),
+            (
+                "min_v_scale",
+                json::finite_num("min_v_scale", self.min_v_scale)?,
+            ),
+        ]))
+    }
+
+    /// Decodes the knob from its scenario-file form, enforcing the
+    /// [`UplinkVAdaptSpec::build`] / `GrantRatioV` constructor invariants
+    /// (`0 < low ≤ high ≤ 1`, `step ∈ (0, 1)`, `min_v_scale ∈ (0, 1]`) as
+    /// errors instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// Errors (with the offending position) on unknown or missing keys,
+    /// wrong types, and out-of-range parameters.
+    pub fn from_json(v: &JsonValue) -> Result<UplinkVAdaptSpec, JsonError> {
+        let mut obj = v.as_obj()?;
+        let low_node = obj.req("low")?;
+        let low = low_node.as_f64()?;
+        let high_node = obj.req("high")?;
+        let high = high_node.as_f64()?;
+        if !(low > 0.0 && low <= high && high <= 1.0) {
+            return Err(JsonError::at(
+                low_node.pos,
+                format!("need 0 < low <= high <= 1, got [{low}, {high}]"),
+            ));
+        }
+        let step_node = obj.req("step")?;
+        let step = step_node.as_f64()?;
+        if !(step > 0.0 && step < 1.0) {
+            return Err(JsonError::at(
+                step_node.pos,
+                format!("step must be in (0, 1), got {step}"),
+            ));
+        }
+        let scale_node = obj.req("min_v_scale")?;
+        let min_v_scale = scale_node.as_f64()?;
+        if !(min_v_scale > 0.0 && min_v_scale <= 1.0) {
+            return Err(JsonError::at(
+                scale_node.pos,
+                format!("min_v_scale must be in (0, 1], got {min_v_scale}"),
+            ));
+        }
+        obj.finish()?;
+        Ok(UplinkVAdaptSpec {
+            low,
+            high,
+            step,
+            min_v_scale,
+        })
+    }
+
     /// Builds the runnable adapter state around a controller's starting
     /// `V`.
     ///
@@ -1226,6 +1594,19 @@ mod tests {
             phase: 0.0,
         }
         .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one traced budget")]
+    fn empty_trace_rejected_at_spec_validation() {
+        // Pinned behavior: an empty trace has no slot-0 budget to
+        // evaluate, so it must be rejected when the spec is validated
+        // (every construction path — UplinkSpec::with_profile,
+        // SharedUplink::new, the scenario-file codec — runs validate()).
+        let _ = UplinkSpec::with_profile(
+            BudgetProfile::Trace(Vec::new()),
+            UplinkPolicy::ProportionalShare,
+        );
     }
 
     #[test]
