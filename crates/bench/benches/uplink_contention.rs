@@ -14,6 +14,7 @@ use criterion::{criterion_group, Criterion, Throughput};
 use std::hint::black_box;
 
 use arvis_core::experiment::{ExperimentConfig, ServiceSpec};
+use arvis_core::fault::{CrashPolicy, DegradationGuardSpec, FaultEvent, FaultPlan, ShedMode};
 use arvis_core::scenario::{ControllerSpec, Scenario};
 use arvis_core::session::SessionBatch;
 use arvis_core::uplink::{BudgetProfile, SharedUplink, UplinkPolicy, UplinkSpec, UplinkVAdaptSpec};
@@ -128,6 +129,51 @@ fn bench_uplink_contention(c: &mut Criterion) {
             ));
             uplink.run(&mut batch);
             black_box((batch.into_summaries().len(), uplink.summary().slots))
+        });
+    });
+
+    // The faulted diurnal fleet: the same adaptive stack with the fault
+    // plane engaged — a mid-run outage, lossy grants on a slice of
+    // tenants, a few crash/restart cycles, and the deferring degradation
+    // guard. Measures what fault bookkeeping costs per slot when faults
+    // actually fire.
+    let mut plan = FaultPlan::new().with_event(FaultEvent::Outage {
+        start: SLOTS / 2,
+        slots: SLOTS / 10,
+    });
+    for session in 0..8 {
+        plan = plan.with_event(FaultEvent::GrantLoss {
+            session,
+            p: 0.1,
+            seed: 1_000 + session as u64,
+        });
+    }
+    for session in 8..12 {
+        plan = plan.with_event(FaultEvent::SessionCrash {
+            session,
+            slot: SLOTS / 4,
+            restart_after: Some(SLOTS / 8),
+            policy: CrashPolicy::ColdRestart,
+        });
+    }
+    plan = plan.with_guard(DegradationGuardSpec {
+        ema_alpha: 0.05,
+        engage_above: 0.9,
+        release_below: 0.6,
+        backlog_limit: f64::INFINITY,
+        shed_fraction: 0.25,
+        mode: ShedMode::Defer,
+    });
+    group.bench_function("diurnal_max_weight_faulted", |b| {
+        b.iter(|| {
+            let mut batch = SessionBatch::summary_only(black_box(&adaptive));
+            let mut uplink = SharedUplink::with_fault(
+                UplinkSpec::with_profile(diurnal.clone(), UplinkPolicy::MaxWeightBacklog),
+                &plan,
+                SESSIONS,
+            );
+            uplink.run(&mut batch);
+            black_box((batch.into_summaries().len(), uplink.summary().shed_slots))
         });
     });
 

@@ -122,9 +122,9 @@ fn main() {
 
 /// `experiments run <scenario.json> [--csv out.csv]`: loads a declarative
 /// scenario file and drives the session batch — through the shared-uplink
-/// contention plane when the file declares an `uplink`, as uncoupled
-/// summary-only sessions otherwise. The summary CSV goes to stdout (and to
-/// `--csv` when given).
+/// contention plane when the file declares an `uplink` or a `fault` plan,
+/// as uncoupled summary-only sessions otherwise. The summary CSV goes to
+/// stdout (and to `--csv` when given).
 fn run_scenario_command(args: &[String]) {
     use arvis_core::scenario::Scenario;
     use arvis_core::session::SessionBatch;
@@ -169,17 +169,20 @@ fn run_scenario_command(args: &[String]) {
         std::process::exit(1);
     });
 
-    let csv = if scenario.uplink.is_some() {
+    let csv = if scenario.uplink.is_some() || scenario.fault.is_some() {
         let run = run_contended(&scenario);
         eprintln!(
             "{path}: {} sessions x {} slots, contended ({}): \
-             {} stable, {:.1}% slots contended, utilization {:.1}%",
+             {} stable, {:.1}% slots contended, utilization {:.1}%, \
+             {} shed slots, {} down session-slots",
             scenario.len(),
             scenario.slots,
             run.policy.name(),
             run.summaries.iter().filter(|s| s.stable).count(),
             100.0 * run.uplink.contended_fraction(),
             100.0 * run.uplink.utilization(),
+            run.uplink.shed_slots,
+            run.uplink.down_session_slots,
         );
         run.to_csv()
     } else {

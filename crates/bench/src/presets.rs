@@ -1,4 +1,4 @@
-//! The E1–E6 extension experiments as declarative scenario presets.
+//! The E1–E7 extension experiments as declarative scenario presets.
 //!
 //! Each preset is a pure function of nothing — the same construction every
 //! time, on the same [`crate::paper_profile`] workload at a fixed point
@@ -16,6 +16,7 @@
 
 use arvis_core::distributed::FleetSpec;
 use arvis_core::experiment::ServiceSpec;
+use arvis_core::fault::{CrashPolicy, DegradationGuardSpec, FaultEvent, FaultPlan, ShedMode};
 use arvis_core::scenario::{ControllerSpec, Scenario, SessionSpec};
 use arvis_core::sweep::log_grid;
 use arvis_core::uplink::{BudgetProfile, UplinkPolicy, UplinkSpec, UplinkVAdaptSpec};
@@ -38,6 +39,7 @@ pub const SCENARIO_PRESETS: &[&str] = &[
     "e4_fleet",
     "e5_shared_uplink",
     "e6_diurnal_adaptive",
+    "e7_fault_outage",
 ];
 
 /// Builds a preset scenario by name (`None` for unknown names; see
@@ -124,6 +126,66 @@ pub fn scenario_preset(name: &str) -> Option<Scenario> {
                 },
             ))
         }
+        // E7: the E6 diurnal fleet under faults — a mid-run uplink outage,
+        // one cold-restarting and one permanently crashing tenant, lossy
+        // grants on a third, and a degradation guard deferring the
+        // lowest-weight tenants when the smoothed contention saturates.
+        "e7_fault_outage" => {
+            let mut scenario = contended_fleet(&cfg, 8);
+            let demand: f64 = scenario
+                .sessions
+                .iter()
+                .map(|s| s.service.mean_rate())
+                .sum();
+            for spec in scenario.sessions.iter_mut() {
+                spec.uplink_v_adapt = Some(UplinkVAdaptSpec::default());
+            }
+            let n = scenario.len();
+            scenario
+                .with_uplink(UplinkSpec::with_profile(
+                    BudgetProfile::Diurnal {
+                        mean: 0.6 * demand,
+                        amplitude: 0.45 * demand,
+                        period: 200,
+                        phase: 0.0,
+                    },
+                    UplinkPolicy::WeightedMaxWeight {
+                        weights: (0..n).map(|i| 1.0 + (i % 4) as f64).collect(),
+                    },
+                ))
+                .with_fault(
+                    FaultPlan::new()
+                        .with_event(FaultEvent::Outage {
+                            start: 800,
+                            slots: 60,
+                        })
+                        .with_event(FaultEvent::SessionCrash {
+                            session: 3,
+                            slot: 400,
+                            restart_after: Some(120),
+                            policy: CrashPolicy::ColdRestart,
+                        })
+                        .with_event(FaultEvent::SessionCrash {
+                            session: 7,
+                            slot: 600,
+                            restart_after: None,
+                            policy: CrashPolicy::Permanent,
+                        })
+                        .with_event(FaultEvent::GrantLoss {
+                            session: 2,
+                            p: 0.05,
+                            seed: 77,
+                        })
+                        .with_guard(DegradationGuardSpec {
+                            ema_alpha: 0.05,
+                            engage_above: 0.9,
+                            release_below: 0.6,
+                            backlog_limit: f64::INFINITY,
+                            shed_fraction: 0.25,
+                            mode: ShedMode::Defer,
+                        }),
+                )
+        }
         _ => return None,
     })
 }
@@ -182,5 +244,22 @@ mod tests {
             e6.uplink.as_ref().unwrap().budget,
             BudgetProfile::Diurnal { .. }
         ));
+    }
+
+    #[test]
+    fn fault_preset_declares_the_fault_plan() {
+        let e7 = scenario_preset("e7_fault_outage").unwrap();
+        let fault = e7.fault.as_ref().expect("e7 has a fault plan");
+        assert_eq!(fault.events.len(), 4);
+        assert!(fault.guard.is_some());
+        // E1–E6 stay fault-free and therefore schema-1 on disk.
+        for &name in SCENARIO_PRESETS.iter().filter(|&&n| n != "e7_fault_outage") {
+            let scenario = scenario_preset(name).unwrap();
+            assert!(scenario.fault.is_none(), "{name} must stay fault-free");
+            let text = scenario.to_json_string().unwrap();
+            assert!(text.starts_with("{\n  \"schema\": 1,"), "{name} schema 1");
+        }
+        let text = e7.to_json_string().unwrap();
+        assert!(text.starts_with("{\n  \"schema\": 2,"), "e7 schema 2");
     }
 }

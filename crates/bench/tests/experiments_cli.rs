@@ -1,0 +1,108 @@
+//! The `experiments` binary's scenario-file interface, end to end as a
+//! child process: malformed input must exit nonzero with a positioned
+//! error on stderr (never a panic, never a silent success), and a valid
+//! faulted scenario must run and report its fault aggregates.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn experiments() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("arvis-cli-{}-{name}", std::process::id()));
+    let mut file = std::fs::File::create(&path).unwrap();
+    file.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn run_rejects_malformed_scenarios_with_positioned_errors() {
+    // Truncated JSON: the error must carry the file path and a
+    // line:column position, and the exit status must be nonzero.
+    let path = write_temp("truncated.json", "{\n  \"schema\": 1,\n  \"slots\": }\n");
+    let out = experiments()
+        .args(["run", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "malformed file must fail: {stderr}");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr.contains(path.to_str().unwrap()),
+        "error names the file: {stderr}"
+    );
+    assert!(
+        stderr.contains("line 3, column"),
+        "error carries line 3: {stderr}"
+    );
+    std::fs::remove_file(&path).ok();
+
+    // A schema-1 file smuggling a fault plan: the versioning error is
+    // specific, not a generic parse failure.
+    let path = write_temp(
+        "schema1-fault.json",
+        "{\n  \"schema\": 1,\n  \"slots\": 10,\n  \"sessions\": [],\n  \"fault\": {\"events\": []}\n}\n",
+    );
+    let out = experiments()
+        .args(["run", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "{stderr}");
+    assert!(
+        stderr.contains("requires schema version 2"),
+        "versioning error is specific: {stderr}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn run_reports_missing_files_and_usage_errors() {
+    let out = experiments()
+        .args(["run", "/nonexistent/scenario.json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("/nonexistent/scenario.json"));
+
+    let out = experiments().arg("run").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn run_executes_the_faulted_golden_scenario() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios/e7_fault_outage.json");
+    let out = experiments()
+        .args(["run", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "e7 golden must run: {stderr}");
+    assert!(
+        stderr.contains("contended"),
+        "faulted runs are contended: {stderr}"
+    );
+    assert!(
+        stderr.contains("shed slots"),
+        "fault aggregates reported: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let header = stdout.lines().next().unwrap_or_default();
+    assert!(
+        header.contains("downtime_slots"),
+        "CSV carries downtime: {header}"
+    );
+    assert!(
+        header.contains("uplink_shed_slots"),
+        "CSV carries shed: {header}"
+    );
+    // Header and every row agree on the column count.
+    let columns = header.split(',').count();
+    for line in stdout.lines().skip(1).filter(|l| !l.is_empty()) {
+        assert_eq!(line.split(',').count(), columns, "ragged CSV row: {line}");
+    }
+}

@@ -33,6 +33,12 @@
 //!   proportional-share / max-weight-backlog / weighted-max-weight /
 //!   α-fair), riding on the slot-major batch stepping, with optional
 //!   uplink-aware Lyapunov-`V` adaptation ([`uplink::UplinkVAdaptSpec`]);
+//! - [`fault`]: the deterministic fault-injection plane — uplink
+//!   outage/brownout windows, per-session grant loss on dedicated RNG
+//!   streams, session crash/restart (cold / warm / permanent), and a
+//!   [`fault::DegradationGuardSpec`] admission guard that sheds the
+//!   lowest-weight tenants under sustained contention, all declared in
+//!   schema-2 scenario files and replayed bit-identically;
 //! - [`telemetry`]: pluggable [`telemetry::TelemetrySink`]s (full trace,
 //!   streaming summary-only, CSV) and the shared CSV helpers;
 //! - [`device`]: mobile-device rendering capacity models;
@@ -103,19 +109,19 @@
 //!
 //! Every [`Scenario`] — all controllers except the programmatic
 //! [`scenario::ControllerSpec::Extern`], all services, streams, uplink
-//! budgets/policies, and the uplink-aware `V` knob — round-trips through a
-//! versioned JSON file: [`Scenario::to_json_string`] /
-//! [`Scenario::from_json_str`]. The `experiments` binary runs them
+//! budgets/policies, the uplink-aware `V` knob, and the fault plan —
+//! round-trips through a versioned JSON file: [`Scenario::to_json_string`]
+//! / [`Scenario::from_json_str`]. The `experiments` binary runs them
 //! directly (`experiments run scenario.json`), and the golden suite in
 //! `tests/scenario_files.rs` pins that a file replays **bit-identically**
 //! to the same scenario built in Rust.
 //!
-//! The format (schema version 1; every object rejects unknown keys, and
-//! all errors carry line/column):
+//! The format (schema versions 1–2; every object rejects unknown keys,
+//! and all errors carry line/column):
 //!
 //! ```json
 //! {
-//!   "schema": 1,                    // required; this build reads version 1
+//!   "schema": 1,                    // required; this build reads 1 and 2
 //!   "slots": 800,                   // shared horizon
 //!   "sessions": [
 //!     {
@@ -153,9 +159,37 @@
 //!       "type": "alpha_fair",       // "max_weight_backlog" |
 //!       "alpha": 2                  // "weighted_max_weight" | "alpha_fair"
 //!     }
+//!   },
+//!   "fault": {                      // optional; requires "schema": 2
+//!     "events": [
+//!       { "type": "outage", "start": 800, "slots": 60 },
+//!       { "type": "brownout", "start": 200, "slots": 80, "factor": 0.5 },
+//!       { "type": "grant_loss", "session": 2, "p": 0.05, "seed": 77 },
+//!       { "type": "session_crash", "session": 3, "slot": 400,
+//!         "restart_after": 120,     // omit with "policy": "permanent"
+//!         "policy": "cold_restart" }// | "warm_restart" | "permanent"
+//!     ],
+//!     "guard": {                    // optional degradation guard
+//!       "ema_alpha": 0.05, "engage_above": 0.9, "release_below": 0.6,
+//!       "backlog_limit": "inf", "shed_fraction": 0.25,
+//!       "mode": { "type": "defer" } // | { "type": "clamp", "factor": … }
+//!     }
 //!   }
 //! }
 //! ```
+//!
+//! **Versioning / migration.** Schema 2 (this build) adds the optional
+//! `"fault"` member — see [`fault`] for the event semantics and the
+//! determinism contract (faulted replays are bit-identical; an empty plan
+//! is bitwise the fault-free path; a cold restart's trajectory is bitwise
+//! a fresh session over the residual horizon). Fault-free scenarios keep
+//! *emitting* schema 1, and this build *reads* versions 1 through 2, so
+//! every schema-1 file parses unchanged and fault-free emission stays
+//! byte-identical with older builds. To migrate a schema-1 file to the
+//! fault surface, bump `"schema"` to 2 and add the `"fault"` member —
+//! declaring `"fault"` while still at `"schema": 1` is a positioned
+//! error, so stale version stamps cannot smuggle faults past older
+//! readers.
 //!
 //! Floats print in shortest round-trip form and parse back bit-identically;
 //! the infinite budget / max-min `alpha` encode as the string `"inf"`
@@ -194,6 +228,7 @@ pub mod device;
 pub mod distributed;
 pub mod energy;
 pub mod experiment;
+pub mod fault;
 pub mod json;
 pub mod pipeline;
 pub mod scenario;
@@ -205,6 +240,7 @@ pub mod uplink;
 
 pub use controller::{DepthController, ProposedDpp};
 pub use experiment::{Experiment, ExperimentConfig, ExperimentResult};
+pub use fault::{CrashPolicy, DegradationGuardSpec, FaultEvent, FaultPlan, FaultPlane, ShedMode};
 pub use scenario::{ControllerSpec, Scenario, SessionSpec};
 pub use session::{Session, SessionBatch, SlotOutcome};
 pub use telemetry::{FullTrace, SessionSummary, SummarySink, TelemetrySink};

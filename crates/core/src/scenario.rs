@@ -29,11 +29,17 @@ use crate::experiment::{ExperimentConfig, ServiceSpec};
 use crate::json::{self, JsonError, JsonValue};
 use crate::stream::ArStream;
 
-/// The scenario-file schema version this build reads and writes (the
-/// required top-level `"schema"` field). Bump on any
+/// The newest scenario-file schema version this build reads and writes
+/// (the required top-level `"schema"` field). Bump on any
 /// backwards-incompatible change to the file format so old binaries fail
 /// loudly instead of misreading new files.
-pub const SCENARIO_SCHEMA_VERSION: u64 = 1;
+///
+/// Version history: 1 = the original format; 2 = adds the optional
+/// top-level `"fault"` plan ([`crate::fault::FaultPlan`]). Version-1 files
+/// parse unchanged, and emission stays at version 1 unless the scenario
+/// actually declares a fault plan — so fault-free files are bitwise
+/// backwards-compatible both ways.
+pub const SCENARIO_SCHEMA_VERSION: u64 = 2;
 
 /// Factory for a user-defined depth controller, pluggable into a
 /// [`ControllerSpec`] (and therefore into scenarios and batches) without
@@ -574,6 +580,13 @@ pub struct Scenario {
     /// spec's policy (see [`crate::uplink`]) instead of being served
     /// independently. `None` keeps the sessions uncoupled.
     pub uplink: Option<crate::uplink::UplinkSpec>,
+    /// Optional deterministic fault plan (outages, grant loss, session
+    /// crashes, admission control — see [`crate::fault`]). Faults act on
+    /// the contended path: a scenario with a fault plan runs through
+    /// [`crate::uplink::run_contended`] even without an `uplink` spec
+    /// (with an unconstrained uplink). `None` keeps the fault-free path,
+    /// bit-identically.
+    pub fault: Option<crate::fault::FaultPlan>,
 }
 
 impl Scenario {
@@ -583,6 +596,7 @@ impl Scenario {
             slots,
             sessions: Vec::new(),
             uplink: None,
+            fault: None,
         }
     }
 
@@ -597,6 +611,20 @@ impl Scenario {
     #[must_use]
     pub fn with_uplink(mut self, spec: crate::uplink::UplinkSpec) -> Scenario {
         self.uplink = Some(spec);
+        self
+    }
+
+    /// Attaches a fault plan (see [`crate::fault`]), validating it against
+    /// the sessions declared so far — call after the fleet is built.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`crate::fault::FaultPlan::validate`] rejects the plan
+    /// for this fleet.
+    #[must_use]
+    pub fn with_fault(mut self, plan: crate::fault::FaultPlan) -> Scenario {
+        plan.validate(self.sessions.len());
+        self.fault = Some(plan);
         self
     }
 
@@ -689,9 +717,12 @@ impl Scenario {
 
     /// Encodes the scenario as a JSON tree (see [`crate::json`] for the
     /// format contract). The top level is
-    /// `{"schema": 1, "slots": …, "sessions": […], "uplink": …?}` with
-    /// members in that fixed order — [`SCENARIO_SCHEMA_VERSION`] plus
-    /// unknown-key rejection keeps files forward-diffable.
+    /// `{"schema": …, "slots": …, "sessions": […], "uplink": …?, "fault": …?}`
+    /// with members in that fixed order — the schema version plus
+    /// unknown-key rejection keeps files forward-diffable. A fault-free
+    /// scenario emits `"schema": 1` (the file is a valid version-1 file,
+    /// byte-identical to what older builds wrote); a fault plan bumps the
+    /// file to [`SCENARIO_SCHEMA_VERSION`].
     ///
     /// # Errors
     ///
@@ -705,13 +736,21 @@ impl Scenario {
                     .map_err(|e| JsonError::new(format!("session {i}: {}", e.msg)))?,
             );
         }
+        let schema = if self.fault.is_some() {
+            SCENARIO_SCHEMA_VERSION
+        } else {
+            1
+        };
         let mut members = vec![
-            ("schema", JsonValue::int(SCENARIO_SCHEMA_VERSION)),
+            ("schema", JsonValue::int(schema)),
             ("slots", JsonValue::int(self.slots)),
             ("sessions", JsonValue::arr(sessions)),
         ];
         if let Some(uplink) = &self.uplink {
             members.push(("uplink", uplink.to_json()?));
+        }
+        if let Some(fault) = &self.fault {
+            members.push(("fault", fault.to_json()?));
         }
         Ok(JsonValue::obj(members))
     }
@@ -731,12 +770,12 @@ impl Scenario {
         let mut obj = v.as_obj()?;
         let schema_node = obj.req("schema")?;
         let schema = schema_node.as_u64()?;
-        if schema != SCENARIO_SCHEMA_VERSION {
+        if !(1..=SCENARIO_SCHEMA_VERSION).contains(&schema) {
             return Err(JsonError::at(
                 schema_node.pos,
                 format!(
                     "unsupported schema version {schema} \
-                     (this build reads version {SCENARIO_SCHEMA_VERSION})"
+                     (this build reads versions 1 through {SCENARIO_SCHEMA_VERSION})"
                 ),
             ));
         }
@@ -767,11 +806,24 @@ impl Scenario {
             }
             None => None,
         };
+        let fault = match obj.opt("fault") {
+            Some(node) => {
+                if schema < 2 {
+                    return Err(JsonError::at(
+                        node.pos,
+                        format!("\"fault\" requires schema version 2 (file declares {schema})"),
+                    ));
+                }
+                Some(crate::fault::FaultPlan::from_json(node, sessions.len())?)
+            }
+            None => None,
+        };
         obj.finish()?;
         Ok(Scenario {
             slots,
             sessions,
             uplink,
+            fault,
         })
     }
 

@@ -31,9 +31,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::controller::DepthController;
 use crate::experiment::{ExperimentResult, ServiceSpec};
-use crate::scenario::{BuiltController, Scenario, SessionSpec};
+use crate::fault::CrashPolicy;
+use crate::scenario::{BuiltController, ControllerSpec, Scenario, SessionSpec};
 use crate::stream::ArStream;
 use crate::telemetry::{FullTrace, SummarySink, TelemetrySink};
+use crate::uplink::UplinkVAdaptSpec;
 
 /// What one session observed during one slot.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -269,12 +271,91 @@ impl Session {
     }
 }
 
+/// One session's liveness on the fault plane (see [`crate::fault`]).
+///
+/// Every session starts [`Liveness::Live`]; only
+/// [`SessionBatch::crash_session`] moves it — the batch never crashes a
+/// session on its own, so fault-free runs never leave `Live` and pay no
+/// cost for the state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// The session is running normally.
+    Live,
+    /// The session is down and will restart at slot `until`.
+    Down {
+        /// The first slot the restarted session simulates again.
+        until: u64,
+        /// What the restart rebuilds (see [`CrashPolicy`]).
+        policy: CrashPolicy,
+    },
+    /// The session crashed permanently and never comes back.
+    Dead,
+}
+
+impl Liveness {
+    /// `true` when the session is running this slot.
+    pub fn is_live(&self) -> bool {
+        matches!(self, Liveness::Live)
+    }
+}
+
+/// The spec fragments a restart needs to rebuild per-session state
+/// (everything but the stream, which stays in the batch's SoA arrays).
+#[derive(Debug, Clone)]
+struct RebuildInfo {
+    controller: ControllerSpec,
+    service: ServiceSpec,
+    seed: u64,
+    queue_capacity: Option<f64>,
+    frame_cap: Option<usize>,
+    uplink_v_adapt: Option<UplinkVAdaptSpec>,
+}
+
+impl RebuildInfo {
+    fn of(spec: &SessionSpec) -> RebuildInfo {
+        RebuildInfo {
+            controller: spec.controller.clone(),
+            service: spec.service,
+            seed: spec.seed,
+            queue_capacity: spec.queue_capacity,
+            frame_cap: spec.frame_cap,
+            uplink_v_adapt: spec.uplink_v_adapt,
+        }
+    }
+
+    fn queue(&self) -> WorkQueue {
+        match self.queue_capacity {
+            Some(c) => WorkQueue::with_capacity(c),
+            None => WorkQueue::new(),
+        }
+    }
+
+    fn latency(&self) -> FifoLatencyTracker {
+        match self.frame_cap {
+            Some(cap) => FifoLatencyTracker::with_max_in_flight(cap),
+            None => FifoLatencyTracker::new(),
+        }
+    }
+
+    fn adapter(&self) -> Option<GrantRatioV> {
+        self.uplink_v_adapt.map(|adapt| {
+            let base_v = self
+                .controller
+                .proposed_v()
+                .expect("validated at construction: adapt requires Proposed");
+            adapt.build(base_v)
+        })
+    }
+}
+
 /// Default number of sessions stepped per work chunk. Fixed (never derived
 /// from the worker count) so decompositions — and thus any chunk-ordered
 /// reductions — are identical in serial and parallel execution.
 pub const DEFAULT_SESSIONS_PER_CHUNK: usize = 64;
 
-/// One fan-out work unit: equal-index chunks of every per-session array.
+/// One fan-out work unit: equal-index chunks of every per-session array,
+/// including each session's liveness, local-clock offset and downtime
+/// counter (the fault plane's state; all-`Live`, all-zero when no fault).
 type ChunkTask<'a, S> = (
     &'a [ArStream],
     &'a mut [BuiltController],
@@ -282,6 +363,9 @@ type ChunkTask<'a, S> = (
     &'a mut [WorkQueue],
     &'a mut [FifoLatencyTracker],
     &'a mut [S],
+    &'a [Liveness],
+    &'a [u64],
+    &'a mut [u64],
 );
 
 /// A [`SessionBatch::step_slot_granted`] work unit: like [`ChunkTask`] but
@@ -297,6 +381,9 @@ type GrantedChunkTask<'a, S> = (
     &'a mut [WorkQueue],
     &'a mut [FifoLatencyTracker],
     &'a mut [S],
+    &'a [Liveness],
+    &'a [u64],
+    &'a mut [u64],
 );
 
 /// N sessions stepped in lock-step, state stored as struct-of-arrays.
@@ -323,6 +410,19 @@ pub struct SessionBatch<S: TelemetrySink> {
     /// [`SessionBatch::fill_demands`] — kept so the granted step can
     /// compute each session's grant/demand ratio.
     last_demands: Vec<f64>,
+    /// The spec fragments each session's restart rebuilds from.
+    rebuild: Vec<RebuildInfo>,
+    /// Per-session liveness (all [`Liveness::Live`] without faults).
+    liveness: Vec<Liveness>,
+    /// Per-session local-clock offsets: a cold restart at batch slot `r`
+    /// sets session `i`'s offset to `r`, and every kernel thereafter runs
+    /// on `slot - local_offsets[i]` — which makes a cold-restarted
+    /// session's trajectory *identical by construction* to a fresh session
+    /// with the residual horizon. All-zero without faults, where
+    /// `slot - 0` reproduces the fault-free arithmetic exactly.
+    local_offsets: Vec<u64>,
+    /// Per-session slots missed while down (includes permanent death).
+    downtime: Vec<u64>,
     slot: u64,
     horizon: u64,
     chunk: usize,
@@ -357,6 +457,10 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
             sinks: Vec::with_capacity(n),
             adapters: Vec::with_capacity(n),
             last_demands: Vec::new(),
+            rebuild: Vec::with_capacity(n),
+            liveness: vec![Liveness::Live; n],
+            local_offsets: vec![0; n],
+            downtime: vec![0; n],
             slot: 0,
             horizon: scenario.slots,
             chunk: DEFAULT_SESSIONS_PER_CHUNK,
@@ -381,6 +485,7 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
                 });
                 adapt.build(base_v)
             }));
+            batch.rebuild.push(RebuildInfo::of(spec));
         }
         batch
     }
@@ -494,11 +599,25 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
         out.clear();
         out.resize(self.services.len(), 0.0);
         let c = self.chunk;
-        let tasks: Vec<(&mut [ServiceState], &mut [f64])> =
-            self.services.chunks_mut(c).zip(out.chunks_mut(c)).collect();
-        arvis_par::for_each_task(tasks, |_, (services, demands)| {
-            for (service, demand) in services.iter_mut().zip(demands.iter_mut()) {
-                *demand = service.capacity(slot);
+        #[allow(clippy::type_complexity)]
+        let tasks: Vec<(&[Liveness], &[u64], &mut [ServiceState], &mut [f64])> = self
+            .liveness
+            .chunks(c)
+            .zip(self.local_offsets.chunks(c))
+            .zip(self.services.chunks_mut(c))
+            .zip(out.chunks_mut(c))
+            .map(|(((li, of), sv), dm)| (li, of, sv, dm))
+            .collect();
+        arvis_par::for_each_task(tasks, |_, (li, of, services, demands)| {
+            for (i, (service, demand)) in services.iter_mut().zip(demands.iter_mut()).enumerate() {
+                // A down or dead session demands nothing and — crucially —
+                // draws nothing: its service process is not advanced, so a
+                // cold restart replays a fresh process from its own seed.
+                *demand = if li[i].is_live() {
+                    service.capacity(slot - of[i])
+                } else {
+                    0.0
+                };
             }
         });
         // Keep the draws so step_slot_granted can feed each session's
@@ -542,7 +661,23 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
         let mut queues = self.queues.chunks_mut(c);
         let mut latencies = self.latencies.chunks_mut(c);
         let mut sinks = self.sinks.chunks_mut(c);
-        while let (Some(st), Some(ct), Some(gr), Some(dm), Some(ad), Some(qu), Some(la), Some(si)) = (
+        let mut liveness = self.liveness.chunks(c);
+        let mut offsets = self.local_offsets.chunks(c);
+        let mut downtime = self.downtime.chunks_mut(c);
+        #[allow(clippy::type_complexity)]
+        while let (
+            Some(st),
+            Some(ct),
+            Some(gr),
+            Some(dm),
+            Some(ad),
+            Some(qu),
+            Some(la),
+            Some(si),
+            Some(li),
+            Some(of),
+            Some(dt),
+        ) = (
             streams.next(),
             controllers.next(),
             grants.next(),
@@ -551,11 +686,18 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
             queues.next(),
             latencies.next(),
             sinks.next(),
+            liveness.next(),
+            offsets.next(),
+            downtime.next(),
         ) {
-            tasks.push((st, ct, gr, dm, ad, qu, la, si));
+            tasks.push((st, ct, gr, dm, ad, qu, la, si, li, of, dt));
         }
-        arvis_par::for_each_task(tasks, |_, (st, ct, gr, dm, ad, qu, la, si)| {
+        arvis_par::for_each_task(tasks, |_, (st, ct, gr, dm, ad, qu, la, si, li, of, dt)| {
             for i in 0..st.len() {
+                if !li[i].is_live() {
+                    dt[i] += 1;
+                    continue;
+                }
                 if let Some(adapter) = ad[i].as_mut() {
                     // The slot's admission outcome: what fraction of the
                     // polled demand the uplink granted (1 when idle).
@@ -563,10 +705,116 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
                     ct[i].set_v(adapter.observe(ratio));
                 }
                 step_kernel_granted(
-                    slot, &st[i], gr[i], &mut ct[i], &mut qu[i], &mut la[i], &mut si[i],
+                    slot - of[i],
+                    &st[i],
+                    gr[i],
+                    &mut ct[i],
+                    &mut qu[i],
+                    &mut la[i],
+                    &mut si[i],
                 );
             }
         });
+    }
+
+    /// Crashes session `i` under `policy`, effective immediately: the
+    /// session misses the *next* simulated slot and every slot before
+    /// `restart_at` (ignored — pass any value — for
+    /// [`CrashPolicy::Permanent`]).
+    ///
+    /// [`CrashPolicy::ColdRestart`] and [`CrashPolicy::Permanent`] discard
+    /// the queue and in-flight frames at the crash (the device lost its
+    /// state); [`CrashPolicy::WarmRestart`] preserves them. The restart
+    /// itself happens in [`SessionBatch::apply_restarts`] — the fault
+    /// plane ([`crate::fault::FaultPlane::apply_crashes`]) drives both on
+    /// the contended path; the uncoupled [`SessionBatch::step_slot`] /
+    /// [`SessionBatch::run`] paths skip non-live sessions but never
+    /// restart them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the session is already down or dead (the scenario
+    /// validation in [`crate::fault::FaultPlan::validate`] rejects
+    /// overlapping crash schedules).
+    pub fn crash_session(&mut self, i: usize, policy: CrashPolicy, restart_at: u64) {
+        assert!(
+            self.liveness[i].is_live(),
+            "session {i} is already down or dead"
+        );
+        match policy {
+            CrashPolicy::Permanent => {
+                self.liveness[i] = Liveness::Dead;
+                self.queues[i] = self.rebuild[i].queue();
+                self.latencies[i] = self.rebuild[i].latency();
+            }
+            CrashPolicy::ColdRestart => {
+                self.liveness[i] = Liveness::Down {
+                    until: restart_at,
+                    policy,
+                };
+                self.queues[i] = self.rebuild[i].queue();
+                self.latencies[i] = self.rebuild[i].latency();
+            }
+            CrashPolicy::WarmRestart => {
+                self.liveness[i] = Liveness::Down {
+                    until: restart_at,
+                    policy,
+                };
+            }
+        }
+    }
+
+    /// Restarts every session whose downtime has elapsed (`until <= slot`,
+    /// where `slot` is the slot about to be simulated).
+    ///
+    /// A [`CrashPolicy::ColdRestart`] rebuilds the controller, service
+    /// process, queue, latency tracker and `V` adapter from the spec and
+    /// restarts the session's local clock at `slot` — from here on the
+    /// session is *identical by construction* to a fresh session with the
+    /// residual horizon. A [`CrashPolicy::WarmRestart`] re-warms only the
+    /// controller and adapter, preserving the queue, in-flight frames,
+    /// service process and local clock.
+    pub fn apply_restarts(&mut self, slot: u64) {
+        for i in 0..self.liveness.len() {
+            let Liveness::Down { until, policy } = self.liveness[i] else {
+                continue;
+            };
+            if until > slot {
+                continue;
+            }
+            match policy {
+                CrashPolicy::ColdRestart => {
+                    self.controllers[i] = self.rebuild[i].controller.build();
+                    self.services[i] =
+                        ServiceState::build(self.rebuild[i].service, self.rebuild[i].seed);
+                    self.queues[i] = self.rebuild[i].queue();
+                    self.latencies[i] = self.rebuild[i].latency();
+                    self.adapters[i] = self.rebuild[i].adapter();
+                    self.local_offsets[i] = slot;
+                }
+                CrashPolicy::WarmRestart => {
+                    self.controllers[i] = self.rebuild[i].controller.build();
+                    self.adapters[i] = self.rebuild[i].adapter();
+                }
+                CrashPolicy::Permanent => unreachable!("permanent crashes are Dead, not Down"),
+            }
+            self.liveness[i] = Liveness::Live;
+        }
+    }
+
+    /// Session `i`'s liveness.
+    pub fn liveness(&self, i: usize) -> Liveness {
+        self.liveness[i]
+    }
+
+    /// Per-session slots missed while down or dead (batch order).
+    pub fn downtime(&self) -> &[u64] {
+        &self.downtime
+    }
+
+    /// Number of sessions currently down or dead.
+    pub fn down_sessions(&self) -> u64 {
+        self.liveness.iter().filter(|l| !l.is_live()).count() as u64
     }
 
     /// Splits the parallel arrays into equal-index chunk tuples — the work
@@ -580,15 +828,32 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
         let mut queues = self.queues.chunks_mut(c);
         let mut latencies = self.latencies.chunks_mut(c);
         let mut sinks = self.sinks.chunks_mut(c);
-        while let (Some(st), Some(ct), Some(sv), Some(qu), Some(la), Some(si)) = (
+        let mut liveness = self.liveness.chunks(c);
+        let mut offsets = self.local_offsets.chunks(c);
+        let mut downtime = self.downtime.chunks_mut(c);
+        #[allow(clippy::type_complexity)]
+        while let (
+            Some(st),
+            Some(ct),
+            Some(sv),
+            Some(qu),
+            Some(la),
+            Some(si),
+            Some(li),
+            Some(of),
+            Some(dt),
+        ) = (
             streams.next(),
             controllers.next(),
             services.next(),
             queues.next(),
             latencies.next(),
             sinks.next(),
+            liveness.next(),
+            offsets.next(),
+            downtime.next(),
         ) {
-            tasks.push((st, ct, sv, qu, la, si));
+            tasks.push((st, ct, sv, qu, la, si, li, of, dt));
         }
         tasks
     }
@@ -612,10 +877,20 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
         let slot = self.slot;
         self.slot += 1;
         let tasks = self.chunk_tasks();
-        arvis_par::for_each_task(tasks, |_, (st, ct, sv, qu, la, si)| {
+        arvis_par::for_each_task(tasks, |_, (st, ct, sv, qu, la, si, li, of, dt)| {
             for i in 0..st.len() {
+                if !li[i].is_live() {
+                    dt[i] += 1;
+                    continue;
+                }
                 step_kernel(
-                    slot, &st[i], &mut sv[i], &mut ct[i], &mut qu[i], &mut la[i], &mut si[i],
+                    slot - of[i],
+                    &st[i],
+                    &mut sv[i],
+                    &mut ct[i],
+                    &mut qu[i],
+                    &mut la[i],
+                    &mut si[i],
                 );
             }
         });
@@ -640,11 +915,21 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
         }
         self.slot = horizon;
         let tasks = self.chunk_tasks();
-        arvis_par::for_each_task(tasks, |_, (st, ct, sv, qu, la, si)| {
+        arvis_par::for_each_task(tasks, |_, (st, ct, sv, qu, la, si, li, of, dt)| {
             for i in 0..st.len() {
+                if !li[i].is_live() {
+                    dt[i] += horizon - start;
+                    continue;
+                }
                 for slot in start..horizon {
                     step_kernel(
-                        slot, &st[i], &mut sv[i], &mut ct[i], &mut qu[i], &mut la[i], &mut si[i],
+                        slot - of[i],
+                        &st[i],
+                        &mut sv[i],
+                        &mut ct[i],
+                        &mut qu[i],
+                        &mut la[i],
+                        &mut si[i],
                     );
                 }
             }

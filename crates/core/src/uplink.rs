@@ -108,8 +108,10 @@ use crate::telemetry::{CsvRow, SessionSummary, TelemetrySink};
 
 /// Sums `values` in ascending value order (scratch holds the sorted copy),
 /// so the total is bit-identical under any permutation of `values` —
-/// the primitive every aggregate in this module is built on.
-fn invariant_sum(values: impl Iterator<Item = f64>, scratch: &mut Vec<f64>) -> f64 {
+/// the primitive every aggregate in this module is built on. Shared with
+/// the fault plane (`crate::fault`), whose lost-grant aggregate keeps the
+/// same contract.
+pub(crate) fn invariant_sum(values: impl Iterator<Item = f64>, scratch: &mut Vec<f64>) -> f64 {
     scratch.clear();
     scratch.extend(values);
     scratch.sort_unstable_by(|a, b| a.total_cmp(b));
@@ -1023,7 +1025,18 @@ pub struct UplinkSlotStats {
     /// Aggregate backlog `Σ Q_i(τ)` observed at the start of the slot.
     pub backlog: f64,
     /// `true` when the budget bound (aggregate demand exceeded it).
+    ///
+    /// Judged on the *offered* demand — what the sessions polled before
+    /// the degradation guard shed anything — so the signal reflects real
+    /// pressure, not the guard's own relief.
     pub contended: bool,
+    /// Sessions whose demand the degradation guard shed this slot
+    /// (0 without a guard — see [`crate::fault`]).
+    pub shed_sessions: u64,
+    /// Granted capacity destroyed by grant-loss faults this slot.
+    pub lost: f64,
+    /// Sessions down or dead after this slot.
+    pub down_sessions: u64,
 }
 
 /// Streaming aggregate summary of a contended run (O(1) memory).
@@ -1044,6 +1057,17 @@ pub struct UplinkSummary {
     pub mean_backlog: f64,
     /// Largest aggregate backlog observed.
     pub peak_backlog: f64,
+    /// Slots on which the degradation guard shed at least one session
+    /// (0 on fault-free runs — see [`crate::fault`]).
+    pub shed_slots: u64,
+    /// Total session-slots the guard deferred or clamped.
+    pub deferred_session_slots: u64,
+    /// Total granted capacity destroyed by grant-loss faults.
+    pub lost_total: f64,
+    /// Slots covered by at least one outage window.
+    pub outage_slots: u64,
+    /// Total session-slots spent down or dead.
+    pub down_session_slots: u64,
 }
 
 impl UplinkSummary {
@@ -1085,6 +1109,10 @@ pub struct SharedUplink {
     demands: Vec<f64>,
     grants: Vec<f64>,
     scratch: AllocScratch,
+    /// The fault plane, when the scenario declares a (non-empty) fault
+    /// plan. `None` is *the* fault-free path — not a plane of no-op
+    /// events — so fault-free runs execute exactly the pre-fault code.
+    fault: Option<crate::fault::FaultPlane>,
     slots: u64,
     contended_slots: u64,
     budget_sum: f64,
@@ -1092,6 +1120,7 @@ pub struct SharedUplink {
     granted_sum: f64,
     backlog_sum: f64,
     peak_backlog: f64,
+    down_session_slot_sum: u64,
 }
 
 impl SharedUplink {
@@ -1110,6 +1139,7 @@ impl SharedUplink {
             demands: Vec::new(),
             grants: Vec::new(),
             scratch: AllocScratch::default(),
+            fault: None,
             slots: 0,
             contended_slots: 0,
             budget_sum: 0.0,
@@ -1117,7 +1147,28 @@ impl SharedUplink {
             granted_sum: 0.0,
             backlog_sum: 0.0,
             peak_backlog: 0.0,
+            down_session_slot_sum: 0,
         }
+    }
+
+    /// A driver with a fault plane for a fleet of `sessions` sessions
+    /// (see [`crate::fault`]). An empty plan attaches nothing at all, so
+    /// it is bit-identical to [`SharedUplink::new`] by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec is invalid (see [`SharedUplink::new`]) or the
+    /// plan fails [`crate::fault::FaultPlan::validate`] for this fleet.
+    pub fn with_fault(
+        spec: UplinkSpec,
+        plan: &crate::fault::FaultPlan,
+        sessions: usize,
+    ) -> SharedUplink {
+        let mut uplink = SharedUplink::new(spec);
+        if !plan.is_empty() {
+            uplink.fault = Some(crate::fault::FaultPlane::new(plan, sessions));
+        }
+        uplink
     }
 
     /// The uplink spec this driver enforces.
@@ -1142,10 +1193,29 @@ impl SharedUplink {
         batch: &mut SessionBatch<S>,
     ) -> UplinkSlotStats {
         let slot = batch.slot();
-        let budget = self.spec.budget.budget_at(slot);
+        let mut budget = self.spec.budget.budget_at(slot);
+        if let Some(fault) = self.fault.as_mut() {
+            budget = fault.effective_budget(slot, budget);
+            fault.apply_crashes(slot, batch);
+        }
         batch.fill_backlogs(&mut self.backlogs);
         batch.fill_demands(&mut self.demands);
-        let demand = invariant_sum(self.demands.iter().copied(), &mut self.scratch.sums);
+        let backlog = invariant_sum(self.backlogs.iter().copied(), &mut self.scratch.sums);
+        // The offered demand — what the sessions polled, before the
+        // degradation guard sheds anything. Contention is judged on it.
+        let offered = invariant_sum(self.demands.iter().copied(), &mut self.scratch.sums);
+        let mut demand = offered;
+        let mut shed_sessions = 0;
+        if let Some(fault) = self.fault.as_mut() {
+            let weights = match &self.spec.policy {
+                UplinkPolicy::WeightedMaxWeight { weights } => Some(weights.as_slice()),
+                _ => None,
+            };
+            shed_sessions = fault.shed(backlog, &mut self.demands, weights);
+            if shed_sessions > 0 {
+                demand = invariant_sum(self.demands.iter().copied(), &mut self.scratch.sums);
+            }
+        }
         self.spec.policy.allocate_with(
             budget,
             &self.backlogs,
@@ -1154,25 +1224,37 @@ impl SharedUplink {
             &mut self.grants,
             &mut self.scratch,
         );
+        let mut lost = 0.0;
+        if let Some(fault) = self.fault.as_mut() {
+            lost = fault.apply_loss(&mut self.grants);
+        }
         batch.step_slot_granted(&self.grants);
 
         let granted = invariant_sum(self.grants.iter().copied(), &mut self.scratch.sums);
-        let backlog = invariant_sum(self.backlogs.iter().copied(), &mut self.scratch.sums);
-        let contended = demand > budget;
+        let contended = offered > budget;
+        let mut down_sessions = 0;
+        if let Some(fault) = self.fault.as_mut() {
+            fault.observe_contention(contended);
+            down_sessions = batch.down_sessions();
+        }
         self.slots += 1;
         self.contended_slots += u64::from(contended);
         self.budget_sum += budget;
-        self.demand_sum += demand;
+        self.demand_sum += offered;
         self.granted_sum += granted;
         self.backlog_sum += backlog;
         self.peak_backlog = self.peak_backlog.max(backlog);
+        self.down_session_slot_sum += down_sessions;
         UplinkSlotStats {
             slot,
             budget,
-            demand,
+            demand: offered,
             granted,
             backlog,
             contended,
+            shed_sessions,
+            lost,
+            down_sessions,
         }
     }
 
@@ -1200,6 +1282,14 @@ impl SharedUplink {
             mean_granted: mean(self.granted_sum),
             mean_backlog: mean(self.backlog_sum),
             peak_backlog: self.peak_backlog,
+            shed_slots: self.fault.as_ref().map_or(0, |f| f.shed_slots()),
+            deferred_session_slots: self
+                .fault
+                .as_ref()
+                .map_or(0, |f| f.deferred_session_slots()),
+            lost_total: self.fault.as_ref().map_or(0.0, |f| f.lost_total()),
+            outage_slots: self.fault.as_ref().map_or(0, |f| f.outage_slots()),
+            down_session_slots: self.down_session_slot_sum,
         }
     }
 }
@@ -1214,22 +1304,28 @@ pub struct ContendedRun {
     pub summaries: Vec<SessionSummary>,
     /// The uplink's aggregate summary.
     pub uplink: UplinkSummary,
+    /// Per-session slots missed while down or dead (batch order; all zero
+    /// on fault-free runs).
+    pub downtime: Vec<u64>,
 }
 
 impl ContendedRun {
     /// Header matching [`ContendedRun::to_csv`]: the per-session summary
-    /// columns plus the run's aggregate uplink columns (repeated per row
-    /// so each row is self-describing).
+    /// columns, the session's downtime, then the run's aggregate uplink
+    /// and fault columns (repeated per row so each row is
+    /// self-describing).
     pub fn csv_header() -> String {
         format!(
-            "{},policy,uplink_mean_budget,uplink_contended_frac,uplink_utilization,\
-             uplink_mean_backlog,uplink_peak_backlog",
+            "{},downtime_slots,policy,uplink_mean_budget,uplink_contended_frac,\
+             uplink_utilization,uplink_mean_backlog,uplink_peak_backlog,\
+             uplink_shed_slots,uplink_deferred_session_slots,uplink_lost_total,\
+             uplink_outage_slots,uplink_down_session_slots",
             SessionSummary::csv_header()
         )
     }
 
-    /// One row per session: the session summary followed by the aggregate
-    /// uplink columns.
+    /// One row per session: the session summary, the session's downtime,
+    /// then the aggregate uplink and fault columns.
     pub fn to_csv(&self) -> String {
         let mut out = ContendedRun::csv_header();
         out.push('\n');
@@ -1241,9 +1337,16 @@ impl ContendedRun {
             .fixed(self.uplink.utilization(), 4)
             .fixed(self.uplink.mean_backlog, 1)
             .fixed(self.uplink.peak_backlog, 1)
+            .field(self.uplink.shed_slots)
+            .field(self.uplink.deferred_session_slots)
+            .fixed(self.uplink.lost_total, 1)
+            .field(self.uplink.outage_slots)
+            .field(self.uplink.down_session_slots)
             .finish();
         for (i, s) in self.summaries.iter().enumerate() {
             out.push_str(&s.csv_row(i));
+            out.push(',');
+            out.push_str(&CsvRow::new().field(self.downtime[i]).finish());
             out.push(',');
             out.push_str(&aggregate);
             out.push('\n');
@@ -1254,7 +1357,8 @@ impl ContendedRun {
 
 /// Runs a scenario through the contention plane with summary-only sinks:
 /// the scenario's own [`Scenario::uplink`] spec, or
-/// [`UplinkSpec::unconstrained`] when it declares none.
+/// [`UplinkSpec::unconstrained`] when it declares none. The scenario's
+/// fault plan, when present, rides along (see [`crate::fault`]).
 pub fn run_contended(scenario: &Scenario) -> ContendedRun {
     let spec = scenario
         .uplink
@@ -1262,12 +1366,17 @@ pub fn run_contended(scenario: &Scenario) -> ContendedRun {
         .unwrap_or_else(UplinkSpec::unconstrained);
     let policy = spec.policy.clone();
     let mut batch = SessionBatch::summary_only(scenario);
-    let mut uplink = SharedUplink::new(spec);
+    let mut uplink = match &scenario.fault {
+        Some(plan) => SharedUplink::with_fault(spec, plan, scenario.sessions.len()),
+        None => SharedUplink::new(spec),
+    };
     uplink.run(&mut batch);
+    let downtime = batch.downtime().to_vec();
     ContendedRun {
         policy,
         summaries: batch.into_summaries(),
         uplink: uplink.summary(),
+        downtime,
     }
 }
 

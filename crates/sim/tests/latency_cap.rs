@@ -102,3 +102,146 @@ proptest! {
         }
     }
 }
+
+// Sustained zero-grant outages (the fault plane's uplink blackouts, seen
+// from one session's tracker): frames keep arriving, nothing is served for
+// `BLACKOUT` slots, then service resumes and drains the built-up queue.
+
+const BLACKOUT: u64 = 100;
+
+/// Drives arrivals/queue/tracker through `before` normal slots, `BLACKOUT`
+/// zero-service slots, and `after` recovery slots.
+fn run_blackout(
+    tracker: &mut FifoLatencyTracker,
+    arrival: f64,
+    service: f64,
+    before: u64,
+    after: u64,
+) {
+    let mut q = WorkQueue::new();
+    for slot in 0..before + BLACKOUT + after {
+        let rate = if (before..before + BLACKOUT).contains(&slot) {
+            0.0
+        } else {
+            service
+        };
+        let s = q.step(arrival, rate);
+        tracker.step(slot, arrival, s.served);
+    }
+    // Flush the frames still in flight at the horizon (the last arrivals).
+    let mut slot = before + BLACKOUT + after;
+    while tracker.in_flight() > 0 {
+        let s = q.step(0.0, service);
+        tracker.step(slot, 0.0, s.served);
+        slot += 1;
+    }
+}
+
+/// Frames arriving during a 100-slot blackout age across the whole window:
+/// none complete while service is dark, and the frame stuck at the front
+/// of the stall carries the full blackout in its sojourn time.
+#[test]
+fn frames_age_across_a_total_blackout() {
+    let (before, after) = (50u64, 400u64);
+    let mut tracker = FifoLatencyTracker::new();
+    run_blackout(&mut tracker, 100.0, 200.0, before, after);
+
+    let completed = tracker.completed();
+    assert!(
+        completed
+            .iter()
+            .all(|f| !(before..before + BLACKOUT).contains(&f.completed_slot)),
+        "no frame completes during the blackout"
+    );
+    // Every frame caught by the stall waits at least until service returns.
+    let stalled: Vec<_> = completed
+        .iter()
+        .filter(|f| (before..before + BLACKOUT).contains(&f.arrived_slot))
+        .collect();
+    assert!(!stalled.is_empty(), "the blackout trapped frames");
+    for f in &stalled {
+        assert!(f.completed_slot >= before + BLACKOUT, "{f:?}");
+        assert_eq!(f.latency_slots, f.completed_slot - f.arrived_slot);
+    }
+    let worst = stalled.iter().map(|f| f.latency_slots).max().unwrap();
+    assert!(
+        worst >= BLACKOUT,
+        "the front of the stall aged the full window: {worst} < {BLACKOUT}"
+    );
+    // The overprovisioned service eventually drains the whole stall.
+    assert_eq!(tracker.in_flight(), 0, "recovery drained the queue");
+}
+
+/// A capped tracker under the same blackout: the deque coalesces instead
+/// of growing with the stall, and the drained work is still conserved.
+#[test]
+fn capped_tracker_coalesces_during_the_stall() {
+    let cap = 8;
+    let (arrival, before, after) = (100.0, 50u64, 400u64);
+    let mut tracker = FifoLatencyTracker::with_max_in_flight(cap);
+    let mut q = WorkQueue::new();
+    let mut peak = 0;
+    for slot in 0..before + BLACKOUT + after {
+        let rate = if (before..before + BLACKOUT).contains(&slot) {
+            0.0
+        } else {
+            200.0
+        };
+        let s = q.step(arrival, rate);
+        tracker.step(slot, arrival, s.served);
+        peak = peak.max(tracker.in_flight());
+        assert!(tracker.in_flight() <= cap, "slot {slot}: cap violated");
+    }
+    let mut slot = before + BLACKOUT + after;
+    while tracker.in_flight() > 0 {
+        let s = q.step(0.0, 200.0);
+        tracker.step(slot, 0.0, s.served);
+        slot += 1;
+    }
+    assert_eq!(peak, cap, "a 100-slot stall saturates any small cap");
+    let total: f64 = tracker.completed().iter().map(|f| f.work).sum();
+    let arrived = arrival * (before + BLACKOUT + after) as f64;
+    assert!(
+        (total - arrived).abs() < 1e-6 * arrived,
+        "work conserved through coalescing: {total} vs {arrived}"
+    );
+    assert_eq!(tracker.in_flight(), 0);
+}
+
+/// Tail latency recovers after the outage: once the backlog drains, frames
+/// arriving late in the run complete as fast as frames from before the
+/// blackout ever did.
+#[test]
+fn tail_latency_recovers_after_the_outage() {
+    let (before, after) = (200u64, 500u64);
+    let mut tracker = FifoLatencyTracker::new();
+    run_blackout(&mut tracker, 100.0, 200.0, before, after);
+
+    let latency_of = |pred: &dyn Fn(&arvis_sim::latency::FrameLatency) -> bool| -> Vec<u64> {
+        tracker
+            .completed()
+            .iter()
+            .filter(|f| pred(f))
+            .map(|f| f.latency_slots)
+            .collect()
+    };
+    let pre = latency_of(&|f| f.arrived_slot < before);
+    // Net drain is (200 - 100)/slot against a 100-slot × 100/slot stall:
+    // the backlog is gone ~100 slots after resume; give it double.
+    let recovered_from = before + BLACKOUT + 2 * BLACKOUT;
+    let post = latency_of(&|f| f.arrived_slot >= recovered_from);
+    assert!(!pre.is_empty() && !post.is_empty());
+    let p99 = |lat: &[u64]| {
+        let mut sorted = lat.to_vec();
+        sorted.sort_unstable();
+        sorted[(sorted.len() - 1).min(sorted.len() * 99 / 100)]
+    };
+    let (pre_p99, post_p99) = (p99(&pre), p99(&post));
+    assert!(
+        post_p99 <= pre_p99,
+        "p99 back to steady state after the stall drains: {post_p99} vs {pre_p99}"
+    );
+    // And the stall really did distort the tail in between.
+    let during = latency_of(&|f| (before..before + BLACKOUT).contains(&f.arrived_slot));
+    assert!(p99(&during) >= BLACKOUT, "the outage showed up in the tail");
+}

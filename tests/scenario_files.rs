@@ -127,7 +127,7 @@ fn golden_scenarios_replay_bit_identically() {
         // The same auto-selection the `experiments run` subcommand makes:
         // contended when the scenario declares an uplink, uncoupled
         // summaries otherwise.
-        if from_file.uplink.is_some() {
+        if from_file.uplink.is_some() || from_file.fault.is_some() {
             let run_a = run_contended(&from_file);
             let run_b = run_contended(&from_rust);
             assert_eq!(run_a.summaries.len(), run_b.summaries.len(), "{name}");
@@ -137,12 +137,21 @@ fn golden_scenarios_replay_bit_identically() {
             let (ua, ub) = (run_a.uplink, run_b.uplink);
             assert_eq!(ua.slots, ub.slots, "{name}");
             assert_eq!(ua.contended_slots, ub.contended_slots, "{name}");
+            assert_eq!(ua.shed_slots, ub.shed_slots, "{name}");
+            assert_eq!(
+                ua.deferred_session_slots, ub.deferred_session_slots,
+                "{name}"
+            );
+            assert_eq!(ua.outage_slots, ub.outage_slots, "{name}");
+            assert_eq!(ua.down_session_slots, ub.down_session_slots, "{name}");
+            assert_eq!(run_a.downtime, run_b.downtime, "{name}: downtime");
             for (field, x, y) in [
                 ("mean_budget", ua.mean_budget, ub.mean_budget),
                 ("mean_demand", ua.mean_demand, ub.mean_demand),
                 ("mean_granted", ua.mean_granted, ub.mean_granted),
                 ("mean_backlog", ua.mean_backlog, ub.mean_backlog),
                 ("peak_backlog", ua.peak_backlog, ub.peak_backlog),
+                ("lost_total", ua.lost_total, ub.lost_total),
             ] {
                 assert_eq!(x.to_bits(), y.to_bits(), "{name}: uplink {field}");
             }
@@ -445,8 +454,22 @@ fn schema_version_is_mandatory_and_checked() {
         "missing required key \"schema\"",
     );
     expect_err(
-        "{\"schema\": 2, \"slots\": 10, \"sessions\": []}",
-        "unsupported schema version 2",
+        "{\"schema\": 3, \"slots\": 10, \"sessions\": []}",
+        "unsupported schema version 3",
+    );
+    expect_err(
+        "{\"schema\": 0, \"slots\": 10, \"sessions\": []}",
+        "unsupported schema version 0",
+    );
+    // Schema 2 (the fault plane, this build's newest) parses; a schema-1
+    // file smuggling a fault plan does not.
+    assert!(
+        Scenario::from_json_str("{\"schema\": 2, \"slots\": 10, \"sessions\": []}").is_ok(),
+        "schema 2 is supported"
+    );
+    expect_err(
+        "{\"schema\": 1, \"slots\": 10, \"sessions\": [], \"fault\": {\"events\": []}}",
+        "\"fault\" requires schema version 2",
     );
 }
 
