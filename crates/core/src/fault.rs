@@ -380,6 +380,7 @@ impl FaultPlan {
     /// overlap a previous downtime window, a crash after a permanent one,
     /// or an invalid guard (see [`DegradationGuardSpec::validate`]).
     pub fn validate(&self, sessions: usize) {
+        // arvis-lint: allow(panic-free-codecs, "the documented panicking variant; from_json routes the same walk into positioned errors")
         self.try_validate(sessions, &mut |msg| panic!("{msg}"))
     }
 

@@ -648,7 +648,7 @@ impl<'a> Parser<'a> {
         JsonError::at(self.pos(), "unexpected end of input")
     }
 
-    fn expect(&mut self, want: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, want: u8) -> Result<(), JsonError> {
         match self.peek() {
             Some(b) if b == want => {
                 self.bump();
@@ -769,7 +769,7 @@ impl<'a> Parser<'a> {
                 return Err(JsonError::at(key_pos, format!("duplicate key \"{key}\"")));
             }
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             members.push(Member {
@@ -941,9 +941,13 @@ impl<'a> Parser<'a> {
                 self.bump();
             }
         }
-        // The token is ASCII by construction.
-        let token =
-            std::str::from_utf8(&self.bytes[start..self.i]).expect("number tokens are ASCII");
+        // The token is ASCII by construction; a non-UTF-8 slice here would
+        // be a scanner bug, reported as a positioned error rather than a
+        // panic (codecs never panic on input).
+        let token = match std::str::from_utf8(&self.bytes[start..self.i]) {
+            Ok(t) => t,
+            Err(_) => return Err(JsonError::at(pos, "invalid number (non-ASCII bytes)")),
+        };
         if !is_float {
             if let Ok(n) = token.parse::<i128>() {
                 if n == 0 && negative {

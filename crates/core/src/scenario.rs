@@ -658,6 +658,7 @@ impl Scenario {
         assert!(fleet.devices > 0, "need at least one device");
         let base_rate = match base.service {
             ServiceSpec::Constant(r) => r,
+            // arvis-lint: allow(panic-free-codecs, "legacy Experiment API with a documented panic contract; the JSON path validates via from_json instead")
             _ => panic!("fleet experiments require a constant-rate base service"),
         };
         let mut scenario = Scenario::new(base.slots);

@@ -553,6 +553,7 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
     /// serial in-order combine).
     pub fn total_backlog(&self) -> f64 {
         arvis_par::map_chunks(&self.queues, self.chunk, |_, c| {
+            // arvis-lint: allow(float-reduction-order, "within-chunk serial sum; map_chunks combines the per-chunk partials in fixed order — this IS the deterministic reducer")
             c.iter().map(WorkQueue::backlog).sum::<f64>()
         })
         .into_iter()

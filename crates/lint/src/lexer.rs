@@ -1,0 +1,540 @@
+//! A lightweight Rust lexer for static analysis.
+//!
+//! This is *not* a parser: it turns source text into a flat stream of
+//! tokens (identifiers, punctuation, literals, lifetimes) plus a separate
+//! list of comments, with 1-based line/column positions. It understands
+//! exactly enough of the language that rule matching never fires inside a
+//! string literal, a comment, or a char literal:
+//!
+//! - line comments (`//`, `///`, `//!`) and *nested* block comments;
+//! - string literals with escapes, raw strings `r"…"`/`r#"…"#` (any hash
+//!   count), byte strings `b"…"`/`br#"…"#`, and C strings `c"…"`;
+//! - char literals vs. lifetimes (`'a'` vs. `'a`);
+//! - raw identifiers (`r#gen`).
+//!
+//! Known limitations (shared with every token-level linter, and documented
+//! on the crate root): no macro expansion, no type inference, no name
+//! resolution. Rules built on this lexer match *tokens*, so they see what
+//! the source says, not what the compiler resolves.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `for`, …).
+    Ident,
+    /// A lifetime such as `'a` (the text excludes the quote).
+    Lifetime,
+    /// Numeric literal (possibly split around `.` or sign characters;
+    /// rules only care that it is not an identifier).
+    Num,
+    /// String literal of any flavor; `text` holds the *body* (between the
+    /// quotes, escapes left as written).
+    Str,
+    /// Char or byte literal; `text` holds the body.
+    Char,
+    /// A single punctuation character (`.`, `:`, `<`, `!`, …).
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what is stored per kind).
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True when this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block) with position and placement metadata.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the delimiters (`// …` or `/* … */`).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when no token precedes the comment on its starting line — the
+    /// comment "owns" the line (pragma placement distinguishes trailing
+    /// comments from standalone ones).
+    pub own_line: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct LexFile {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes one source file. Never fails: unterminated literals simply consume
+/// the rest of the file (the compiler is the authority on well-formedness;
+/// the linter only needs positions to stay honest on valid code).
+pub fn lex(src: &str) -> LexFile {
+    let mut cur = Cursor::new(src);
+    let mut out = LexFile::default();
+    // Line number of the most recent token, to classify comments as
+    // trailing (same line as code) or standalone.
+    let mut last_tok_line = 0u32;
+
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' => {
+                cur.bump();
+                match cur.peek() {
+                    Some('/') => {
+                        let mut text = String::from("/");
+                        while let Some(c2) = cur.peek() {
+                            if c2 == '\n' {
+                                break;
+                            }
+                            text.push(c2);
+                            cur.bump();
+                        }
+                        out.comments.push(Comment {
+                            text,
+                            line,
+                            own_line: last_tok_line != line,
+                        });
+                    }
+                    Some('*') => {
+                        cur.bump();
+                        let mut text = String::from("/*");
+                        let mut depth = 1u32;
+                        let mut prev = '\0';
+                        while depth > 0 {
+                            let Some(c2) = cur.bump() else { break };
+                            text.push(c2);
+                            if prev == '/' && c2 == '*' {
+                                depth += 1;
+                                prev = '\0';
+                            } else if prev == '*' && c2 == '/' {
+                                depth -= 1;
+                                prev = '\0';
+                            } else {
+                                prev = c2;
+                            }
+                        }
+                        out.comments.push(Comment {
+                            text,
+                            line,
+                            own_line: last_tok_line != line,
+                        });
+                    }
+                    _ => {
+                        out.toks.push(Tok {
+                            kind: TokKind::Punct,
+                            text: "/".into(),
+                            line,
+                            col,
+                        });
+                        last_tok_line = line;
+                    }
+                }
+            }
+            '"' => {
+                cur.bump();
+                let body = lex_string_body(&mut cur);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: body,
+                    line,
+                    col,
+                });
+                last_tok_line = line;
+            }
+            '\'' => {
+                cur.bump();
+                // Lifetime when followed by an identifier char that is not
+                // immediately closed by another quote (`'a'` is a char).
+                let mut clone = cur.chars.clone();
+                let first = clone.next();
+                let second = clone.next();
+                let is_lifetime =
+                    matches!(first, Some(f) if is_ident_start(f)) && !matches!(second, Some('\''));
+                if is_lifetime {
+                    let mut text = String::new();
+                    while let Some(c2) = cur.peek() {
+                        if is_ident_continue(c2) {
+                            text.push(c2);
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line,
+                        col,
+                    });
+                } else {
+                    let mut text = String::new();
+                    let mut escaped = false;
+                    while let Some(c2) = cur.bump() {
+                        if escaped {
+                            text.push(c2);
+                            escaped = false;
+                        } else if c2 == '\\' {
+                            text.push(c2);
+                            escaped = true;
+                        } else if c2 == '\'' {
+                            break;
+                        } else {
+                            text.push(c2);
+                        }
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                last_tok_line = line;
+            }
+            c if is_ident_start(c) => {
+                // Raw strings / byte strings / C strings / raw identifiers
+                // start with an identifier character; disambiguate by
+                // looking ahead before committing to an identifier.
+                if let Some(tok) = try_lex_prefixed_literal(&mut cur, line, col) {
+                    out.toks.push(tok);
+                    last_tok_line = line;
+                    continue;
+                }
+                let mut text = String::new();
+                while let Some(c2) = cur.peek() {
+                    if is_ident_continue(c2) {
+                        text.push(c2);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+                last_tok_line = line;
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(c2) = cur.peek() {
+                    if is_ident_continue(c2) {
+                        text.push(c2);
+                        cur.bump();
+                    } else if c2 == '.' {
+                        // Consume the dot only for `1.5`, not for `0..8`.
+                        let mut clone = cur.chars.clone();
+                        clone.next();
+                        if matches!(clone.next(), Some(d) if d.is_ascii_digit()) {
+                            text.push('.');
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    text,
+                    line,
+                    col,
+                });
+                last_tok_line = line;
+            }
+            c => {
+                cur.bump();
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                    col,
+                });
+                last_tok_line = line;
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a normal string body after the opening quote.
+fn lex_string_body(cur: &mut Cursor<'_>) -> String {
+    let mut body = String::new();
+    let mut escaped = false;
+    while let Some(c) = cur.bump() {
+        if escaped {
+            body.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            body.push(c);
+            escaped = true;
+        } else if c == '"' {
+            break;
+        } else {
+            body.push(c);
+        }
+    }
+    body
+}
+
+/// Recognizes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`, `cr"…"` and raw
+/// identifiers `r#ident` at the cursor. Returns `None` when the upcoming
+/// characters are a plain identifier.
+fn try_lex_prefixed_literal(cur: &mut Cursor<'_>, line: u32, col: u32) -> Option<Tok> {
+    let mut clone = cur.chars.clone();
+    let first = clone.next()?;
+    if !matches!(first, 'r' | 'b' | 'c') {
+        return None;
+    }
+    // Collect up to two prefix letters (`br`, `cr`), then hashes/quote.
+    let mut prefix_len = 1usize;
+    let mut next = clone.next();
+    if matches!(first, 'b' | 'c') && next == Some('r') {
+        prefix_len = 2;
+        next = clone.next();
+    }
+    let raw = prefix_len == 2 || first == 'r';
+    match next {
+        Some('"') => {
+            // String start. Consume prefix + quote.
+            for _ in 0..prefix_len + 1 {
+                cur.bump();
+            }
+            let body = if raw {
+                lex_raw_string_body(cur, 0)
+            } else {
+                lex_string_body(cur)
+            };
+            Some(Tok {
+                kind: TokKind::Str,
+                text: body,
+                line,
+                col,
+            })
+        }
+        Some('#') if raw => {
+            // Count hashes; must end in a quote to be a raw string,
+            // otherwise `r#ident`.
+            let mut hashes = 1usize;
+            loop {
+                match clone.next() {
+                    Some('#') => hashes += 1,
+                    Some('"') => {
+                        for _ in 0..prefix_len + hashes + 1 {
+                            cur.bump();
+                        }
+                        let body = lex_raw_string_body(cur, hashes);
+                        return Some(Tok {
+                            kind: TokKind::Str,
+                            text: body,
+                            line,
+                            col,
+                        });
+                    }
+                    Some(c) if prefix_len == 1 && first == 'r' && is_ident_start(c) => {
+                        // Raw identifier `r#ident`.
+                        cur.bump(); // r
+                        cur.bump(); // #
+                        let mut text = String::new();
+                        while let Some(c2) = cur.peek() {
+                            if is_ident_continue(c2) {
+                                text.push(c2);
+                                cur.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        return Some(Tok {
+                            kind: TokKind::Ident,
+                            text,
+                            line,
+                            col,
+                        });
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Consumes a raw string body after `r#*"`, looking for `"` followed by
+/// `hashes` hash characters.
+fn lex_raw_string_body(cur: &mut Cursor<'_>, hashes: usize) -> String {
+    let mut body = String::new();
+    'outer: while let Some(c) = cur.bump() {
+        if c == '"' {
+            // Check for the closing hash run without consuming a partial
+            // run incorrectly: peek `hashes` characters.
+            let mut clone = cur.chars.clone();
+            for _ in 0..hashes {
+                if clone.next() != Some('#') {
+                    body.push('"');
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            return body;
+        }
+        body.push(c);
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            // Instant::now() in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "Instant::now()";
+            let r = r#"unsafe { HashMap }"#;
+            let b = b"thread_rng";
+            let real = Instant::now();
+        "##;
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|s| s.as_str() == "Instant").count(),
+            1,
+            "only the real Instant token survives: {ids:?}"
+        );
+        assert!(!ids.iter().any(|s| s == "HashMap"));
+        assert!(!ids.iter().any(|s| s == "unsafe"));
+        assert!(!ids.iter().any(|s| s == "thread_rng"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lf = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lf
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lf.toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "x");
+    }
+
+    #[test]
+    fn escaped_quote_chars() {
+        let lf = lex(r#"let q = '\''; let s = "a\"b"; done"#);
+        assert!(lf.toks.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lf = lex("a\n  bb");
+        assert_eq!((lf.toks[0].line, lf.toks[0].col), (1, 1));
+        assert_eq!((lf.toks[1].line, lf.toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ids = idents("let x = r#gen(r#type);");
+        assert!(ids.contains(&"gen".to_string()));
+        assert!(ids.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn comment_own_line_flag() {
+        let lf = lex("let x = 1; // trailing\n// standalone\nlet y = 2;");
+        assert_eq!(lf.comments.len(), 2);
+        assert!(!lf.comments[0].own_line);
+        assert!(lf.comments[1].own_line);
+    }
+
+    #[test]
+    fn number_dots_do_not_eat_ranges() {
+        let lf = lex("for i in 0..8 { let x = 1.5; }");
+        assert!(lf
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.5"));
+        assert_eq!(
+            lf.toks.iter().filter(|t| t.is_punct('.')).count(),
+            2,
+            "the `..` survives as two dots"
+        );
+    }
+}

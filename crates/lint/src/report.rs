@@ -1,0 +1,119 @@
+//! Finding aggregation and output: `file:line:col rule message` text and a
+//! canonical JSON report via `arvis_core::json` (the same deterministic
+//! printer the scenario codec uses, so reports are byte-stable inputs for
+//! tooling and CI diffs).
+
+use arvis_core::json::JsonValue;
+
+use crate::rules::{Finding, RULES};
+
+/// The result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the lint should fail (any finding).
+    pub fn has_findings(&self) -> bool {
+        !self.findings.is_empty()
+    }
+
+    /// Findings for one rule.
+    pub fn by_rule(&self, rule: &str) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.rule == rule).collect()
+    }
+
+    /// The human-readable rendering: one `file:line:col rule message` line
+    /// per finding plus a trailing summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "arvis-lint: {} finding{} in {} file{} scanned\n",
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.files_scanned,
+            if self.files_scanned == 1 { "" } else { "s" },
+        ));
+        out
+    }
+
+    /// The canonical JSON report. Keys are emitted in a fixed order and the
+    /// printer is deterministic, so two runs over the same tree produce
+    /// byte-identical reports.
+    pub fn to_json(&self) -> JsonValue {
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                JsonValue::obj(vec![
+                    ("file", JsonValue::str(f.file.clone())),
+                    ("line", JsonValue::int(i128::from(f.line))),
+                    ("col", JsonValue::int(i128::from(f.col))),
+                    ("rule", JsonValue::str(f.rule)),
+                    ("message", JsonValue::str(f.message.clone())),
+                ])
+            })
+            .collect();
+        let rules = RULES
+            .iter()
+            .map(|(name, _)| JsonValue::str(*name))
+            .collect();
+        JsonValue::obj(vec![
+            ("schema", JsonValue::int(1)),
+            ("tool", JsonValue::str("arvis-lint")),
+            ("files_scanned", JsonValue::int(self.files_scanned as i128)),
+            ("rules", JsonValue::arr(rules)),
+            ("findings", JsonValue::arr(findings)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            rule: "no-ambient-time",
+            message: "ambient clock".into(),
+        }
+    }
+
+    #[test]
+    fn text_rendering_is_grep_friendly() {
+        let r = Report {
+            findings: vec![finding()],
+            files_scanned: 2,
+        };
+        let text = r.render_text();
+        assert!(text.starts_with("crates/x/src/lib.rs:3:9 no-ambient-time ambient clock\n"));
+        assert!(text.contains("1 finding in 2 files"));
+    }
+
+    #[test]
+    fn json_report_is_byte_deterministic_and_parses() {
+        let r = Report {
+            findings: vec![finding()],
+            files_scanned: 2,
+        };
+        let a = r.to_json().to_pretty();
+        let b = r.to_json().to_pretty();
+        assert_eq!(a, b);
+        let back = arvis_core::json::parse(&a).expect("report parses");
+        let mut obj = back.as_obj().expect("object");
+        assert_eq!(obj.req("schema").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(obj.req("files_scanned").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(obj.req("findings").unwrap().as_array().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,719 @@
+//! The determinism-contract rules and the per-file engine that runs them.
+//!
+//! Every rule is a pure function over the token stream of one file (plus a
+//! little per-file context the engine precomputes: `#[cfg(test)]` regions,
+//! hash-container bindings, parallel-module markers). Findings carry the
+//! 1-based line/column of the offending token.
+
+use crate::lexer::{self, Comment, Tok, TokKind};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path of the file, relative to the lint root (with `/` separators).
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// Rule name (`no-ambient-time`, …).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// The canonical single-line rendering: `file:line:col rule message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{} {} {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Rule names, as used in findings, pragmas, and the config allowlists.
+pub mod names {
+    /// Ambient clocks (`Instant`, `SystemTime`).
+    pub const NO_AMBIENT_TIME: &str = "no-ambient-time";
+    /// Ambient randomness (`thread_rng`, `from_entropy`, `RandomState`).
+    pub const NO_AMBIENT_ENTROPY: &str = "no-ambient-entropy";
+    /// Iteration over hash-ordered containers.
+    pub const HASH_ORDER_ITERATION: &str = "hash-order-iteration";
+    /// Panics in codec files that promise positioned errors.
+    pub const PANIC_FREE_CODECS: &str = "panic-free-codecs";
+    /// `unsafe` outside the allowlist.
+    pub const NO_UNSAFE: &str = "no-unsafe";
+    /// Bare float reductions in parallel-bearing modules.
+    pub const FLOAT_REDUCTION_ORDER: &str = "float-reduction-order";
+    /// Malformed or useless `arvis-lint` pragmas.
+    pub const LINT_PRAGMA: &str = "lint-pragma";
+}
+
+/// Name + one-line description of every rule, for `--list-rules` and docs.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        names::NO_AMBIENT_TIME,
+        "std::time::Instant/SystemTime forbidden in deterministic library code",
+    ),
+    (
+        names::NO_AMBIENT_ENTROPY,
+        "thread_rng/from_entropy/RandomState forbidden; all randomness is seeded",
+    ),
+    (
+        names::HASH_ORDER_ITERATION,
+        "iterating a HashMap/HashSet needs a pragma citing the downstream sort, or a deterministic container",
+    ),
+    (
+        names::PANIC_FREE_CODECS,
+        "unwrap/expect/panic!/unreachable! forbidden in codec files; return positioned errors",
+    ),
+    (
+        names::NO_UNSAFE,
+        "unsafe code forbidden outside the explicit allowlist",
+    ),
+    (
+        names::FLOAT_REDUCTION_ORDER,
+        "bare .sum::<f32|f64>() in a parallel-bearing module needs the deterministic chunked reducers or a pragma",
+    ),
+    (
+        names::LINT_PRAGMA,
+        "arvis-lint pragmas must name a known rule, carry a justification, and suppress something",
+    ),
+];
+
+/// True when `name` is a known rule.
+pub fn is_rule(name: &str) -> bool {
+    RULES.iter().any(|(n, _)| *n == name)
+}
+
+/// Per-file rule applicability, derived from the workspace config by the
+/// walker (rules themselves stay path-agnostic).
+#[derive(Debug, Clone, Default)]
+pub struct FilePolicy {
+    /// Ambient clocks allowed (bench/profiling code).
+    pub allow_time: bool,
+    /// `unsafe` allowed (explicit allowlist).
+    pub allow_unsafe: bool,
+    /// File is a codec (panic-free) file.
+    pub is_codec: bool,
+}
+
+/// A parsed `// arvis-lint: allow(rule, "justification")` pragma.
+#[derive(Debug)]
+struct Pragma {
+    rule: String,
+    line: u32,
+    own_line: bool,
+    used: std::cell::Cell<bool>,
+}
+
+/// Lints one file's source text. `rel` is the root-relative path used in
+/// findings.
+pub fn lint_source(rel: &str, src: &str, policy: &FilePolicy) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let toks = &lexed.toks[..];
+    let test_regions = find_test_regions(toks);
+    let (pragmas, mut findings) = parse_pragmas(rel, &lexed.comments);
+
+    let in_tests = |line: u32| test_regions.iter().any(|&(a, b)| line >= a && line <= b);
+
+    if !policy.allow_time {
+        rule_ambient_time(rel, toks, &mut findings);
+    }
+    rule_ambient_entropy(rel, toks, &mut findings);
+    rule_hash_order(rel, toks, &mut findings);
+    if policy.is_codec {
+        rule_panic_free(rel, toks, &in_tests, &mut findings);
+    }
+    if !policy.allow_unsafe {
+        rule_no_unsafe(rel, toks, &mut findings);
+    }
+    rule_float_reduction(rel, toks, &in_tests, &mut findings);
+
+    // Pragma suppression: a pragma covers findings of its rule on its own
+    // line (trailing comment) or — for a standalone comment line — on the
+    // next line that carries any token.
+    let next_tok_line =
+        |after: u32| -> Option<u32> { toks.iter().map(|t| t.line).filter(|&l| l > after).min() };
+    findings.retain(|f| {
+        for p in &pragmas {
+            if p.rule != f.rule {
+                continue;
+            }
+            let covers = f.line == p.line || (p.own_line && Some(f.line) == next_tok_line(p.line));
+            if covers {
+                p.used.set(true);
+                return false;
+            }
+        }
+        true
+    });
+    for p in &pragmas {
+        if !p.used.get() {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: p.line,
+                col: 1,
+                rule: names::LINT_PRAGMA,
+                message: format!(
+                    "pragma allow({}) suppresses nothing on this or the next line; remove it",
+                    p.rule
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    findings
+}
+
+/// Parses pragmas out of the comment list. Malformed pragmas become
+/// `lint-pragma` findings immediately.
+fn parse_pragmas(rel: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Finding>) {
+    let mut pragmas = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        let body = c
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_end_matches('/')
+            .trim_end_matches('*')
+            .trim();
+        let Some(rest) = body.strip_prefix("arvis-lint:") else {
+            continue;
+        };
+        let bad = |msg: String| Finding {
+            file: rel.to_string(),
+            line: c.line,
+            col: 1,
+            rule: names::LINT_PRAGMA,
+            message: msg,
+        };
+        let rest = rest.trim();
+        let Some(inner) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.trim_end().strip_suffix(')'))
+        else {
+            findings.push(bad(format!(
+                "malformed pragma {body:?}: expected `arvis-lint: allow(<rule>, \"<justification>\")`"
+            )));
+            continue;
+        };
+        let Some((rule, justification)) = inner.split_once(',') else {
+            findings.push(bad(format!(
+                "pragma allow({inner}) is missing the justification string"
+            )));
+            continue;
+        };
+        let rule = rule.trim();
+        let justification = justification.trim();
+        if !is_rule(rule) {
+            findings.push(bad(format!("pragma names unknown rule {rule:?}")));
+            continue;
+        }
+        let quoted = justification.len() >= 2
+            && justification.starts_with('"')
+            && justification.ends_with('"');
+        if !quoted || justification.len() == 2 {
+            findings.push(bad(format!(
+                "pragma allow({rule}) needs a non-empty quoted justification"
+            )));
+            continue;
+        }
+        pragmas.push(Pragma {
+            rule: rule.to_string(),
+            line: c.line,
+            own_line: c.own_line,
+            used: std::cell::Cell::new(false),
+        });
+    }
+    (pragmas, findings)
+}
+
+/// Line spans (inclusive) of `#[cfg(test)] mod …` and `#[test] fn …` items,
+/// by brace matching over the token stream.
+fn find_test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        // Find the attribute's closing bracket and check it mentions
+        // `test` (covers `#[cfg(test)]`, `#[cfg(all(test, …))]`, `#[test]`).
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut mentions_test = false;
+        while j < toks.len() {
+            if toks[j].is_punct('[') {
+                depth += 1;
+            } else if toks[j].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if toks[j].is_ident("test") {
+                // `#[cfg(not(test))]` guards *non*-test code.
+                let negated = j >= 2 && toks[j - 1].is_punct('(') && toks[j - 2].is_ident("not");
+                if !negated {
+                    mentions_test = true;
+                }
+            }
+            j += 1;
+        }
+        if !mentions_test || j >= toks.len() {
+            i = j.max(i + 1);
+            continue;
+        }
+        // Skip any further attributes, then expect `mod`/`fn` and a braced
+        // body.
+        let mut k = j + 1;
+        while k + 1 < toks.len() && toks[k].is_punct('#') && toks[k + 1].is_punct('[') {
+            let mut d = 0i32;
+            while k < toks.len() {
+                if toks[k].is_punct('[') {
+                    d += 1;
+                } else if toks[k].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let is_item = k < toks.len() && (toks[k].is_ident("mod") || toks[k].is_ident("fn"));
+        if !is_item {
+            i = j + 1;
+            continue;
+        }
+        // Find the opening brace of the body, then its match.
+        let mut b = k;
+        while b < toks.len() && !toks[b].is_punct('{') && !toks[b].is_punct(';') {
+            b += 1;
+        }
+        if b >= toks.len() || toks[b].is_punct(';') {
+            i = j + 1;
+            continue;
+        }
+        let start_line = toks[i].line;
+        let mut d = 0i32;
+        let mut e = b;
+        while e < toks.len() {
+            if toks[e].is_punct('{') {
+                d += 1;
+            } else if toks[e].is_punct('}') {
+                d -= 1;
+                if d == 0 {
+                    break;
+                }
+            }
+            e += 1;
+        }
+        let end_line = toks.get(e).map_or(u32::MAX, |t| t.line);
+        regions.push((start_line, end_line));
+        i = b + 1;
+    }
+    regions
+}
+
+fn push(findings: &mut Vec<Finding>, rel: &str, tok: &Tok, rule: &'static str, message: String) {
+    findings.push(Finding {
+        file: rel.to_string(),
+        line: tok.line,
+        col: tok.col,
+        rule,
+        message,
+    });
+}
+
+/// no-ambient-time: any `Instant` / `SystemTime` identifier.
+fn rule_ambient_time(rel: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for t in toks {
+        if t.is_ident("Instant") || t.is_ident("SystemTime") {
+            push(
+                out,
+                rel,
+                t,
+                names::NO_AMBIENT_TIME,
+                format!(
+                    "ambient clock `{}` in deterministic code; slot counters are the only time source here",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// no-ambient-entropy: any `thread_rng` / `from_entropy` / `RandomState`.
+fn rule_ambient_entropy(rel: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for t in toks {
+        if t.is_ident("thread_rng") || t.is_ident("from_entropy") || t.is_ident("RandomState") {
+            push(
+                out,
+                rel,
+                t,
+                names::NO_AMBIENT_ENTROPY,
+                format!(
+                    "ambient entropy source `{}`; every RNG in this workspace is explicitly seeded",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "difference",
+    "intersection",
+    "union",
+    "symmetric_difference",
+];
+
+fn is_hash_ty(t: &Tok) -> bool {
+    t.is_ident("HashMap") || t.is_ident("HashSet")
+}
+
+/// hash-order-iteration: iteration methods whose receiver is a binding,
+/// field, or accessor the file declares as `HashMap`/`HashSet`.
+///
+/// This is a token-level heuristic (see crate docs): it tracks
+/// `name: HashMap<…>` / `name: HashSet<…>` annotations (fields, lets,
+/// params), `let name = HashMap::new()`-style initializers, and
+/// `fn name(…) -> …HashMap…` accessors, then flags `recv.iter()` /
+/// `recv.keys()` / set-algebra calls and `for … in recv {` loops on those
+/// names.
+fn rule_hash_order(rel: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    use std::collections::BTreeSet;
+    let mut hash_idents: BTreeSet<&str> = BTreeSet::new();
+    let mut hash_fns: BTreeSet<&str> = BTreeSet::new();
+
+    // Pass 1a: `name : …HashMap/HashSet…` type annotations. The type span
+    // runs to the first depth-0 `,` `;` `=` `)` `{` `}`.
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || i + 2 >= toks.len() || !toks[i + 1].is_punct(':') {
+            continue;
+        }
+        // `::` paths are not annotations.
+        if toks[i + 2].is_punct(':') || (i > 0 && toks[i - 1].is_punct(':')) {
+            continue;
+        }
+        let mut depth = 0i32;
+        for t in toks.iter().skip(i + 2).take(64) {
+            if depth == 0
+                && (t.is_punct(',')
+                    || t.is_punct(';')
+                    || t.is_punct('=')
+                    || t.is_punct(')')
+                    || t.is_punct('{')
+                    || t.is_punct('}'))
+            {
+                break;
+            }
+            if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+                depth = (depth - 1).max(0);
+            } else if is_hash_ty(t) {
+                hash_idents.insert(toks[i].text.as_str());
+                break;
+            }
+        }
+    }
+
+    // Pass 1b: `let [mut] name = [path::]HashMap::…` initializers.
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if j < toks.len() && toks[j].is_ident("mut") {
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[j].text.as_str();
+        let mut k = j + 1;
+        if k >= toks.len() || !toks[k].is_punct('=') {
+            continue;
+        }
+        k += 1;
+        // Initializer head: a path of idents/`::`/turbofish generics.
+        let mut found = false;
+        for t in toks.iter().skip(k).take(24) {
+            if t.kind == TokKind::Ident {
+                if is_hash_ty(t) {
+                    found = true;
+                    break;
+                }
+            } else if !(t.is_punct(':') || t.is_punct('<') || t.is_punct('>') || t.is_punct(',')) {
+                break;
+            }
+        }
+        if found {
+            hash_idents.insert(name);
+        }
+    }
+
+    // Pass 1c: `fn name(…) -> …HashMap/HashSet…` accessors.
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") || i + 1 >= toks.len() || toks[i + 1].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i + 1].text.as_str();
+        // Find the parameter list's closing paren.
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct('(') {
+            j += 1;
+        }
+        let mut depth = 0i32;
+        while j < toks.len() {
+            if toks[j].is_punct('(') {
+                depth += 1;
+            } else if toks[j].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        // Return type present?
+        if !(j + 2 < toks.len() && toks[j + 1].is_punct('-') && toks[j + 2].is_punct('>')) {
+            continue;
+        }
+        for t in toks.iter().skip(j + 3).take(32) {
+            if t.is_punct('{') || t.is_punct(';') || t.is_ident("where") {
+                break;
+            }
+            if is_hash_ty(t) {
+                hash_fns.insert(name);
+                break;
+            }
+        }
+    }
+
+    let flag = |out: &mut Vec<Finding>, tok: &Tok, recv: &str| {
+        push(
+            out,
+            rel,
+            tok,
+            names::HASH_ORDER_ITERATION,
+            format!(
+                "`{recv}.{}` iterates in hash order; sort the result, use a deterministic \
+                 container, or pragma-cite the downstream sort",
+                tok.text
+            ),
+        );
+    };
+
+    // Pass 2a: `recv.method(` where method is order-sensitive.
+    for i in 2..toks.len() {
+        let t = &toks[i];
+        let is_iter_call = t.kind == TokKind::Ident
+            && HASH_ITER_METHODS.contains(&t.text.as_str())
+            && toks[i - 1].is_punct('.')
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct('(');
+        if !is_iter_call {
+            continue;
+        }
+        let recv = &toks[i - 2];
+        if recv.kind == TokKind::Ident && hash_idents.contains(recv.text.as_str()) {
+            flag(out, t, &recv.text);
+            continue;
+        }
+        // `….accessor().method(` — receiver is a call; match back to the
+        // opening paren and look at the callee name.
+        if recv.is_punct(')') {
+            let mut depth = 0i32;
+            let mut j = i - 2;
+            loop {
+                if toks[j].is_punct(')') {
+                    depth += 1;
+                } else if toks[j].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+            if j > 0 {
+                let callee = &toks[j - 1];
+                if callee.kind == TokKind::Ident && hash_fns.contains(callee.text.as_str()) {
+                    flag(out, t, &format!("{}()", callee.text));
+                }
+            }
+        }
+    }
+
+    // Pass 2b: `for … in [&][mut] recv {`.
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("in") {
+            continue;
+        }
+        let mut j = i + 1;
+        while j < toks.len() && (toks[j].is_punct('&') || toks[j].is_ident("mut")) {
+            j += 1;
+        }
+        if j + 1 < toks.len()
+            && toks[j].kind == TokKind::Ident
+            && hash_idents.contains(toks[j].text.as_str())
+            && toks[j + 1].is_punct('{')
+        {
+            push(
+                out,
+                rel,
+                &toks[j],
+                names::HASH_ORDER_ITERATION,
+                format!(
+                    "`for … in {}` iterates in hash order; sort the keys first or use a \
+                     deterministic container",
+                    toks[j].text
+                ),
+            );
+        }
+    }
+}
+
+/// panic-free-codecs: `.unwrap()` / `.expect(` / `panic!` / `unreachable!`
+/// / `todo!` / `unimplemented!` outside `#[cfg(test)]` regions of codec
+/// files.
+fn rule_panic_free(
+    rel: &str,
+    toks: &[Tok],
+    in_tests: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || in_tests(t.line) {
+            continue;
+        }
+        let method_call = |name: &str| {
+            t.is_ident(name)
+                && i > 0
+                && toks[i - 1].is_punct('.')
+                && i + 1 < toks.len()
+                && toks[i + 1].is_punct('(')
+        };
+        let bang_macro =
+            |name: &str| t.is_ident(name) && i + 1 < toks.len() && toks[i + 1].is_punct('!');
+        if method_call("unwrap") || method_call("expect") {
+            push(
+                out,
+                rel,
+                t,
+                names::PANIC_FREE_CODECS,
+                format!(
+                    "`.{}()` in a codec path; codecs return positioned errors, never panic",
+                    t.text
+                ),
+            );
+        } else if bang_macro("panic")
+            || bang_macro("unreachable")
+            || bang_macro("todo")
+            || bang_macro("unimplemented")
+        {
+            push(
+                out,
+                rel,
+                t,
+                names::PANIC_FREE_CODECS,
+                format!(
+                    "`{}!` in a codec path; codecs return positioned errors, never panic",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// no-unsafe: the `unsafe` keyword anywhere outside the allowlist.
+fn rule_no_unsafe(rel: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for t in toks {
+        if t.is_ident("unsafe") {
+            push(
+                out,
+                rel,
+                t,
+                names::NO_UNSAFE,
+                "`unsafe` outside the allowlist; the workspace kernels are forbid(unsafe_code)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// float-reduction-order: `.sum::<f32>()` / `.sum::<f64>()` in a module
+/// that bears `#[cfg(feature = "parallel")]` or calls the `arvis_par`
+/// chunked fan-out primitives, outside test regions.
+fn rule_float_reduction(
+    rel: &str,
+    toks: &[Tok],
+    in_tests: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let has_cfg_parallel = toks.iter().any(|t| t.is_ident("cfg"))
+        && toks.iter().any(|t| t.is_ident("feature"))
+        && toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "parallel");
+    let par_primitives = [
+        "map_chunks",
+        "for_each_chunk",
+        "for_each_chunk_mut",
+        "for_each_task",
+    ];
+    let uses_par = toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && par_primitives.contains(&t.text.as_str()));
+    if !has_cfg_parallel && !uses_par {
+        return;
+    }
+    for i in 1..toks.len() {
+        let t = &toks[i];
+        if !t.is_ident("sum") || !toks[i - 1].is_punct('.') || in_tests(t.line) {
+            continue;
+        }
+        // Match `.sum ::< f32|f64 > (`.
+        let rest = &toks[i + 1..];
+        let is_turbofish_float = rest.len() >= 5
+            && rest[0].is_punct(':')
+            && rest[1].is_punct(':')
+            && rest[2].is_punct('<')
+            && (rest[3].is_ident("f32") || rest[3].is_ident("f64"))
+            && rest[4].is_punct('>');
+        if is_turbofish_float {
+            push(
+                out,
+                rel,
+                t,
+                names::FLOAT_REDUCTION_ORDER,
+                format!(
+                    "bare `.sum::<{}>()` in a parallel-bearing module; float addition is not \
+                     associative — route through the arvis_par chunked reducers or pragma-cite \
+                     the fixed reduction order",
+                    rest[3].text
+                ),
+            );
+        }
+    }
+}

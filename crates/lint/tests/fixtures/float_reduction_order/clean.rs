@@ -1,0 +1,10 @@
+//! Fixture: no parallel marker in this module, so a serial float sum is
+//! fine; and integer sums are always exact regardless of order.
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+pub fn count(xs: &[u64]) -> u64 {
+    xs.iter().sum::<u64>()
+}

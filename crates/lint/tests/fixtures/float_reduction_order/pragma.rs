@@ -1,0 +1,9 @@
+//! Fixture: a parallel-bearing module whose float sum is justified.
+
+#[cfg(feature = "parallel")]
+pub fn fan_out() {}
+
+pub fn total(xs: &[f64]) -> f64 {
+    // arvis-lint: allow(float-reduction-order, "serial within-chunk sum; chunks combine in fixed order")
+    xs.iter().sum::<f64>()
+}

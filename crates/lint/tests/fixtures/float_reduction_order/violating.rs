@@ -1,0 +1,12 @@
+//! Fixture: bare float sums in a module that fans work out in parallel.
+
+#[cfg(feature = "parallel")]
+pub fn fan_out() {}
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+pub fn total32(xs: &[f32]) -> f32 {
+    xs.iter().map(|x| x * 2.0).sum::<f32>()
+}

@@ -1,0 +1,29 @@
+//! Fixture: deterministic containers and order-insensitive hash-map access.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Cache {
+    by_key: BTreeMap<u64, f64>,
+    scratch: HashMap<u64, f64>,
+}
+
+impl Cache {
+    pub fn insert(&mut self, k: u64, v: f64) {
+        self.by_key.insert(k, v);
+        self.scratch.insert(k, v);
+    }
+
+    pub fn dump(&self) -> Vec<u64> {
+        // BTreeMap iteration is ordered: no finding.
+        self.by_key.keys().copied().collect()
+    }
+
+    pub fn lookup(&self, k: u64) -> Option<f64> {
+        // Point lookups on a HashMap are order-insensitive: no finding.
+        self.scratch.get(&k).copied()
+    }
+
+    pub fn occupancy(&self) -> usize {
+        self.scratch.len()
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: pragma-suppressed hash-order iteration, both placements.
+
+use std::collections::HashMap;
+
+pub fn sorted_keys(map: &HashMap<u64, f64>) -> Vec<u64> {
+    // arvis-lint: allow(hash-order-iteration, "collected then sorted on the next line")
+    let mut keys: Vec<u64> = map.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+pub fn population(map: &HashMap<u64, f64>) -> usize {
+    map.iter().count() // arvis-lint: allow(hash-order-iteration, "count() is order-insensitive")
+}

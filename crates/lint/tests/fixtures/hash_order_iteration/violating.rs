@@ -1,0 +1,37 @@
+//! Fixture: every hash-order heuristic the rule knows about.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Cache {
+    entries: HashMap<u64, f64>,
+}
+
+impl Cache {
+    pub fn entries(&self) -> &HashMap<u64, f64> {
+        &self.entries
+    }
+
+    pub fn dump(&self) -> Vec<u64> {
+        self.entries.keys().copied().collect()
+    }
+}
+
+pub fn union_size(a: &HashSet<u64>, b: &HashSet<u64>) -> usize {
+    a.union(b).count()
+}
+
+pub fn walk(cache: &Cache) -> f64 {
+    let mut total = 0.0;
+    for v in cache.entries().values() {
+        total += v;
+    }
+    total
+}
+
+pub fn consume(map: HashMap<u64, u64>) -> u64 {
+    let mut acc = 0;
+    for (k, v) in map {
+        acc += k + v;
+    }
+    acc
+}

@@ -1,0 +1,10 @@
+//! Fixture: malformed, unknown-rule, and unused pragmas.
+
+// arvis-lint: allow(no-such-rule, "names a rule that does not exist")
+pub fn a() {}
+
+// arvis-lint: allow(no-unsafe)
+pub fn b() {}
+
+// arvis-lint: allow(no-ambient-time, "suppresses nothing on the next line")
+pub fn c() {}

@@ -1,0 +1,20 @@
+//! Fixture: explicitly seeded randomness is fine; from_entropy in a comment
+//! or string is invisible to the rule.
+
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    pub fn from_seed(seed: u64) -> Self {
+        // Never from_entropy(): the seed travels in the scenario file.
+        Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.state
+    }
+}

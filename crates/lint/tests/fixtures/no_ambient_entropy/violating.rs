@@ -1,0 +1,10 @@
+//! Fixture: ambient entropy sources.
+
+use std::collections::hash_map::RandomState;
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let other = rand::rngs::SmallRng::from_entropy();
+    let _ = (&mut rng, other, RandomState::new());
+    4
+}

@@ -1,0 +1,18 @@
+//! Fixture: virtual time only. Mentions of Instant::now() in comments and
+//! the string "SystemTime" below must not trip the lexer-backed rule.
+
+pub struct Clock {
+    slot: u64,
+}
+
+impl Clock {
+    pub fn tick(&mut self) -> u64 {
+        // A real implementation would never call Instant::now() here.
+        self.slot += 1;
+        self.slot
+    }
+
+    pub fn describe(&self) -> &'static str {
+        "virtual slots, not SystemTime::now()"
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: ambient wall-clock reads in library code.
+
+use std::time::Instant;
+
+pub fn measure() -> u64 {
+    let t0 = Instant::now();
+    let wall = std::time::SystemTime::now();
+    let _ = (t0, wall);
+    0
+}

@@ -1,0 +1,10 @@
+//! Fixture: safe code; "unsafe" inside strings and comments is invisible.
+
+pub fn read_first(xs: &[u64]) -> Option<u64> {
+    // Bounds-checked, nothing unsafe about it.
+    xs.first().copied()
+}
+
+pub fn label() -> &'static str {
+    "unsafe-free"
+}

@@ -1,0 +1,5 @@
+//! Fixture: unsafe in kernel code.
+
+pub fn read_first(xs: &[u64]) -> u64 {
+    unsafe { *xs.as_ptr() }
+}

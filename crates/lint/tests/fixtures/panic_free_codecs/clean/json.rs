@@ -1,0 +1,14 @@
+//! Fixture: a panic-free codec. Unwraps inside `#[cfg(test)]` are exempt.
+
+pub fn decode(text: &str) -> Result<u64, String> {
+    text.parse::<u64>()
+        .map_err(|e| format!("line 1: invalid number: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip() {
+        assert_eq!(super::decode("7").unwrap(), 7);
+    }
+}

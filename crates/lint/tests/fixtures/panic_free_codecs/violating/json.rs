@@ -1,0 +1,13 @@
+//! Fixture: a codec that panics instead of returning positioned errors.
+
+pub fn decode(text: &str) -> u64 {
+    let n: u64 = text.parse().unwrap();
+    if n > 100 {
+        panic!("too big");
+    }
+    let m = text.parse::<u64>().expect("a number");
+    match m {
+        0 => unreachable!(),
+        _ => m + n,
+    }
+}

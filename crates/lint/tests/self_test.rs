@@ -1,0 +1,200 @@
+//! Fixture conformance for `arvis-lint`.
+//!
+//! Every rule has a violating sample, a clean sample, and (where pragmas
+//! make sense) a pragma-suppressed sample under `tests/fixtures/`. The
+//! tests here pin each seeded violation to its exact `file:line` — if a
+//! rule drifts (misses a pattern, or starts firing on clean code) these
+//! fail before the workspace audit does.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use arvis_lint::{lint_file, lint_workspace, FilePolicy, LintConfig};
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn strict() -> FilePolicy {
+    FilePolicy {
+        allow_time: false,
+        allow_unsafe: false,
+        is_codec: false,
+    }
+}
+
+/// Lints one fixture and reduces the findings to `(rule, line)` pairs.
+fn findings(rel: &str, policy: &FilePolicy) -> Vec<(String, u32)> {
+    let path = fixtures_root().join(rel);
+    lint_file(&path, rel, policy)
+        .unwrap_or_else(|e| panic!("lint {rel}: {e}"))
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect()
+}
+
+fn pairs(rule: &str, lines: &[u32]) -> Vec<(String, u32)> {
+    lines.iter().map(|&l| (rule.to_string(), l)).collect()
+}
+
+#[test]
+fn no_ambient_time_exact_lines() {
+    assert_eq!(
+        findings("no_ambient_time/violating.rs", &strict()),
+        pairs("no-ambient-time", &[3, 6, 7])
+    );
+    assert_eq!(findings("no_ambient_time/clean.rs", &strict()), []);
+}
+
+#[test]
+fn no_ambient_time_exact_columns() {
+    let path = fixtures_root().join("no_ambient_time/violating.rs");
+    let found = lint_file(&path, "no_ambient_time/violating.rs", &strict()).unwrap();
+    let at = |line: u32| found.iter().find(|f| f.line == line).expect("finding");
+    // `use std::time::Instant;` — `Instant` starts at column 16.
+    assert_eq!(at(3).col, 16);
+    // `    let t0 = Instant::now();` — column 14.
+    assert_eq!(at(6).col, 14);
+    assert_eq!(
+        at(6).render(),
+        format!(
+            "no_ambient_time/violating.rs:6:14 no-ambient-time {}",
+            at(6).message
+        )
+    );
+}
+
+#[test]
+fn no_ambient_time_allowlist_exempts() {
+    let policy = FilePolicy {
+        allow_time: true,
+        ..strict()
+    };
+    assert_eq!(findings("no_ambient_time/violating.rs", &policy), []);
+}
+
+#[test]
+fn no_ambient_entropy_exact_lines() {
+    assert_eq!(
+        findings("no_ambient_entropy/violating.rs", &strict()),
+        pairs("no-ambient-entropy", &[3, 6, 7, 8])
+    );
+    assert_eq!(findings("no_ambient_entropy/clean.rs", &strict()), []);
+}
+
+#[test]
+fn hash_order_iteration_exact_lines() {
+    // Line 15: field receiver; 20: set algebra on a param; 25: accessor
+    // call receiver; 33: `for … in map`.
+    assert_eq!(
+        findings("hash_order_iteration/violating.rs", &strict()),
+        pairs("hash-order-iteration", &[15, 20, 25, 33])
+    );
+    assert_eq!(findings("hash_order_iteration/clean.rs", &strict()), []);
+}
+
+#[test]
+fn hash_order_iteration_pragmas_suppress() {
+    // Both placements: the standalone comment line above, and the trailing
+    // same-line comment. Both pragmas are used, so no lint-pragma finding.
+    assert_eq!(findings("hash_order_iteration/pragma.rs", &strict()), []);
+}
+
+#[test]
+fn panic_free_codecs_exact_lines() {
+    let codec = FilePolicy {
+        is_codec: true,
+        ..strict()
+    };
+    assert_eq!(
+        findings("panic_free_codecs/violating/json.rs", &codec),
+        pairs("panic-free-codecs", &[4, 6, 8, 10])
+    );
+    // Unwraps inside `#[cfg(test)]` are exempt.
+    assert_eq!(findings("panic_free_codecs/clean/json.rs", &codec), []);
+    // The rule only applies to codec files at all.
+    assert_eq!(
+        findings("panic_free_codecs/violating/json.rs", &strict()),
+        []
+    );
+}
+
+#[test]
+fn no_unsafe_exact_lines() {
+    let found = findings("no_unsafe/violating.rs", &strict());
+    assert_eq!(found, pairs("no-unsafe", &[4]));
+    assert_eq!(findings("no_unsafe/clean.rs", &strict()), []);
+    let par_policy = FilePolicy {
+        allow_unsafe: true,
+        ..strict()
+    };
+    assert_eq!(findings("no_unsafe/violating.rs", &par_policy), []);
+}
+
+#[test]
+fn float_reduction_order_exact_lines() {
+    assert_eq!(
+        findings("float_reduction_order/violating.rs", &strict()),
+        pairs("float-reduction-order", &[7, 11])
+    );
+    // No parallel marker in the module ⇒ serial float sums are fine.
+    assert_eq!(findings("float_reduction_order/clean.rs", &strict()), []);
+    assert_eq!(findings("float_reduction_order/pragma.rs", &strict()), []);
+}
+
+#[test]
+fn bad_pragmas_are_themselves_findings() {
+    // Line 3: unknown rule name; line 6: missing justification; line 9:
+    // well-formed but suppresses nothing.
+    assert_eq!(
+        findings("lint_pragma/bad.rs", &strict()),
+        pairs("lint-pragma", &[3, 6, 9])
+    );
+}
+
+/// The directory walk sees every fixture and every rule fires somewhere:
+/// 100% of the seeded corpus is detected.
+#[test]
+fn strict_walk_covers_every_rule() {
+    let report = lint_workspace(&LintConfig::strict_at(fixtures_root())).expect("walk fixtures");
+    assert_eq!(report.files_scanned, 15, "fixture corpus size drifted");
+    assert_eq!(report.findings.len(), 21, "\n{}", report.render_text());
+    for (rule, _) in arvis_lint::RULES {
+        assert!(
+            !report.by_rule(rule).is_empty(),
+            "rule {rule} has no live fixture coverage"
+        );
+    }
+}
+
+/// The CI contract: the binary exits nonzero when findings exist (so a
+/// seeded violation demonstrably fails the pipeline) and zero when the
+/// tree is clean.
+#[test]
+fn binary_exit_codes_match_findings() {
+    let bin = env!("CARGO_BIN_EXE_arvis-lint");
+
+    let dirty = Command::new(bin)
+        .arg("--root")
+        .arg(fixtures_root())
+        .output()
+        .expect("run arvis-lint");
+    assert_eq!(dirty.status.code(), Some(1), "fixtures must fail the lint");
+    let stdout = String::from_utf8(dirty.stdout).expect("utf-8 report");
+    assert!(
+        stdout.contains("no_ambient_time/violating.rs:6:14 no-ambient-time"),
+        "missing expected finding line in:\n{stdout}"
+    );
+
+    let clean = Command::new(bin)
+        .arg("--root")
+        .arg(fixtures_root().join("panic_free_codecs/clean"))
+        .output()
+        .expect("run arvis-lint");
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "clean tree must pass: {}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+}

@@ -6,8 +6,6 @@
 //! effective arrival per slot is `|added| + |removed|`, not `a(d)`. The
 //! `ratesweep`-style experiments can plug these numbers in directly.
 
-use std::collections::HashSet;
-
 use crate::tree::{NodeId, Octree};
 
 /// The voxel-set difference between two trees at one depth.
@@ -66,6 +64,9 @@ fn voxel_codes(tree: &Octree, depth: u8) -> Vec<u64> {
     }
     let mut out = Vec::with_capacity(tree.occupied_at_depth(depth));
     walk(tree, NodeId::ROOT, 0, depth, 0, &mut out);
+    // The DFS visits octants 0..8 in order, so codes come out strictly
+    // ascending — the invariant the merge in `diff_at_depth` rides on.
+    debug_assert!(out.windows(2).all(|w| w[0] < w[1]), "DFS codes ascend");
     out
 }
 
@@ -83,13 +84,34 @@ pub fn diff_at_depth(a: &Octree, b: &Octree, depth: u8) -> OctreeDiff {
         depth <= a.max_depth() && depth <= b.max_depth(),
         "depth exceeds a tree's max depth"
     );
-    let set_a: HashSet<u64> = voxel_codes(a, depth).into_iter().collect();
-    let set_b: HashSet<u64> = voxel_codes(b, depth).into_iter().collect();
-    let mut added: Vec<u64> = set_b.difference(&set_a).copied().collect();
-    let mut removed: Vec<u64> = set_a.difference(&set_b).copied().collect();
-    added.sort_unstable();
-    removed.sort_unstable();
-    let unchanged = set_a.intersection(&set_b).count();
+    // Both code lists are strictly ascending (DFS order), so the set
+    // difference/intersection is a single linear merge — no hash sets, no
+    // post-sort, and the output order is deterministic by construction.
+    let codes_a = voxel_codes(a, depth);
+    let codes_b = voxel_codes(b, depth);
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    let mut unchanged = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < codes_a.len() && j < codes_b.len() {
+        match codes_a[i].cmp(&codes_b[j]) {
+            std::cmp::Ordering::Less => {
+                removed.push(codes_a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                added.push(codes_b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                unchanged += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    removed.extend_from_slice(&codes_a[i..]);
+    added.extend_from_slice(&codes_b[j..]);
     OctreeDiff {
         depth,
         added,
@@ -179,6 +201,41 @@ mod tests {
         let d = diff_at_depth(&a, &b, 5);
         assert_eq!(d.removed.len() + d.unchanged, a.occupied_at_depth(5));
         assert_eq!(d.added.len() + d.unchanged, b.occupied_at_depth(5));
+    }
+
+    #[test]
+    fn diff_is_input_order_independent() {
+        // The same point sets in different input orders must produce the
+        // exact same diff — added/removed code lists bitwise identical.
+        // (This used to hold only because HashSet results were sorted
+        // after the fact; the merge now guarantees it by construction.)
+        let cloud_a = SynthBodyConfig::new(SubjectProfile::Loot)
+            .with_target_points(4_000)
+            .with_seed(11)
+            .generate();
+        let cloud_b = SynthBodyConfig::new(SubjectProfile::Loot)
+            .with_target_points(4_000)
+            .with_seed(12)
+            .with_pose(Pose::walking(1.0))
+            .generate();
+        let cfg = OctreeConfig::with_max_depth(6).in_cube(shared_cube());
+        let build = |c: &arvis_pointcloud::cloud::PointCloud| Octree::build(c, &cfg).unwrap();
+
+        let reversed = |c: &arvis_pointcloud::cloud::PointCloud| c.iter().rev().cloned().collect();
+        let a_rev: arvis_pointcloud::cloud::PointCloud = reversed(&cloud_a);
+        let b_rev: arvis_pointcloud::cloud::PointCloud = reversed(&cloud_b);
+
+        let base = diff_at_depth(&build(&cloud_a), &build(&cloud_b), 5);
+        let perm = diff_at_depth(&build(&a_rev), &build(&b_rev), 5);
+        assert_eq!(base, perm, "diff must not depend on point input order");
+        assert!(
+            base.added.windows(2).all(|w| w[0] < w[1]),
+            "added codes strictly ascending"
+        );
+        assert!(
+            base.removed.windows(2).all(|w| w[0] < w[1]),
+            "removed codes strictly ascending"
+        );
     }
 
     #[test]

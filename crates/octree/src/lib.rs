@@ -30,7 +30,7 @@
 //! ```
 
 #![deny(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 // The recurring `for o in 0..8 { ... child(o) / octants[o] }` walk needs
 // the octant index for two parallel lookups; an iterator zip would
 // obscure the child-numbering invariant shared with `Aabb::octants`.

@@ -527,14 +527,6 @@ fn build_pipeline<E: CodeIdx, F: Fn(Vec3) -> u64 + Sync>(
     max_depth: u8,
 ) -> (NodeArena, Vec<u32>) {
     let n = points.len();
-    let trace = std::env::var_os("ARVIS_BUILD_TRACE").is_some();
-    let mut t = std::time::Instant::now();
-    let mut mark = move |label: &str| {
-        if trace {
-            eprintln!("  phase {label}: {:?}", t.elapsed());
-            t = std::time::Instant::now();
-        }
-    };
 
     // Phase 1: Morton-code every point at max depth (parallel).
     items.clear();
@@ -547,12 +539,10 @@ fn build_pipeline<E: CodeIdx, F: Fn(Vec3) -> u64 + Sync>(
         }
     });
 
-    mark("1-morton");
     // Phase 2: stable radix sort by code.
     morton::radix_sort(items, sort_scratch, E::CODE_SHIFT, 3 * u32::from(max_depth));
     let items = &items[..];
 
-    mark("2-sort");
     // Phase 3: node boundaries and octants per level, deepest first. A
     // depth-d node starts wherever the 3d-bit prefix of the sorted codes
     // changes, so level d's starts are a subset of level d+1's.
@@ -604,7 +594,6 @@ fn build_pipeline<E: CodeIdx, F: Fn(Vec3) -> u64 + Sync>(
         }
     }
 
-    mark("3-bounds");
     // Phase 4: allocate the arena (children come from zero pages; payload
     // rows are written exactly once below) and aggregate bottom-up.
     let mut level_starts = Vec::with_capacity(d_max + 2);
@@ -648,7 +637,6 @@ fn build_pipeline<E: CodeIdx, F: Fn(Vec3) -> u64 + Sync>(
         });
     }
 
-    mark("4-leaf");
     // Internal levels: sums are reused from the level below (each parent
     // adds its children's rows), and child links come from the octants
     // recorded during boundary derivation.
@@ -689,7 +677,6 @@ fn build_pipeline<E: CodeIdx, F: Fn(Vec3) -> u64 + Sync>(
         );
     }
 
-    mark("5-internal");
     (arena, level_starts)
 }
 

@@ -22,6 +22,10 @@
 //! tests use to compare both modes inside one binary.
 
 #![deny(missing_docs)]
+// `deny`, not `forbid`: this crate is the workspace's one `unsafe`
+// allowlist entry (see `arvis-lint`'s no-unsafe rule), so a future
+// prefetching micro-kernel could opt in locally. Today it holds no unsafe
+// code at all.
 #![deny(unsafe_code)]
 
 use std::cell::Cell;

@@ -4,8 +4,12 @@
 //! grid (1024³ for the full-body scans). [`VoxelGrid`] reproduces that
 //! representation, and [`voxel_downsample`] matches Open3D's
 //! `voxel_down_sample` (one averaged point per occupied voxel).
+//!
+//! Cells live in a `BTreeMap` keyed by [`VoxelKey`], so every iteration
+//! order — down-sampling, occupancy walks, tests — is deterministic by
+//! construction (the determinism contract's hash-order-iteration rule).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -73,7 +77,7 @@ impl VoxelKey {
 pub struct VoxelGrid {
     cube: Aabb,
     resolution: u32,
-    cells: HashMap<VoxelKey, VoxelCell>,
+    cells: BTreeMap<VoxelKey, VoxelCell>,
 }
 
 /// Aggregated contents of one voxel.
@@ -151,7 +155,7 @@ impl VoxelGrid {
         let mut grid = VoxelGrid {
             cube: *cube,
             resolution,
-            cells: HashMap::new(),
+            cells: BTreeMap::new(),
         };
         for p in cloud.iter() {
             let key = grid.key_of(p.position);
@@ -213,8 +217,8 @@ impl VoxelGrid {
             )
     }
 
-    /// Borrows the occupied cells.
-    pub fn cells(&self) -> &HashMap<VoxelKey, VoxelCell> {
+    /// Borrows the occupied cells (ordered by [`VoxelKey`]).
+    pub fn cells(&self) -> &BTreeMap<VoxelKey, VoxelCell> {
         &self.cells
     }
 
@@ -226,13 +230,11 @@ impl VoxelGrid {
     /// Collapses the grid to one point per occupied voxel, at the *mean*
     /// position with the mean color (Open3D `voxel_down_sample` semantics).
     pub fn to_cloud_mean(&self) -> PointCloud {
-        let mut keys: Vec<&VoxelKey> = self.cells.keys().collect();
-        keys.sort_unstable(); // deterministic output order
-        keys.into_iter()
-            .map(|k| {
-                let c = &self.cells[k];
-                Point::new(c.mean_position(), c.mean_color())
-            })
+        // BTreeMap iteration is key-ordered: deterministic output order
+        // with no post-sort.
+        self.cells
+            .values()
+            .map(|c| Point::new(c.mean_position(), c.mean_color()))
             .collect()
     }
 
@@ -240,10 +242,9 @@ impl VoxelGrid {
     /// center* — the representation an AR renderer draws at a given octree
     /// depth.
     pub fn to_cloud_centers(&self) -> PointCloud {
-        let mut keys: Vec<&VoxelKey> = self.cells.keys().collect();
-        keys.sort_unstable();
-        keys.into_iter()
-            .map(|k| Point::new(self.voxel_center(*k), self.cells[k].mean_color()))
+        self.cells
+            .iter()
+            .map(|(k, c)| Point::new(self.voxel_center(*k), c.mean_color()))
             .collect()
     }
 }
@@ -398,5 +399,32 @@ mod tests {
         let a = grid.to_cloud_centers();
         let b = grid.to_cloud_centers();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_order_is_input_order_independent() {
+        // Voxelizing the same points in a different order must yield the
+        // same voxels in the same (key-sorted) output order with the same
+        // counts. Per-cell float sums may differ in the last bit under
+        // permutation (accumulation order), so centers — which depend only
+        // on keys — must be bitwise identical, and means only approximately.
+        let cloud = PointCloud::from_positions(
+            (0..500).map(|i| Vec3::new((i % 7) as f64, ((i / 7) % 9) as f64, (i % 11) as f64)),
+        );
+        let shuffled: PointCloud = cloud.iter().rev().cloned().collect();
+        let cube = cloud.aabb().unwrap().bounding_cube();
+        let a = VoxelGrid::from_cloud_in_cube(&cloud, &cube, 8).unwrap();
+        let b = VoxelGrid::from_cloud_in_cube(&shuffled, &cube, 8).unwrap();
+
+        let keys_a: Vec<VoxelKey> = a.cells().keys().copied().collect();
+        let keys_b: Vec<VoxelKey> = b.cells().keys().copied().collect();
+        assert_eq!(keys_a, keys_b, "key order must be input-order independent");
+        let counts_a: Vec<u64> = a.cells().values().map(|c| c.count).collect();
+        let counts_b: Vec<u64> = b.cells().values().map(|c| c.count).collect();
+        assert_eq!(counts_a, counts_b);
+        assert_eq!(a.to_cloud_centers(), b.to_cloud_centers());
+        for (pa, pb) in a.to_cloud_mean().iter().zip(b.to_cloud_mean().iter()) {
+            assert!((pa.position - pb.position).norm() < 1e-9);
+        }
     }
 }

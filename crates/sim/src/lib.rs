@@ -18,7 +18,7 @@
 //! - [`rng`]: seeded RNG helpers so every experiment is reproducible.
 
 #![deny(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod arrivals;
 pub mod event;
