@@ -22,6 +22,21 @@
 //! cargo run -p arvis-bench --bin experiments --release -- emit e1_fig2
 //! cargo run -p arvis-bench --bin experiments --release -- emit all --dir scenarios
 //! ```
+//!
+//! The regression ledger (`results/ledger.json`, see `arvis_core::ledger`):
+//!
+//! ```bash
+//! # Record (or regenerate) a scenario's bit-exact summary record, keyed
+//! # by the SHA-256 of its canonical bytes. A plain `run` whose (hash,
+//! # code version) is already recorded reuses the cached record instead
+//! # of re-simulating; --from-raw forces the re-run.
+//! cargo run -p arvis-bench --bin experiments --release -- run scenarios/e1_fig2.json --record --from-raw
+//!
+//! # Replay every scenarios/*.json and diff the recomputed records
+//! # against the committed ledger field by field — the CI gate. Exits 1
+//! # with the offending field paths on any single-bit drift.
+//! cargo run -p arvis-bench --bin experiments --release -- verify scenarios
+//! ```
 
 use std::time::Instant;
 
@@ -85,6 +100,10 @@ fn main() {
             emit_scenario_command(&args[1..]);
             return;
         }
+        Some("verify") => {
+            verify_scenarios_command(&args[1..]);
+            return;
+        }
         _ => {}
     }
     let opts = parse_args();
@@ -112,7 +131,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other}; expected run|emit|fig1|fig2a|fig2b|vsweep|ratesweep|distributed|ablation|energy|latency|uplink|all"
+                "unknown command {other}; expected run|emit|verify|fig1|fig2a|fig2b|vsweep|ratesweep|distributed|ablation|energy|latency|uplink|all"
             );
             std::process::exit(2);
         }
@@ -120,19 +139,94 @@ fn main() {
     eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
 }
 
-/// `experiments run <scenario.json> [--csv out.csv]`: loads a declarative
-/// scenario file and drives the session batch — through the shared-uplink
-/// contention plane when the file declares an `uplink` or a `fault` plan,
-/// as uncoupled summary-only sessions otherwise. The summary CSV goes to
-/// stdout (and to `--csv` when given).
-fn run_scenario_command(args: &[String]) {
-    use arvis_core::scenario::Scenario;
-    use arvis_core::session::SessionBatch;
+/// The ledger file next to the other committed results:
+/// `results/ledger.json` (override the directory with `ARVIS_RESULTS_DIR`).
+fn ledger_path() -> std::path::PathBuf {
+    results_dir().join("ledger.json")
+}
+
+/// Loads the regression ledger, exiting 1 with the positioned parse error
+/// on malformed JSON. A missing file reads as an empty ledger when
+/// `missing_ok` (the `run --record` bootstrap path) and exits 1 otherwise
+/// (the `verify` path, where an absent ledger is a failure).
+fn load_ledger(path: &std::path::Path, missing_ok: bool) -> arvis_core::ledger::Ledger {
+    use arvis_core::ledger::Ledger;
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if missing_ok && e.kind() == std::io::ErrorKind::NotFound => {
+            return Ledger::new();
+        }
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            eprintln!("regenerate: experiments run <scenario.json> --record");
+            std::process::exit(1);
+        }
+    };
+    Ledger::from_json_str(&text).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", path.display());
+        std::process::exit(1);
+    })
+}
+
+/// Renders a run record as the same summary CSV a live replay prints: the
+/// contended per-session/uplink rows when the record carries an uplink
+/// summary, the uncoupled per-session rows otherwise. Byte-identical to
+/// the fresh-run CSV by construction — the record stores every field the
+/// CSV reads, bit-exactly.
+fn record_csv(
+    scenario: &arvis_core::scenario::Scenario,
+    record: &arvis_core::ledger::RunRecord,
+) -> String {
     use arvis_core::telemetry::SessionSummary;
-    use arvis_core::uplink::run_contended;
+    use arvis_core::uplink::{ContendedRun, UplinkSpec};
+
+    match (&record.uplink, &record.downtime) {
+        (Some(uplink), Some(downtime)) => {
+            let policy = scenario
+                .uplink
+                .clone()
+                .unwrap_or_else(UplinkSpec::unconstrained)
+                .policy;
+            ContendedRun {
+                policy,
+                summaries: record.sessions.clone(),
+                uplink: *uplink,
+                downtime: downtime.clone(),
+            }
+            .to_csv()
+        }
+        _ => {
+            let mut out = String::from(SessionSummary::csv_header());
+            out.push('\n');
+            for (i, s) in record.sessions.iter().enumerate() {
+                out.push_str(&s.csv_row(i));
+                out.push('\n');
+            }
+            out
+        }
+    }
+}
+
+/// `experiments run <scenario.json> [--csv out.csv] [--record] [--from-raw]`:
+/// loads a declarative scenario file and drives the session batch —
+/// through the shared-uplink contention plane when the file declares an
+/// `uplink` or a `fault` plan, as uncoupled summary-only sessions
+/// otherwise. The summary CSV goes to stdout (and to `--csv` when given).
+///
+/// The run consults the regression ledger (`results/ledger.json`) as a
+/// result cache keyed by (scenario content hash, code version): a hit
+/// reuses the committed bit-exact record instead of re-simulating, and
+/// `--from-raw` ignores the cache and always re-runs. `--record` appends
+/// or overwrites the ledger entry for this scenario's hash with the
+/// record this invocation produced.
+fn run_scenario_command(args: &[String]) {
+    use arvis_core::ledger::{RunRecord, CODE_VERSION};
+    use arvis_core::scenario::Scenario;
 
     let mut path: Option<&str> = None;
     let mut csv_out: Option<&str> = None;
+    let mut record = false;
+    let mut from_raw = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -143,6 +237,8 @@ fn run_scenario_command(args: &[String]) {
                     std::process::exit(2);
                 }
             },
+            "--record" => record = true,
+            "--from-raw" => from_raw = true,
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag {flag}");
                 std::process::exit(2);
@@ -155,7 +251,7 @@ fn run_scenario_command(args: &[String]) {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: experiments run <scenario.json> [--csv out.csv]");
+        eprintln!("usage: experiments run <scenario.json> [--csv out.csv] [--record] [--from-raw]");
         std::process::exit(2);
     };
 
@@ -168,41 +264,76 @@ fn run_scenario_command(args: &[String]) {
         eprintln!("{path}: {e}");
         std::process::exit(1);
     });
+    let hash = scenario.content_hash().unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(std::ffi::OsStr::to_str)
+        .unwrap_or(path);
 
-    let csv = if scenario.uplink.is_some() || scenario.fault.is_some() {
-        let run = run_contended(&scenario);
-        eprintln!(
+    let ledger_file = ledger_path();
+    let mut ledger = load_ledger(&ledger_file, true);
+    let cached = if from_raw {
+        None
+    } else {
+        ledger.find(&hash, CODE_VERSION).cloned()
+    };
+    let from_cache = cached.is_some();
+    let run_record = match cached {
+        Some(rec) => rec,
+        None => RunRecord::replay(name, &scenario).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }),
+    };
+    let provenance = if from_cache { " [cached]" } else { "" };
+    match &run_record.uplink {
+        Some(uplink) => eprintln!(
             "{path}: {} sessions x {} slots, contended ({}): \
              {} stable, {:.1}% slots contended, utilization {:.1}%, \
-             {} shed slots, {} down session-slots",
+             {} shed slots, {} down session-slots{provenance}",
             scenario.len(),
             scenario.slots,
-            run.policy.name(),
-            run.summaries.iter().filter(|s| s.stable).count(),
-            100.0 * run.uplink.contended_fraction(),
-            100.0 * run.uplink.utilization(),
-            run.uplink.shed_slots,
-            run.uplink.down_session_slots,
-        );
-        run.to_csv()
-    } else {
-        let mut batch = SessionBatch::summary_only(&scenario);
-        batch.run();
-        let summaries = batch.into_summaries();
+            scenario
+                .uplink
+                .clone()
+                .unwrap_or_else(arvis_core::uplink::UplinkSpec::unconstrained)
+                .policy
+                .name(),
+            run_record.sessions.iter().filter(|s| s.stable).count(),
+            100.0 * uplink.contended_fraction(),
+            100.0 * uplink.utilization(),
+            uplink.shed_slots,
+            uplink.down_session_slots,
+        ),
+        None => eprintln!(
+            "{path}: {} sessions x {} slots, uncoupled: {} stable{provenance}",
+            scenario.len(),
+            scenario.slots,
+            run_record.sessions.iter().filter(|s| s.stable).count(),
+        ),
+    }
+    let csv = record_csv(&scenario, &run_record);
+
+    if record {
+        ledger.upsert(run_record);
+        let text = ledger.to_json_string().unwrap_or_else(|e| {
+            eprintln!("{}: {e}", ledger_file.display());
+            std::process::exit(1);
+        });
+        std::fs::write(&ledger_file, text).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", ledger_file.display());
+            std::process::exit(1);
+        });
         eprintln!(
-            "{path}: {} sessions x {} slots, uncoupled: {} stable",
-            scenario.len(),
-            scenario.slots,
-            summaries.iter().filter(|s| s.stable).count(),
+            "recorded {name} ({}…) in {}",
+            &hash[..12],
+            ledger_file.display()
         );
-        let mut out = String::from(SessionSummary::csv_header());
-        out.push('\n');
-        for (i, s) in summaries.iter().enumerate() {
-            out.push_str(&s.csv_row(i));
-            out.push('\n');
-        }
-        out
-    };
+    }
+
     print!("{csv}");
     if let Some(csv_path) = csv_out {
         std::fs::write(csv_path, &csv).unwrap_or_else(|e| {
@@ -212,6 +343,132 @@ fn run_scenario_command(args: &[String]) {
         eprintln!("wrote {csv_path}");
     }
     eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
+}
+
+/// `experiments verify [dir]`: the CI gate over the regression ledger.
+/// Replays every `dir/*.json` (default `scenarios`), recomputes each run
+/// record, and diffs it field-by-field against the entry committed in
+/// `results/ledger.json`. Any missing entry or single-bit divergence
+/// prints the offending field paths plus the regeneration command and
+/// exits 1; a malformed ledger or scenario file exits 1 with the
+/// positioned parse error.
+fn verify_scenarios_command(args: &[String]) {
+    use arvis_core::ledger::{RunRecord, CODE_VERSION};
+    use arvis_core::scenario::Scenario;
+
+    let mut dir: Option<&str> = None;
+    for arg in args {
+        match arg.as_str() {
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                std::process::exit(2);
+            }
+            positional if dir.is_none() => dir = Some(positional),
+            extra => {
+                eprintln!("unexpected argument {extra}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let dir = dir.unwrap_or("scenarios");
+
+    let ledger_file = ledger_path();
+    let ledger = load_ledger(&ledger_file, false);
+
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| {
+            eprintln!("{dir}: {e}");
+            std::process::exit(1);
+        })
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        eprintln!("{dir}: no scenario files (*.json) found");
+        std::process::exit(1);
+    }
+
+    let start = Instant::now();
+    let mut failures = 0usize;
+    for file in &files {
+        let display = file.display();
+        let regenerate =
+            || eprintln!("  regenerate: experiments run {display} --record --from-raw");
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{display}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let scenario = match Scenario::from_json_str(&text) {
+            Ok(scenario) => scenario,
+            Err(e) => {
+                eprintln!("{display}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let name = file
+            .file_stem()
+            .and_then(std::ffi::OsStr::to_str)
+            .unwrap_or("scenario");
+        let replay = match RunRecord::replay(name, &scenario) {
+            Ok(replay) => replay,
+            Err(e) => {
+                eprintln!("{display}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        match ledger.find(&replay.scenario_hash, &replay.code_version) {
+            None => {
+                eprintln!(
+                    "{display}: no ledger entry for content hash {}… at code version {} in {}",
+                    &replay.scenario_hash[..12],
+                    CODE_VERSION,
+                    ledger_file.display(),
+                );
+                regenerate();
+                failures += 1;
+            }
+            Some(stored) => match stored.diff(&replay) {
+                Ok(diff) if diff.is_empty() => {
+                    eprintln!(
+                        "{display}: ok ({} sessions, hash {}…)",
+                        replay.sessions.len(),
+                        &replay.scenario_hash[..12],
+                    );
+                }
+                Ok(diff) => {
+                    eprintln!(
+                        "{display}: replay diverges from the committed ledger in {} field(s):",
+                        diff.len()
+                    );
+                    for line in &diff {
+                        eprintln!("  {line}");
+                    }
+                    regenerate();
+                    failures += 1;
+                }
+                Err(e) => {
+                    eprintln!("{display}: {e}");
+                    failures += 1;
+                }
+            },
+        }
+    }
+    eprintln!(
+        "verify: {} scenario(s), {failures} failure(s) in {:.1}s",
+        files.len(),
+        start.elapsed().as_secs_f64()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
 }
 
 /// `experiments emit <preset|all> [--out file] [--dir dir]`: dumps a

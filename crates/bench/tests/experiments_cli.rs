@@ -1,9 +1,13 @@
 //! The `experiments` binary's scenario-file interface, end to end as a
 //! child process: malformed input must exit nonzero with a positioned
-//! error on stderr (never a panic, never a silent success), and a valid
-//! faulted scenario must run and report its fault aggregates.
+//! error on stderr (never a panic, never a silent success), a valid
+//! faulted scenario must run and report its fault aggregates, and the
+//! regression-ledger surface (`verify`, `--record`, `--from-raw`) must
+//! pin its exit codes — 0 on a clean tree, 1 with a field-level diff on
+//! tampered entries, 1 with a positioned error on malformed ledger JSON.
 
 use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn experiments() -> Command {
@@ -16,6 +20,26 @@ fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
     file.write_all(contents.as_bytes()).unwrap();
     path
 }
+
+/// A fresh empty directory under the system temp dir.
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("arvis-cli-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The repository root (this crate lives at `crates/bench`).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// A minimal valid schema-1 scenario: one fast-to-replay session.
+const MINI_SCENARIO: &str = "{\"schema\": 1, \"slots\": 50, \"sessions\": [{\
+     \"stream\": {\"type\": \"constant\", \"profile\": {\"min_depth\": 5, \
+     \"arrivals\": [100, 400], \"quality\": [0, 1]}}, \
+     \"service\": {\"type\": \"constant\", \"rate\": 500}, \
+     \"controller\": {\"type\": \"only_min\"}, \"seed\": 0, \"warmup\": 0}]}";
 
 #[test]
 fn run_rejects_malformed_scenarios_with_positioned_errors() {
@@ -74,9 +98,11 @@ fn run_reports_missing_files_and_usage_errors() {
 
 #[test]
 fn run_executes_the_faulted_golden_scenario() {
+    let results = temp_dir("e7-results");
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../../scenarios/e7_fault_outage.json");
     let out = experiments()
+        .env("ARVIS_RESULTS_DIR", &results)
         .args(["run", path.to_str().unwrap()])
         .output()
         .unwrap();
@@ -105,4 +131,205 @@ fn run_executes_the_faulted_golden_scenario() {
     for line in stdout.lines().skip(1).filter(|l| !l.is_empty()) {
         assert_eq!(line.split(',').count(), columns, "ragged CSV row: {line}");
     }
+    std::fs::remove_dir_all(&results).ok();
+}
+
+#[test]
+fn verify_passes_on_the_committed_tree() {
+    // The CI gate, exactly as the workflow runs it: every committed golden
+    // must replay bit-identically to the committed ledger.
+    let root = repo_root();
+    let out = experiments()
+        .env("ARVIS_RESULTS_DIR", root.join("results"))
+        .args(["verify", root.join("scenarios").to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean tree must verify: {stderr}"
+    );
+    assert!(
+        stderr.contains("7 scenario(s), 0 failure(s)"),
+        "all seven goldens checked: {stderr}"
+    );
+}
+
+#[test]
+fn verify_fails_with_a_field_level_diff_on_a_tampered_ledger_entry() {
+    // One scenario (E1, the fastest golden), the committed ledger with one
+    // digit of one float flipped: verify must exit 1 and name the exact
+    // field path with both values.
+    let scenarios = temp_dir("tamper-scenarios");
+    let results = temp_dir("tamper-results");
+    let root = repo_root();
+    std::fs::copy(
+        root.join("scenarios/e1_fig2.json"),
+        scenarios.join("e1_fig2.json"),
+    )
+    .unwrap();
+    let ledger = std::fs::read_to_string(root.join("results/ledger.json")).unwrap();
+    // The first mean_quality in the file belongs to the first (sorted)
+    // record, e1_fig2's sessions[0]; move it by far more than one ulp.
+    let needle = "\"mean_quality\": 0.";
+    assert!(ledger.contains(needle), "ledger carries float fields");
+    let tampered = ledger.replacen(needle, "\"mean_quality\": 0.1", 1);
+    assert_ne!(tampered, ledger);
+    std::fs::write(results.join("ledger.json"), tampered).unwrap();
+
+    let out = experiments()
+        .env("ARVIS_RESULTS_DIR", &results)
+        .args(["verify", scenarios.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "tampered entry must fail: {stderr}"
+    );
+    assert!(
+        stderr.contains("sessions[0].mean_quality: ledger 0.1"),
+        "diff names the field path and the ledger value: {stderr}"
+    );
+    assert!(
+        stderr.contains("!= replay 0."),
+        "diff carries the replayed value: {stderr}"
+    );
+    assert!(
+        stderr.contains("regenerate: experiments run"),
+        "failure prints the regeneration command: {stderr}"
+    );
+    std::fs::remove_dir_all(&scenarios).ok();
+    std::fs::remove_dir_all(&results).ok();
+}
+
+#[test]
+fn verify_reports_positioned_errors_on_malformed_ledger_json() {
+    let scenarios = temp_dir("badledger-scenarios");
+    let results = temp_dir("badledger-results");
+    std::fs::write(scenarios.join("mini.json"), MINI_SCENARIO).unwrap();
+
+    // Truncated ledger JSON: exit 1 with a line/column parse error.
+    std::fs::write(
+        results.join("ledger.json"),
+        "{\n  \"schema\": 1,\n  \"records\": [\n",
+    )
+    .unwrap();
+    let out = experiments()
+        .env("ARVIS_RESULTS_DIR", &results)
+        .args(["verify", scenarios.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "{stderr}");
+    assert!(
+        stderr.contains("ledger.json"),
+        "error names the file: {stderr}"
+    );
+    assert!(stderr.contains("line 4"), "error is positioned: {stderr}");
+
+    // Unknown key: same contract, at the key's own position.
+    std::fs::write(
+        results.join("ledger.json"),
+        "{\n  \"schema\": 1,\n  \"records\": [],\n  \"extra\": 0\n}\n",
+    )
+    .unwrap();
+    let out = experiments()
+        .env("ARVIS_RESULTS_DIR", &results)
+        .args(["verify", scenarios.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "{stderr}");
+    assert!(
+        stderr.contains("unknown key \"extra\"") && stderr.contains("line 4"),
+        "unknown-key error is positioned: {stderr}"
+    );
+
+    // A parseable but empty ledger: the missing entry is a failure that
+    // prints the regeneration command.
+    std::fs::write(
+        results.join("ledger.json"),
+        "{\n  \"schema\": 1,\n  \"records\": []\n}\n",
+    )
+    .unwrap();
+    let out = experiments()
+        .env("ARVIS_RESULTS_DIR", &results)
+        .args(["verify", scenarios.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "{stderr}");
+    assert!(
+        stderr.contains("no ledger entry") && stderr.contains("--record"),
+        "missing entry prints the regeneration command: {stderr}"
+    );
+    std::fs::remove_dir_all(&scenarios).ok();
+    std::fs::remove_dir_all(&results).ok();
+}
+
+#[test]
+fn record_then_verify_round_trips_and_reruns_hit_the_cache() {
+    let scenarios = temp_dir("roundtrip-scenarios");
+    let results = temp_dir("roundtrip-results");
+    let file = scenarios.join("mini.json");
+    std::fs::write(&file, MINI_SCENARIO).unwrap();
+
+    // --record bootstraps the ledger from nothing…
+    let out = experiments()
+        .env("ARVIS_RESULTS_DIR", &results)
+        .args(["run", file.to_str().unwrap(), "--record"])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(stderr.contains("recorded mini"), "{stderr}");
+    assert!(results.join("ledger.json").exists());
+    let fresh_csv = out.stdout.clone();
+
+    // …verify immediately passes against it…
+    let out = experiments()
+        .env("ARVIS_RESULTS_DIR", &results)
+        .args(["verify", scenarios.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "record → verify must pass: {stderr}"
+    );
+    assert!(stderr.contains("1 scenario(s), 0 failure(s)"), "{stderr}");
+
+    // …a plain rerun reuses the cached record, byte-identical CSV…
+    let out = experiments()
+        .env("ARVIS_RESULTS_DIR", &results)
+        .args(["run", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(
+        stderr.contains("[cached]"),
+        "cache hit is reported: {stderr}"
+    );
+    assert_eq!(out.stdout, fresh_csv, "cached CSV is byte-identical");
+
+    // …and --from-raw re-simulates (no cache marker), same bytes again.
+    let out = experiments()
+        .env("ARVIS_RESULTS_DIR", &results)
+        .args(["run", file.to_str().unwrap(), "--from-raw"])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(
+        !stderr.contains("[cached]"),
+        "--from-raw ignores the cache: {stderr}"
+    );
+    assert_eq!(out.stdout, fresh_csv, "replay is bit-deterministic");
+    std::fs::remove_dir_all(&scenarios).ok();
+    std::fs::remove_dir_all(&results).ok();
 }

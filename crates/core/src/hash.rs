@@ -1,0 +1,265 @@
+//! Dependency-free SHA-256 (FIPS 180-4) for content-addressing canonical
+//! scenario bytes.
+//!
+//! The regression ledger (see [`crate::ledger`]) keys run records by the
+//! SHA-256 of a scenario's canonical JSON form
+//! ([`crate::Scenario::content_hash`]). Like the JSON layer in
+//! [`crate::json`], the hash is vendored in-tree rather than pulled from
+//! crates.io: the container this workspace builds in has no network
+//! access, and the ~100 lines of FIPS 180-4 below are cheaper to audit
+//! than to shim. Swapping to the `sha2` crate is a call-site-only change.
+//!
+//! The implementation is allocation-free per block, panic-free (all
+//! arithmetic is explicitly wrapping, as the compression function
+//! requires), and incremental:
+//!
+//! ```
+//! use arvis_core::hash::{sha256_hex, Sha256};
+//!
+//! // One-shot and incremental hashing agree for any chunking.
+//! let mut h = Sha256::new();
+//! h.update(b"ab");
+//! h.update(b"c");
+//! assert_eq!(h.finalize_hex(), sha256_hex(b"abc"));
+//! assert_eq!(
+//!     sha256_hex(b"abc"),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+//! );
+//! ```
+
+/// Round constants: the first 32 bits of the fractional parts of the cube
+/// roots of the first 64 primes (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash state: the first 32 bits of the fractional parts of the
+/// square roots of the first 8 primes (FIPS 180-4 §5.3.3).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// One compression round over a 64-byte block (FIPS 180-4 §6.2.2).
+fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    for (s, v) in state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+        *s = s.wrapping_add(v);
+    }
+}
+
+/// An incremental SHA-256 hasher.
+///
+/// Feed bytes with [`Sha256::update`] in any chunking; the digest depends
+/// only on the concatenated byte stream.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    /// Total bytes absorbed (wrapping; only the low 64 bits of the bit
+    /// length enter the padding, per FIPS 180-4 §5.1.1).
+    len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher (the FIPS 180-4 initial state).
+    pub fn new() -> Sha256 {
+        Sha256 {
+            state: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            len: 0,
+        }
+    }
+
+    /// Absorbs `data`; equivalent to absorbing its bytes one at a time.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut data = data;
+        self.len = self.len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                compress(&mut self.state, &block);
+                self.buf_len = 0;
+            }
+        }
+        let mut blocks = data.chunks_exact(64);
+        for chunk in blocks.by_ref() {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(chunk);
+            compress(&mut self.state, &block);
+        }
+        let tail = blocks.remainder();
+        if !tail.is_empty() {
+            self.buf[..tail.len()].copy_from_slice(tail);
+            self.buf_len = tail.len();
+        }
+    }
+
+    /// Pads and returns the 32-byte digest, consuming the hasher.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.len.wrapping_mul(8);
+        // One 0x80 byte, zeros to 56 mod 64, then the 64-bit big-endian
+        // bit length (FIPS 180-4 §5.1.1): at most 72 padding bytes total.
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        let zeros = if self.buf_len < 56 {
+            55 - self.buf_len
+        } else {
+            119 - self.buf_len
+        };
+        pad[1 + zeros..9 + zeros].copy_from_slice(&bit_len.to_be_bytes());
+        self.update(&pad[..9 + zeros]);
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// [`Sha256::finalize`] rendered as 64 lowercase hex digits.
+    pub fn finalize_hex(self) -> String {
+        to_hex(&self.finalize())
+    }
+}
+
+/// One-shot SHA-256 of `data`.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// One-shot SHA-256 of `data` as 64 lowercase hex digits — the form the
+/// regression ledger stores.
+pub fn sha256_hex(data: &[u8]) -> String {
+    to_hex(&sha256(data))
+}
+
+/// Lowercase hex rendering of a digest.
+pub fn to_hex(digest: &[u8; 32]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut s = String::with_capacity(64);
+    for &b in digest {
+        s.push(HEX[(b >> 4) as usize] as char);
+        s.push(HEX[(b & 0x0f) as usize] as char);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The FIPS 180-4 / NIST CAVP reference vectors.
+    const EMPTY: &str = "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+    const ABC: &str = "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+    const TWO_BLOCK: &str = "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1";
+    const MILLION_A: &str = "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0";
+
+    #[test]
+    fn nist_vector_empty() {
+        assert_eq!(sha256_hex(b""), EMPTY);
+    }
+
+    #[test]
+    fn nist_vector_abc() {
+        assert_eq!(sha256_hex(b"abc"), ABC);
+    }
+
+    #[test]
+    fn nist_vector_two_block_message() {
+        // 56 bytes: the message itself spills into a second padded block.
+        let msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+        assert_eq!(sha256_hex(msg), TWO_BLOCK);
+    }
+
+    #[test]
+    fn nist_vector_one_million_a() {
+        let mut h = Sha256::new();
+        for _ in 0..1_000_000 {
+            h.update(b"a");
+        }
+        assert_eq!(h.finalize_hex(), MILLION_A);
+    }
+
+    #[test]
+    fn incremental_chunkings_agree_on_the_vectors() {
+        let msg: Vec<u8> = (0u16..300).map(|i| (i % 251) as u8).collect();
+        let one_shot = sha256_hex(&msg);
+        for chunk in [1usize, 3, 63, 64, 65, 128] {
+            let mut h = Sha256::new();
+            for piece in msg.chunks(chunk) {
+                h.update(piece);
+            }
+            assert_eq!(h.finalize_hex(), one_shot, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths_pad_correctly() {
+        // 55/56/63/64 bytes straddle the one-vs-two padded block boundary;
+        // cross-check the incremental path against the one-shot path, and
+        // pin 64 x 'a' against the known digest.
+        for n in [55usize, 56, 63, 64, 119, 120] {
+            let msg = vec![0xa5u8; n];
+            let mut h = Sha256::new();
+            h.update(&msg[..n / 2]);
+            h.update(&msg[n / 2..]);
+            assert_eq!(h.finalize(), sha256(&msg), "length {n}");
+        }
+        assert_eq!(
+            sha256_hex(&[b'a'; 64]),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
+        );
+    }
+}

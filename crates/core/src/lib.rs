@@ -23,6 +23,12 @@
 //! - [`json`]: the self-contained JSON layer behind scenario files — a
 //!   strict parser with line/column errors and a canonical pretty-printer
 //!   with exact `f64`/`u64` round-trips;
+//! - [`hash`]: dependency-free SHA-256 (FIPS 180-4) content-addressing the
+//!   canonical scenario bytes ([`Scenario::content_hash`]);
+//! - [`ledger`]: the append-only regression ledger — bit-exact
+//!   [`ledger::RunRecord`]s keyed by (scenario hash, code version),
+//!   committed as `results/ledger.json` and re-verified field-by-field in
+//!   CI (`experiments verify`);
 //! - [`session`]: the incremental runtime — step one [`Session`] slot by
 //!   slot, or thousands at once in a struct-of-arrays [`SessionBatch`]
 //!   fanned out over `arvis_par`;
@@ -229,7 +235,9 @@ pub mod distributed;
 pub mod energy;
 pub mod experiment;
 pub mod fault;
+pub mod hash;
 pub mod json;
+pub mod ledger;
 pub mod pipeline;
 pub mod scenario;
 pub mod session;
@@ -241,6 +249,7 @@ pub mod uplink;
 pub use controller::{DepthController, ProposedDpp};
 pub use experiment::{Experiment, ExperimentConfig, ExperimentResult};
 pub use fault::{CrashPolicy, DegradationGuardSpec, FaultEvent, FaultPlan, FaultPlane, ShedMode};
+pub use ledger::{Ledger, RunRecord};
 pub use scenario::{ControllerSpec, Scenario, SessionSpec};
 pub use session::{Session, SessionBatch, SlotOutcome};
 pub use telemetry::{FullTrace, SessionSummary, SummarySink, TelemetrySink};

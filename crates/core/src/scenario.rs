@@ -737,13 +737,8 @@ impl Scenario {
                     .map_err(|e| JsonError::new(format!("session {i}: {}", e.msg)))?,
             );
         }
-        let schema = if self.fault.is_some() {
-            SCENARIO_SCHEMA_VERSION
-        } else {
-            1
-        };
         let mut members = vec![
-            ("schema", JsonValue::int(schema)),
+            ("schema", JsonValue::int(self.schema_version())),
             ("slots", JsonValue::int(self.slots)),
             ("sessions", JsonValue::arr(sessions)),
         ];
@@ -852,6 +847,34 @@ impl Scenario {
     /// panics, whatever the input bytes.
     pub fn from_json_str(text: &str) -> Result<Scenario, JsonError> {
         Scenario::from_json(&crate::json::parse(text)?)
+    }
+
+    /// The schema version this scenario *emits*: 1 for a fault-free
+    /// scenario (byte-compatible with older readers),
+    /// [`SCENARIO_SCHEMA_VERSION`] once a fault plan is declared.
+    pub fn schema_version(&self) -> u64 {
+        if self.fault.is_some() {
+            SCENARIO_SCHEMA_VERSION
+        } else {
+            1
+        }
+    }
+
+    /// The SHA-256 of the canonical file form ([`Scenario::to_json_string`])
+    /// as 64 lowercase hex digits — the scenario's content address.
+    ///
+    /// Because emission is canonical (`emit → parse → emit` is
+    /// byte-identical), two scenarios hash equal exactly when their file
+    /// forms are byte-identical; any semantic edit (one field, one float
+    /// bit) changes the hash. The regression ledger
+    /// ([`crate::ledger`]) keys run records by this value.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the scenario contains an extern controller (no file
+    /// form, hence no content address).
+    pub fn content_hash(&self) -> Result<String, JsonError> {
+        Ok(crate::hash::sha256_hex(self.to_json_string()?.as_bytes()))
     }
 }
 

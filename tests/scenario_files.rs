@@ -605,16 +605,15 @@ fn duplicate_keys_are_rejected() {
     );
 }
 
-/// The mini fuzz loop: byte-level mutations of a valid scenario file must
-/// always yield `Ok` or a positioned `Err` — never a panic, hang, or
-/// abort. (Runs the parser + full decoder on every mutant.)
-#[test]
-fn byte_mutation_fuzz_never_panics() {
-    let valid = mini_text().into_bytes();
-    let mut rng = StdRng::seed_from_u64(0x5EED_F00D);
+/// The mini fuzz loop shared by the schema-1 and schema-2 batteries:
+/// byte-level mutations of a valid scenario file must always yield `Ok`
+/// or a positioned `Err` — never a panic, hang, or abort. (Runs the
+/// parser + full decoder on every mutant.) Returns the error count.
+fn fuzz_byte_mutations(valid: &[u8], seed: u64) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut errors = 0usize;
     for case in 0..600u32 {
-        let mut bytes = valid.clone();
+        let mut bytes = valid.to_vec();
         match case % 3 {
             0 => {
                 // Flip one byte to an arbitrary value.
@@ -640,5 +639,26 @@ fn byte_mutation_fuzz_never_panics() {
             let _ = e.to_string();
         }
     }
+    errors
+}
+
+#[test]
+fn byte_mutation_fuzz_never_panics() {
+    let errors = fuzz_byte_mutations(mini_text().as_bytes(), 0x5EED_F00D);
+    assert!(errors > 300, "mutations should mostly fail ({errors}/600)");
+}
+
+/// The same battery over the schema-2 fault surface: mutants of the
+/// faulted E7 golden exercise the `"fault"` decoder (events, guard,
+/// cross-references to session indices) byte-by-byte, and must never
+/// panic either.
+#[test]
+fn byte_mutation_fuzz_covers_schema_2_fault_bytes() {
+    let valid = std::fs::read(golden_path("e7_fault_outage")).expect("read e7 golden");
+    assert!(
+        String::from_utf8_lossy(&valid).contains("\"fault\""),
+        "e7 golden must carry the schema-2 fault surface"
+    );
+    let errors = fuzz_byte_mutations(&valid, 0x5EED_FA17);
     assert!(errors > 300, "mutations should mostly fail ({errors}/600)");
 }
