@@ -1,0 +1,267 @@
+//! Stage 3: codec field-coverage for the hand-written JSON codecs.
+//!
+//! The ledger's whole value rests on `to_json`/`from_json` pairs being
+//! exact inverses over the *declared* shape of a type: a codec that
+//! silently drops a struct field round-trips "cleanly" while forking the
+//! scenario hash semantics. This pass cross-checks, for every struct/enum
+//! in a coverage file with a hand-written codec pair, three sets:
+//!
+//! * **declared** — the type's named fields (for enums: the union of all
+//!   variants' named fields);
+//! * **emit** — the key strings the `to_json` side writes
+//!   (`members.push(("key", …))` / `vec![("key", …)]` tuples);
+//! * **parse** — the key strings the `from_json` side reads
+//!   (`obj.req("key")` / `obj.opt("key")`).
+//!
+//! Every declared field must appear in both emit and parse; an emit key
+//! with no matching parse (or vice versa) is flagged unless it is present
+//! on *both* sides (envelope keys like `"schema"` and `"type"` tags are
+//! fine). This catches exactly the dropped-, misspelled-, and emit-only-
+//! field bug class.
+//!
+//! Codec pairs are discovered two ways: `impl T { fn to_json / fn
+//! from_json }` pairs the type directly; free `x_to_json`/`x_from_json`
+//! functions pair by their `x` stem, with the subject type resolved from
+//! the first signature identifier naming a declared type **with fields**
+//! (so `&Value` parameters never masquerade as the subject). Types are
+//! looked up workspace-wide — a codec may live in a different file than
+//! its type's declaration.
+
+use std::collections::BTreeMap;
+
+use crate::items::{FileItems, FnItem};
+use crate::lexer::TokKind;
+use crate::rules::{names, FilePolicy, Finding};
+
+/// Runs the coverage pass. Only files whose policy marks them as coverage
+/// files contribute codec pairs; type declarations are resolved against
+/// the whole parsed workspace.
+pub fn run(files: &[FileItems], policies: &[FilePolicy]) -> Vec<Finding> {
+    // Workspace-wide type table: name → (file idx, type idx). First
+    // declaration in walk order wins (names are unique in practice).
+    let mut types: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (ti, t) in f.types.iter().enumerate() {
+            types.entry(t.name.as_str()).or_insert((fi, ti));
+        }
+    }
+    let mut findings = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        if !policies[fi].is_coverage {
+            continue;
+        }
+        for pair in discover_pairs(f, &types, files) {
+            check_pair(f, &pair, &types, files, &mut findings);
+        }
+    }
+    findings
+}
+
+/// One discovered codec pair within a file.
+struct Pair {
+    /// Subject type name.
+    subject: String,
+    /// Index of the `to_json` fn in the file.
+    emit_fn: usize,
+    /// Index of the `from_json` fn in the file.
+    parse_fn: usize,
+}
+
+fn discover_pairs(
+    file: &FileItems,
+    types: &BTreeMap<&str, (usize, usize)>,
+    files: &[FileItems],
+) -> Vec<Pair> {
+    // stem → (emit fn, parse fn); impl-based pairs use the type name as
+    // the stem directly.
+    let mut halves: BTreeMap<String, (Option<usize>, Option<usize>)> = BTreeMap::new();
+    for (i, f) in file.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        match (&f.impl_type, f.name.as_str()) {
+            (Some(ty), "to_json") => halves.entry(ty.clone()).or_default().0 = Some(i),
+            (Some(ty), "from_json") => halves.entry(ty.clone()).or_default().1 = Some(i),
+            (None, name) => {
+                if let Some(stem) = name.strip_suffix("_to_json") {
+                    halves.entry(stem.to_string()).or_default().0 = Some(i);
+                } else if let Some(stem) = name.strip_suffix("_from_json") {
+                    halves.entry(stem.to_string()).or_default().1 = Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut pairs = Vec::new();
+    for (stem, (emit, parse)) in halves {
+        let (Some(emit_fn), Some(parse_fn)) = (emit, parse) else {
+            continue; // one-sided helpers are not codecs
+        };
+        // Impl-based stems are the type name; free-fn stems resolve the
+        // subject from the signatures.
+        let subject = if types.contains_key(stem.as_str()) {
+            Some(stem)
+        } else {
+            subject_of(&file.fns[emit_fn], file, types, files)
+                .or_else(|| subject_of(&file.fns[parse_fn], file, types, files))
+        };
+        if let Some(subject) = subject {
+            pairs.push(Pair {
+                subject,
+                emit_fn,
+                parse_fn,
+            });
+        }
+    }
+    pairs
+}
+
+/// The first identifier in the fn's signature naming a declared type with
+/// at least one named field.
+fn subject_of(
+    f: &FnItem,
+    file: &FileItems,
+    types: &BTreeMap<&str, (usize, usize)>,
+    files: &[FileItems],
+) -> Option<String> {
+    let (start, end) = f.sig;
+    for t in &file.toks[start..end.min(file.toks.len())] {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if let Some(&(fi, ti)) = types.get(t.text.as_str()) {
+            if !files[fi].types[ti].fields.is_empty() {
+                return Some(t.text.clone());
+            }
+        }
+    }
+    None
+}
+
+fn check_pair(
+    file: &FileItems,
+    pair: &Pair,
+    types: &BTreeMap<&str, (usize, usize)>,
+    files: &[FileItems],
+    out: &mut Vec<Finding>,
+) {
+    let Some(&(tfi, tti)) = types.get(pair.subject.as_str()) else {
+        return;
+    };
+    let declared = &files[tfi].types[tti].fields;
+    let emit = emit_keys(file, pair.emit_fn);
+    let parse = parse_keys(file, pair.parse_fn);
+    let emit_item = &file.fns[pair.emit_fn];
+    let parse_item = &file.fns[pair.parse_fn];
+    let place = |f: &FnItem, msg: String| Finding {
+        file: file.rel.clone(),
+        line: f.line,
+        col: f.col,
+        rule: names::CODEC_COVERAGE,
+        message: msg,
+        chain: Vec::new(),
+    };
+    for field in declared {
+        if !emit.contains(field) {
+            out.push(place(
+                emit_item,
+                format!(
+                    "codec for `{}` never emits declared field `{}`; the emitted form \
+                     silently drops it",
+                    pair.subject, field
+                ),
+            ));
+        }
+        if !parse.contains(field) {
+            out.push(place(
+                parse_item,
+                format!(
+                    "codec for `{}` never parses declared field `{}`; round-trips lose it",
+                    pair.subject, field
+                ),
+            ));
+        }
+    }
+    for key in &emit {
+        if !parse.contains(key) && !declared.contains(key) {
+            out.push(place(
+                emit_item,
+                format!(
+                    "codec for `{}` emits key \"{}\" that the parse side never reads \
+                     (emit-only key, or a misspelling of a parsed one)",
+                    pair.subject, key
+                ),
+            ));
+        }
+    }
+    for key in &parse {
+        if !emit.contains(key) && !declared.contains(key) {
+            out.push(place(
+                parse_item,
+                format!(
+                    "codec for `{}` parses key \"{}\" that the emit side never writes \
+                     (parse-only key, or a misspelling of an emitted one)",
+                    pair.subject, key
+                ),
+            ));
+        }
+    }
+}
+
+/// True for strings that look like JSON object keys (`snake_case`).
+fn is_key_str(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Key strings the emit side writes: string literals opening a tuple —
+/// `("key", …)` — where the tuple itself opens after `(`, `[`, or `,`
+/// (`members.push(("key", …))`, `vec![("key", …), ("key2", …)]`). A string
+/// directly after a call head (`helper("label", …)`) is an argument label,
+/// not a key.
+fn emit_keys(file: &FileItems, fn_idx: usize) -> Vec<String> {
+    let (start, end) = file.fns[fn_idx].body;
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    for i in start..end.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind != TokKind::Str || !is_key_str(&t.text) {
+            continue;
+        }
+        let opens_tuple = i >= 2
+            && toks[i - 1].is_punct('(')
+            && (toks[i - 2].is_punct('(')
+                || toks[i - 2].is_punct('[')
+                || toks[i - 2].is_punct(','));
+        if opens_tuple && !out.contains(&t.text) {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+/// Key strings the parse side reads: arguments of `.req("key")` /
+/// `.opt("key")`.
+fn parse_keys(file: &FileItems, fn_idx: usize) -> Vec<String> {
+    let (start, end) = file.fns[fn_idx].body;
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    for i in start..end.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind != TokKind::Str || !is_key_str(&t.text) {
+            continue;
+        }
+        let req_opt = i >= 2
+            && toks[i - 1].is_punct('(')
+            && toks[i - 2].kind == TokKind::Ident
+            && (toks[i - 2].text == "req" || toks[i - 2].text == "opt");
+        if req_opt && !out.contains(&t.text) {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}

@@ -10,7 +10,12 @@
 //! - string literals with escapes, raw strings `r"…"`/`r#"…"#` (any hash
 //!   count), byte strings `b"…"`/`br#"…"#`, and C strings `c"…"`;
 //! - char literals vs. lifetimes (`'a'` vs. `'a`);
-//! - raw identifiers (`r#gen`).
+//! - raw identifiers (`r#gen`), including in paths (`r#type::f`); a raw
+//!   identifier carries [`Tok::raw`] so `r#fn`/`r#unsafe` never match as
+//!   *keywords* ([`Tok::is_kw`]) while still matching by *name*
+//!   ([`Tok::is_ident`] — `r#gen` and `gen` are the same identifier);
+//! - a UTF-8 BOM and a shebang line (`#!/usr/bin/env …`) before the first
+//!   item, skipped without disturbing line/column accounting.
 //!
 //! Known limitations (shared with every token-level linter, and documented
 //! on the crate root): no macro expansion, no type inference, no name
@@ -41,8 +46,13 @@ pub enum TokKind {
 pub struct Tok {
     /// Token kind.
     pub kind: TokKind,
-    /// Token text (see [`TokKind`] for what is stored per kind).
+    /// Token text (see [`TokKind`] for what is stored per kind; raw
+    /// identifiers store the name *without* the `r#` prefix, because
+    /// `r#gen` and `gen` name the same identifier).
     pub text: String,
+    /// True when this identifier was written raw (`r#type`). A raw
+    /// identifier is never a keyword, whatever its text says.
+    pub raw: bool,
     /// 1-based line of the first character.
     pub line: u32,
     /// 1-based column (in characters) of the first character.
@@ -50,9 +60,17 @@ pub struct Tok {
 }
 
 impl Tok {
-    /// True when this is an identifier with exactly this text.
+    /// True when this is an identifier with exactly this text (raw or
+    /// not: `r#gen` and `gen` are the same identifier).
     pub fn is_ident(&self, s: &str) -> bool {
         self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this is the *keyword* `s`: an identifier with that text
+    /// that was not written raw (`r#fn` is an ordinary identifier named
+    /// `fn`, never the keyword).
+    pub fn is_kw(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && !self.raw && self.text == s
     }
 
     /// True when this is the given punctuation character.
@@ -126,7 +144,20 @@ fn is_ident_continue(c: char) -> bool {
 /// the rest of the file (the compiler is the authority on well-formedness;
 /// the linter only needs positions to stay honest on valid code).
 pub fn lex(src: &str) -> LexFile {
+    // A UTF-8 BOM is not part of the source text: strip it so the first
+    // real token still starts at column 1.
+    let src = src.strip_prefix('\u{feff}').unwrap_or(src);
     let mut cur = Cursor::new(src);
+    // A shebang line (`#!…`, but not the inner attribute `#![…]`) is
+    // consumed whole; tokens start on line 2 as the compiler sees it.
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        while let Some(c) = cur.peek() {
+            if c == '\n' {
+                break;
+            }
+            cur.bump();
+        }
+    }
     let mut out = LexFile::default();
     // Line number of the most recent token, to classify comments as
     // trailing (same line as code) or standalone.
@@ -184,6 +215,7 @@ pub fn lex(src: &str) -> LexFile {
                         out.toks.push(Tok {
                             kind: TokKind::Punct,
                             text: "/".into(),
+                            raw: false,
                             line,
                             col,
                         });
@@ -197,6 +229,7 @@ pub fn lex(src: &str) -> LexFile {
                 out.toks.push(Tok {
                     kind: TokKind::Str,
                     text: body,
+                    raw: false,
                     line,
                     col,
                 });
@@ -224,6 +257,7 @@ pub fn lex(src: &str) -> LexFile {
                     out.toks.push(Tok {
                         kind: TokKind::Lifetime,
                         text,
+                        raw: false,
                         line,
                         col,
                     });
@@ -246,6 +280,7 @@ pub fn lex(src: &str) -> LexFile {
                     out.toks.push(Tok {
                         kind: TokKind::Char,
                         text,
+                        raw: false,
                         line,
                         col,
                     });
@@ -273,6 +308,7 @@ pub fn lex(src: &str) -> LexFile {
                 out.toks.push(Tok {
                     kind: TokKind::Ident,
                     text,
+                    raw: false,
                     line,
                     col,
                 });
@@ -301,6 +337,7 @@ pub fn lex(src: &str) -> LexFile {
                 out.toks.push(Tok {
                     kind: TokKind::Num,
                     text,
+                    raw: false,
                     line,
                     col,
                 });
@@ -311,6 +348,7 @@ pub fn lex(src: &str) -> LexFile {
                 out.toks.push(Tok {
                     kind: TokKind::Punct,
                     text: c.to_string(),
+                    raw: false,
                     line,
                     col,
                 });
@@ -372,6 +410,7 @@ fn try_lex_prefixed_literal(cur: &mut Cursor<'_>, line: u32, col: u32) -> Option
             Some(Tok {
                 kind: TokKind::Str,
                 text: body,
+                raw: false,
                 line,
                 col,
             })
@@ -391,12 +430,14 @@ fn try_lex_prefixed_literal(cur: &mut Cursor<'_>, line: u32, col: u32) -> Option
                         return Some(Tok {
                             kind: TokKind::Str,
                             text: body,
+                            raw: false,
                             line,
                             col,
                         });
                     }
                     Some(c) if prefix_len == 1 && first == 'r' && is_ident_start(c) => {
-                        // Raw identifier `r#ident`.
+                        // Raw identifier `r#ident`: same name as `ident`,
+                        // but marked raw so it never matches as a keyword.
                         cur.bump(); // r
                         cur.bump(); // #
                         let mut text = String::new();
@@ -411,6 +452,7 @@ fn try_lex_prefixed_literal(cur: &mut Cursor<'_>, line: u32, col: u32) -> Option
                         return Some(Tok {
                             kind: TokKind::Ident,
                             text,
+                            raw: true,
                             line,
                             col,
                         });
@@ -514,6 +556,47 @@ mod tests {
         let ids = idents("let x = r#gen(r#type);");
         assert!(ids.contains(&"gen".to_string()));
         assert!(ids.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_in_paths_are_not_keywords() {
+        let lf = lex("let v = r#type::f(r#unsafe::g());");
+        let ty = lf.toks.iter().find(|t| t.is_ident("type")).expect("type");
+        assert!(ty.raw && !ty.is_kw("type"));
+        let un = lf
+            .toks
+            .iter()
+            .find(|t| t.is_ident("unsafe"))
+            .expect("unsafe");
+        assert!(
+            un.raw && !un.is_kw("unsafe"),
+            "r#unsafe is a name, not the keyword"
+        );
+        // The path's `::` survives around the raw identifier.
+        assert_eq!(lf.toks.iter().filter(|t| t.is_punct(':')).count(), 4);
+        // Plain keywords still match.
+        assert!(lf.toks[0].is_kw("let"));
+    }
+
+    #[test]
+    fn bom_is_stripped_before_column_accounting() {
+        let lf = lex("\u{feff}use x;");
+        assert_eq!((lf.toks[0].line, lf.toks[0].col), (1, 1));
+        assert!(lf.toks[0].is_kw("use"));
+    }
+
+    #[test]
+    fn shebang_line_is_skipped_whole() {
+        let lf = lex("#!/usr/bin/env run-cargo-script\nfn main() {}\n");
+        assert!(
+            lf.toks[0].is_kw("fn"),
+            "shebang must not leak tokens: {:?}",
+            lf.toks[0]
+        );
+        assert_eq!((lf.toks[0].line, lf.toks[0].col), (2, 1));
+        // An inner attribute `#![…]` is NOT a shebang.
+        let attr = lex("#![forbid(unsafe_code)]\nfn main() {}\n");
+        assert!(attr.toks[0].is_punct('#'));
     }
 
     #[test]

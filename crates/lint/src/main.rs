@@ -3,12 +3,12 @@
 //! report, and exits nonzero on any finding.
 //!
 //! ```text
-//! arvis-lint [--root <dir>] [--json <path|->] [--list-rules]
+//! arvis-lint [--root <dir>] [--json <path|->] [--list-rules] [--explain <rule>]
 //! ```
 
 use std::process::ExitCode;
 
-use arvis_lint::{lint_workspace, LintConfig, RULES};
+use arvis_lint::{lint_workspace, rules, LintConfig, RULES};
 
 fn main() -> ExitCode {
     let mut config = LintConfig::workspace();
@@ -36,8 +36,32 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "--explain" => match args.next() {
+                Some(rule) => match rules::explain(&rule) {
+                    Some(text) => {
+                        let desc = RULES
+                            .iter()
+                            .find(|(n, _)| *n == rule)
+                            .map(|(_, d)| *d)
+                            .unwrap_or("");
+                        println!("{rule}: {desc}\n");
+                        println!("{text}");
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!("unknown rule {rule:?} (try --list-rules)");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!("--explain needs a rule name (try --list-rules)");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("arvis-lint [--root <dir>] [--json <path|->] [--list-rules]");
+                println!(
+                    "arvis-lint [--root <dir>] [--json <path|->] [--list-rules] [--explain <rule>]"
+                );
                 println!("Statically audits the workspace's determinism contract.");
                 return ExitCode::SUCCESS;
             }

@@ -47,18 +47,27 @@ impl Report {
 
     /// The canonical JSON report. Keys are emitted in a fixed order and the
     /// printer is deterministic, so two runs over the same tree produce
-    /// byte-identical reports.
+    /// byte-identical reports. Schema 2 adds the machine-readable taint
+    /// chain (`"chain"`) to every finding — empty for per-file findings,
+    /// the function path down to the ambient source for interprocedural
+    /// ones.
     pub fn to_json(&self) -> JsonValue {
         let findings = self
             .findings
             .iter()
             .map(|f| {
+                let chain = f
+                    .chain
+                    .iter()
+                    .map(|hop| JsonValue::str(hop.clone()))
+                    .collect();
                 JsonValue::obj(vec![
                     ("file", JsonValue::str(f.file.clone())),
                     ("line", JsonValue::int(i128::from(f.line))),
                     ("col", JsonValue::int(i128::from(f.col))),
                     ("rule", JsonValue::str(f.rule)),
                     ("message", JsonValue::str(f.message.clone())),
+                    ("chain", JsonValue::arr(chain)),
                 ])
             })
             .collect();
@@ -67,7 +76,7 @@ impl Report {
             .map(|(name, _)| JsonValue::str(*name))
             .collect();
         JsonValue::obj(vec![
-            ("schema", JsonValue::int(1)),
+            ("schema", JsonValue::int(2)),
             ("tool", JsonValue::str("arvis-lint")),
             ("files_scanned", JsonValue::int(self.files_scanned as i128)),
             ("rules", JsonValue::arr(rules)),
@@ -87,6 +96,7 @@ mod tests {
             col: 9,
             rule: "no-ambient-time",
             message: "ambient clock".into(),
+            chain: vec!["a::f".into(), "`Instant` (crates/x/src/lib.rs:3)".into()],
         }
     }
 
@@ -112,8 +122,13 @@ mod tests {
         assert_eq!(a, b);
         let back = arvis_core::json::parse(&a).expect("report parses");
         let mut obj = back.as_obj().expect("object");
-        assert_eq!(obj.req("schema").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(obj.req("schema").unwrap().as_u64().unwrap(), 2);
         assert_eq!(obj.req("files_scanned").unwrap().as_u64().unwrap(), 2);
-        assert_eq!(obj.req("findings").unwrap().as_array().unwrap().len(), 1);
+        let found = obj.req("findings").unwrap();
+        let arr = found.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        let mut f0 = arr[0].as_obj().expect("finding object");
+        let chain = f0.req("chain").unwrap().as_array().unwrap();
+        assert_eq!(chain.len(), 2, "schema 2 carries the taint chain");
     }
 }

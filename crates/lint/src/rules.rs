@@ -5,7 +5,8 @@
 //! hash-container bindings, parallel-module markers). Findings carry the
 //! 1-based line/column of the offending token.
 
-use crate::lexer::{self, Comment, Tok, TokKind};
+use crate::items::FileItems;
+use crate::lexer::{Comment, Tok, TokKind};
 
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +21,10 @@ pub struct Finding {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// For interprocedural findings: the taint chain from the flagged
+    /// call site down to the ambient source (function display paths, then
+    /// the source description). Empty for per-file findings.
+    pub chain: Vec<String>,
 }
 
 impl Finding {
@@ -48,6 +53,8 @@ pub mod names {
     pub const FLOAT_REDUCTION_ORDER: &str = "float-reduction-order";
     /// Malformed or useless `arvis-lint` pragmas.
     pub const LINT_PRAGMA: &str = "lint-pragma";
+    /// Codec emit/parse key sets must cover the declared fields.
+    pub const CODEC_COVERAGE: &str = "codec-coverage";
 }
 
 /// Name + one-line description of every rule, for `--list-rules` and docs.
@@ -80,11 +87,85 @@ pub const RULES: &[(&str, &str)] = &[
         names::LINT_PRAGMA,
         "arvis-lint pragmas must name a known rule, carry a justification, and suppress something",
     ),
+    (
+        names::CODEC_COVERAGE,
+        "hand-written to_json/from_json pairs must emit and parse every declared field",
+    ),
 ];
 
 /// True when `name` is a known rule.
 pub fn is_rule(name: &str) -> bool {
     RULES.iter().any(|(n, _)| *n == name)
+}
+
+/// The long-form explanation behind `--explain <rule>`: what the rule
+/// protects, how the interprocedural pass extends it, and how to contain
+/// a deliberate exception.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    let text = match rule {
+        "no-ambient-time" => {
+            "Wall-clock reads (`std::time::Instant`, `SystemTime`) make output depend on the \
+             machine and the moment, which breaks the bit-determinism contract the regression \
+             ledger relies on. Library time is the slot counter. This rule is interprocedural: \
+             a function that merely *calls* one that reads the clock is flagged too, with the \
+             full taint chain (`a → b → Instant (file:line)`). Measurement code under \
+             `crates/bench` is policy-exempt from reporting, but its functions still carry \
+             taint, so deterministic code calling into bench timing is caught at that boundary. \
+             Contain a deliberate use with `// arvis-lint: allow(no-ambient-time, \"…\")` on \
+             the offending line or on the line above the `fn` to cover the whole item."
+        }
+        "no-ambient-entropy" => {
+            "Ambient randomness (`thread_rng`, `from_entropy`, `RandomState`) seeds state from \
+             the OS, so two runs of the same scenario diverge. Every RNG in this workspace is \
+             explicitly seeded (splitmix-derived per-session streams), and hash containers use \
+             fixed-seed hashers. Interprocedural: callers of entropy-tainted functions are \
+             flagged with the full chain. There is no policy exemption; a justified exception \
+             needs a pragma at the containment boundary."
+        }
+        "hash-order-iteration" => {
+            "Iterating a `HashMap`/`HashSet` observes memory-layout order, which is not part of \
+             the deterministic contract even with fixed-seed hashers across versions. Sort the \
+             result, use a Vec/BTreeMap, or pragma-cite the downstream sort. This rule is \
+             per-file (the binding heuristics do not cross function boundaries)."
+        }
+        "panic-free-codecs" => {
+            "Codec files promise positioned errors (`line/col` in `JsonError`), never panics: a \
+             panicking decoder turns a corrupt ledger line into a process abort instead of a \
+             diagnosable error. `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` are forbidden \
+             outside `#[cfg(test)]` regions of codec files."
+        }
+        "no-unsafe" => {
+            "The workspace is `forbid(unsafe_code)` outside the explicit allowlist \
+             (`crates/par` owns the scoped-thread internals). `unsafe` anywhere else voids the \
+             determinism argument the safe APIs encode."
+        }
+        "float-reduction-order" => {
+            "Float addition is not associative: `.sum::<f32|f64>()` over a parallel-chunked \
+             iterator reduces in whatever order the chunks land, so serial and parallel runs \
+             diverge in the last ulp — which the bit-identity suites treat as failure. Route \
+             reductions through the `arvis_par` chunked reducers (fixed tree order) or \
+             pragma-cite the fixed order. Interprocedural: callers of a function containing an \
+             unsuppressed bare float reduction are flagged with the chain."
+        }
+        "lint-pragma" => {
+            "`// arvis-lint: allow(<rule>, \"<justification>\")` must name a known rule, carry \
+             a non-empty quoted justification, and actually suppress a finding. A pragma on its \
+             own line covers the next code line; directly above an `fn` item it covers the \
+             whole item (function-scoped containment). Unused pragmas are themselves findings, \
+             so stale allowances cannot linger."
+        }
+        "codec-coverage" => {
+            "Every struct/enum with a hand-written `to_json`/`from_json` pair must emit and \
+             parse exactly its declared fields: a dropped field round-trips \"cleanly\" while \
+             silently forking the scenario-hash semantics the ledger keys on. The pass \
+             cross-checks declared fields against the key strings the emit side writes \
+             (`(\"key\", …)` tuples) and the parse side reads (`.req(\"key\")`/`.opt(\"key\")`). \
+             Keys present on both sides but not declared (schema envelopes, `type` tags) are \
+             fine; one-sided keys and uncovered fields are findings."
+        }
+        _ => return None,
+    };
+    Some(text)
 }
 
 /// Per-file rule applicability, derived from the workspace config by the
@@ -97,59 +178,75 @@ pub struct FilePolicy {
     pub allow_unsafe: bool,
     /// File is a codec (panic-free) file.
     pub is_codec: bool,
+    /// File's codec pairs are subject to the field-coverage pass.
+    pub is_coverage: bool,
 }
 
 /// A parsed `// arvis-lint: allow(rule, "justification")` pragma.
 #[derive(Debug)]
-struct Pragma {
-    rule: String,
-    line: u32,
-    own_line: bool,
-    used: std::cell::Cell<bool>,
+pub(crate) struct Pragma {
+    pub(crate) rule: String,
+    pub(crate) line: u32,
+    pub(crate) own_line: bool,
+    pub(crate) used: std::cell::Cell<bool>,
 }
 
-/// Lints one file's source text. `rel` is the root-relative path used in
-/// findings.
-pub fn lint_source(rel: &str, src: &str, policy: &FilePolicy) -> Vec<Finding> {
-    let lexed = lexer::lex(src);
-    let toks = &lexed.toks[..];
-    let test_regions = find_test_regions(toks);
-    let (pragmas, mut findings) = parse_pragmas(rel, &lexed.comments);
-
-    let in_tests = |line: u32| test_regions.iter().any(|&(a, b)| line >= a && line <= b);
-
-    if !policy.allow_time {
-        rule_ambient_time(rel, toks, &mut findings);
-    }
-    rule_ambient_entropy(rel, toks, &mut findings);
-    rule_hash_order(rel, toks, &mut findings);
-    if policy.is_codec {
-        rule_panic_free(rel, toks, &in_tests, &mut findings);
-    }
-    if !policy.allow_unsafe {
-        rule_no_unsafe(rel, toks, &mut findings);
-    }
-    rule_float_reduction(rel, toks, &in_tests, &mut findings);
-
-    // Pragma suppression: a pragma covers findings of its rule on its own
-    // line (trailing comment) or — for a standalone comment line — on the
-    // next line that carries any token.
-    let next_tok_line =
-        |after: u32| -> Option<u32> { toks.iter().map(|t| t.line).filter(|&l| l > after).min() };
-    findings.retain(|f| {
-        for p in &pragmas {
-            if p.rule != f.rule {
-                continue;
-            }
-            let covers = f.line == p.line || (p.own_line && Some(f.line) == next_tok_line(p.line));
-            if covers {
-                p.used.set(true);
-                return false;
-            }
+/// Whether some pragma suppresses a finding of `rule` at `line`, marking
+/// the pragma used. Three scopes, in order:
+///
+/// * **trailing** — the pragma shares the finding's line;
+/// * **line** — a standalone pragma covers the next line carrying a token;
+/// * **function** — a standalone pragma directly above an `fn` item's
+///   first line (attributes included) covers the item's whole span, so
+///   taint can be contained at the function boundary.
+pub(crate) fn pragma_covers(pragmas: &[Pragma], items: &FileItems, rule: &str, line: u32) -> bool {
+    let next_tok_line = |after: u32| -> Option<u32> {
+        items
+            .toks
+            .iter()
+            .map(|t| t.line)
+            .filter(|&l| l > after)
+            .min()
+    };
+    for p in pragmas {
+        if p.rule != rule {
+            continue;
         }
-        true
-    });
-    for p in &pragmas {
+        if p.line == line {
+            p.used.set(true);
+            return true;
+        }
+        if !p.own_line {
+            continue;
+        }
+        let Some(next) = next_tok_line(p.line) else {
+            continue;
+        };
+        if next == line {
+            p.used.set(true);
+            return true;
+        }
+        let fn_scoped = items
+            .fns
+            .iter()
+            .any(|f| f.header_line == next && line >= f.span.0 && line <= f.span.1);
+        if fn_scoped {
+            p.used.set(true);
+            return true;
+        }
+    }
+    false
+}
+
+/// Drops every finding a pragma covers (marking those pragmas used).
+pub(crate) fn suppress(pragmas: &[Pragma], items: &FileItems, findings: &mut Vec<Finding>) {
+    findings.retain(|f| !pragma_covers(pragmas, items, f.rule, f.line));
+}
+
+/// Appends a `lint-pragma` finding for every pragma that never suppressed
+/// anything.
+pub(crate) fn flag_unused_pragmas(rel: &str, pragmas: &[Pragma], findings: &mut Vec<Finding>) {
+    for p in pragmas {
         if !p.used.get() {
             findings.push(Finding {
                 file: rel.to_string(),
@@ -157,20 +254,53 @@ pub fn lint_source(rel: &str, src: &str, policy: &FilePolicy) -> Vec<Finding> {
                 col: 1,
                 rule: names::LINT_PRAGMA,
                 message: format!(
-                    "pragma allow({}) suppresses nothing on this or the next line; remove it",
+                    "pragma allow({}) suppresses nothing in its scope; remove it",
                     p.rule
                 ),
+                chain: Vec::new(),
             });
         }
     }
+}
 
+/// Runs the per-file rules over a parsed file, appending findings.
+/// Test-only regions come from the item parser's `cfg` evaluator, so
+/// `cfg(all(test, …))` nesting is handled exactly.
+pub(crate) fn run_rules(items: &FileItems, policy: &FilePolicy, findings: &mut Vec<Finding>) {
+    let rel = items.rel.as_str();
+    let toks = &items.toks[..];
+    let in_tests = |line: u32| items.in_test_region(line);
+    if !policy.allow_time {
+        rule_ambient_time(rel, toks, findings);
+    }
+    rule_ambient_entropy(rel, toks, findings);
+    rule_hash_order(rel, toks, findings);
+    if policy.is_codec {
+        rule_panic_free(rel, toks, &in_tests, findings);
+    }
+    if !policy.allow_unsafe {
+        rule_no_unsafe(rel, toks, findings);
+    }
+    rule_float_reduction(rel, toks, &in_tests, findings);
+}
+
+/// Lints one file's source text in isolation (per-file rules plus pragma
+/// resolution; the interprocedural passes need the whole workspace and
+/// run from [`crate::lint_workspace`]). `rel` is the root-relative path
+/// used in findings.
+pub fn lint_source(rel: &str, src: &str, policy: &FilePolicy) -> Vec<Finding> {
+    let items = FileItems::parse(rel, src);
+    let (pragmas, mut findings) = parse_pragmas(rel, &items.comments);
+    run_rules(&items, policy, &mut findings);
+    suppress(&pragmas, &items, &mut findings);
+    flag_unused_pragmas(rel, &pragmas, &mut findings);
     findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     findings
 }
 
 /// Parses pragmas out of the comment list. Malformed pragmas become
 /// `lint-pragma` findings immediately.
-fn parse_pragmas(rel: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Finding>) {
+pub(crate) fn parse_pragmas(rel: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Finding>) {
     let mut pragmas = Vec::new();
     let mut findings = Vec::new();
     for c in comments {
@@ -190,6 +320,7 @@ fn parse_pragmas(rel: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Finding>)
             col: 1,
             rule: names::LINT_PRAGMA,
             message: msg,
+            chain: Vec::new(),
         };
         let rest = rest.trim();
         let Some(inner) = rest
@@ -232,95 +363,6 @@ fn parse_pragmas(rel: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Finding>)
     (pragmas, findings)
 }
 
-/// Line spans (inclusive) of `#[cfg(test)] mod …` and `#[test] fn …` items,
-/// by brace matching over the token stream.
-fn find_test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
-    let mut regions = Vec::new();
-    let mut i = 0usize;
-    while i < toks.len() {
-        if !(toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[')) {
-            i += 1;
-            continue;
-        }
-        // Find the attribute's closing bracket and check it mentions
-        // `test` (covers `#[cfg(test)]`, `#[cfg(all(test, …))]`, `#[test]`).
-        let mut depth = 0i32;
-        let mut j = i + 1;
-        let mut mentions_test = false;
-        while j < toks.len() {
-            if toks[j].is_punct('[') {
-                depth += 1;
-            } else if toks[j].is_punct(']') {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
-            } else if toks[j].is_ident("test") {
-                // `#[cfg(not(test))]` guards *non*-test code.
-                let negated = j >= 2 && toks[j - 1].is_punct('(') && toks[j - 2].is_ident("not");
-                if !negated {
-                    mentions_test = true;
-                }
-            }
-            j += 1;
-        }
-        if !mentions_test || j >= toks.len() {
-            i = j.max(i + 1);
-            continue;
-        }
-        // Skip any further attributes, then expect `mod`/`fn` and a braced
-        // body.
-        let mut k = j + 1;
-        while k + 1 < toks.len() && toks[k].is_punct('#') && toks[k + 1].is_punct('[') {
-            let mut d = 0i32;
-            while k < toks.len() {
-                if toks[k].is_punct('[') {
-                    d += 1;
-                } else if toks[k].is_punct(']') {
-                    d -= 1;
-                    if d == 0 {
-                        break;
-                    }
-                }
-                k += 1;
-            }
-            k += 1;
-        }
-        let is_item = k < toks.len() && (toks[k].is_ident("mod") || toks[k].is_ident("fn"));
-        if !is_item {
-            i = j + 1;
-            continue;
-        }
-        // Find the opening brace of the body, then its match.
-        let mut b = k;
-        while b < toks.len() && !toks[b].is_punct('{') && !toks[b].is_punct(';') {
-            b += 1;
-        }
-        if b >= toks.len() || toks[b].is_punct(';') {
-            i = j + 1;
-            continue;
-        }
-        let start_line = toks[i].line;
-        let mut d = 0i32;
-        let mut e = b;
-        while e < toks.len() {
-            if toks[e].is_punct('{') {
-                d += 1;
-            } else if toks[e].is_punct('}') {
-                d -= 1;
-                if d == 0 {
-                    break;
-                }
-            }
-            e += 1;
-        }
-        let end_line = toks.get(e).map_or(u32::MAX, |t| t.line);
-        regions.push((start_line, end_line));
-        i = b + 1;
-    }
-    regions
-}
-
 fn push(findings: &mut Vec<Finding>, rel: &str, tok: &Tok, rule: &'static str, message: String) {
     findings.push(Finding {
         file: rel.to_string(),
@@ -328,6 +370,7 @@ fn push(findings: &mut Vec<Finding>, rel: &str, tok: &Tok, rule: &'static str, m
         col: tok.col,
         rule,
         message,
+        chain: Vec::new(),
     });
 }
 
@@ -649,7 +692,7 @@ fn rule_panic_free(
 /// no-unsafe: the `unsafe` keyword anywhere outside the allowlist.
 fn rule_no_unsafe(rel: &str, toks: &[Tok], out: &mut Vec<Finding>) {
     for t in toks {
-        if t.is_ident("unsafe") {
+        if t.is_kw("unsafe") {
             push(
                 out,
                 rel,
@@ -662,15 +705,10 @@ fn rule_no_unsafe(rel: &str, toks: &[Tok], out: &mut Vec<Finding>) {
     }
 }
 
-/// float-reduction-order: `.sum::<f32>()` / `.sum::<f64>()` in a module
-/// that bears `#[cfg(feature = "parallel")]` or calls the `arvis_par`
-/// chunked fan-out primitives, outside test regions.
-fn rule_float_reduction(
-    rel: &str,
-    toks: &[Tok],
-    in_tests: &dyn Fn(u32) -> bool,
-    out: &mut Vec<Finding>,
-) {
+/// Whether the file is parallel-bearing: it mentions
+/// `cfg(feature = "parallel")` or calls the `arvis_par` chunked fan-out
+/// primitives. Shared with the taint pass's float-source detection.
+pub(crate) fn is_parallel_bearing(toks: &[Tok]) -> bool {
     let has_cfg_parallel = toks.iter().any(|t| t.is_ident("cfg"))
         && toks.iter().any(|t| t.is_ident("feature"))
         && toks
@@ -685,15 +723,18 @@ fn rule_float_reduction(
     let uses_par = toks
         .iter()
         .any(|t| t.kind == TokKind::Ident && par_primitives.contains(&t.text.as_str()));
-    if !has_cfg_parallel && !uses_par {
-        return;
-    }
+    has_cfg_parallel || uses_par
+}
+
+/// Token indices of every bare `.sum::<f32|f64>` reduction head (the
+/// `sum` identifier of `.sum ::< f32|f64 > (`).
+pub(crate) fn float_sum_sites(toks: &[Tok]) -> Vec<usize> {
+    let mut out = Vec::new();
     for i in 1..toks.len() {
         let t = &toks[i];
-        if !t.is_ident("sum") || !toks[i - 1].is_punct('.') || in_tests(t.line) {
+        if !t.is_ident("sum") || !toks[i - 1].is_punct('.') {
             continue;
         }
-        // Match `.sum ::< f32|f64 > (`.
         let rest = &toks[i + 1..];
         let is_turbofish_float = rest.len() >= 5
             && rest[0].is_punct(':')
@@ -702,18 +743,40 @@ fn rule_float_reduction(
             && (rest[3].is_ident("f32") || rest[3].is_ident("f64"))
             && rest[4].is_punct('>');
         if is_turbofish_float {
-            push(
-                out,
-                rel,
-                t,
-                names::FLOAT_REDUCTION_ORDER,
-                format!(
-                    "bare `.sum::<{}>()` in a parallel-bearing module; float addition is not \
-                     associative — route through the arvis_par chunked reducers or pragma-cite \
-                     the fixed reduction order",
-                    rest[3].text
-                ),
-            );
+            out.push(i);
         }
+    }
+    out
+}
+
+/// float-reduction-order: `.sum::<f32>()` / `.sum::<f64>()` in a module
+/// that bears `#[cfg(feature = "parallel")]` or calls the `arvis_par`
+/// chunked fan-out primitives, outside test regions.
+fn rule_float_reduction(
+    rel: &str,
+    toks: &[Tok],
+    in_tests: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    if !is_parallel_bearing(toks) {
+        return;
+    }
+    for i in float_sum_sites(toks) {
+        let t = &toks[i];
+        if in_tests(t.line) {
+            continue;
+        }
+        let elem = &toks[i + 4].text;
+        push(
+            out,
+            rel,
+            t,
+            names::FLOAT_REDUCTION_ORDER,
+            format!(
+                "bare `.sum::<{elem}>()` in a parallel-bearing module; float addition is not \
+                 associative — route through the arvis_par chunked reducers or pragma-cite \
+                 the fixed reduction order"
+            ),
+        );
     }
 }

@@ -1,0 +1,229 @@
+//! Stage 2c: interprocedural determinism taint.
+//!
+//! The per-file rules catch a function that *contains* an ambient source
+//! (`Instant::now`, `thread_rng`, a bare float `.sum`); this pass catches
+//! every function that *reaches* one through the call graph. Three rules
+//! propagate: `no-ambient-time`, `no-ambient-entropy`, and
+//! `float-reduction-order`.
+//!
+//! # Model
+//!
+//! A function is a **carrier** when its body holds an unsuppressed source
+//! token for the rule. Taint flows backwards over call edges: a caller of
+//! a tainted function becomes tainted itself, with a chain one hop longer.
+//! Each tainted call site produces a finding carrying the full chain
+//! (`a → b → Instant (file:line)`), so the report names the exact ambient
+//! source a function transitively depends on.
+//!
+//! Taint is **contained** — it stops propagating and reporting — at an
+//! allow-pragma boundary: a pragma covering the source token keeps the
+//! function from being a carrier at all, and a pragma covering a call site
+//! (line-scoped, or function-scoped on the caller) absorbs the taint
+//! there. That is the "deliberate containment" contract: the pragma's
+//! justification documents why the nondeterminism does not escape.
+//!
+//! Policy exemptions behave differently from pragmas: in an
+//! `allow_time` file (bench/profiling code) time findings are not
+//! *reported*, but the functions are still carriers — a deterministic-core
+//! function that calls into bench timing code is flagged at that boundary.
+//!
+//! # Conservatism
+//!
+//! Call sites resolving to [`Targets::Multiple`] count as tainted only
+//! when **every** candidate is tainted; [`Targets::External`] never
+//! propagates. Test-only functions neither carry nor receive taint (the
+//! per-file rules still see their tokens). Chains are canonical: shortest,
+//! then lexicographically smallest, so reports are stable across runs.
+
+use crate::callgraph::{CallGraph, Targets};
+use crate::items::FileItems;
+use crate::lexer::TokKind;
+use crate::rules::{self, names, FilePolicy, Finding};
+
+/// The rules that propagate interprocedurally.
+const TAINT_RULES: &[&str] = &[
+    names::NO_AMBIENT_TIME,
+    names::NO_AMBIENT_ENTROPY,
+    names::FLOAT_REDUCTION_ORDER,
+];
+
+/// Runs the taint pass over the parsed workspace. `policies` and
+/// `pragmas` are per-file, parallel to `files`; pragmas consulted for
+/// containment are marked used.
+pub(crate) fn run(
+    files: &[FileItems],
+    graph: &CallGraph,
+    policies: &[FilePolicy],
+    pragmas: &[Vec<rules::Pragma>],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rule in TAINT_RULES {
+        run_rule(rule, files, graph, policies, pragmas, &mut findings);
+    }
+    findings
+}
+
+/// One rule's propagation: seed carriers, fix-point the chains, then emit
+/// findings at every uncontained tainted call site.
+fn run_rule(
+    rule: &'static str,
+    files: &[FileItems],
+    graph: &CallGraph,
+    policies: &[FilePolicy],
+    pragmas: &[Vec<rules::Pragma>],
+    out: &mut Vec<Finding>,
+) {
+    let n = graph.fns.len();
+    // chains[g] = Some(canonical chain from fn g down to a source token),
+    // as display segments ending with the source description.
+    let mut chains: Vec<Option<Vec<String>>> = vec![None; n];
+    for (gid, &(fi, ii)) in graph.fns.iter().enumerate() {
+        let item = &files[fi].fns[ii];
+        if item.in_test {
+            continue;
+        }
+        if let Some(src) = source_in(rule, &files[fi], ii, &pragmas[fi]) {
+            chains[gid] = Some(vec![item.display(), src]);
+        }
+    }
+    // Fix-point propagation. Every hop lengthens the chain by one, and a
+    // node only ever improves to a strictly smaller (length, lexicographic)
+    // chain, so this terminates; cycles cannot improve themselves.
+    loop {
+        let mut changed = false;
+        for caller in 0..n {
+            let (fi, ii) = graph.fns[caller];
+            if files[fi].fns[ii].in_test {
+                continue;
+            }
+            for edge in &graph.edges[caller] {
+                let Some(tc) = target_chain(&edge.targets, &chains) else {
+                    continue;
+                };
+                // A pragma covering the call site (or the whole caller fn)
+                // contains the taint: no finding, no further propagation.
+                if rules::pragma_covers(&pragmas[fi], &files[fi], rule, edge.site.line) {
+                    continue;
+                }
+                let mut cand = Vec::with_capacity(tc.len() + 1);
+                cand.push(files[fi].fns[ii].display());
+                cand.extend(tc.iter().cloned());
+                if better(&cand, chains[caller].as_deref()) {
+                    chains[caller] = Some(cand);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Findings: one per uncontained call site whose target(s) are tainted.
+    for caller in 0..n {
+        let (fi, ii) = graph.fns[caller];
+        let item = &files[fi].fns[ii];
+        if item.in_test || exempt(rule, &policies[fi]) {
+            continue;
+        }
+        for edge in &graph.edges[caller] {
+            let Some(tc) = target_chain(&edge.targets, &chains) else {
+                continue;
+            };
+            if files[fi].in_test_region(edge.site.line) {
+                continue;
+            }
+            if rules::pragma_covers(&pragmas[fi], &files[fi], rule, edge.site.line) {
+                continue;
+            }
+            let mut chain = Vec::with_capacity(tc.len() + 1);
+            chain.push(item.display());
+            chain.extend(tc.iter().cloned());
+            let rendered = chain.join(" → ");
+            out.push(Finding {
+                file: files[fi].rel.clone(),
+                line: edge.site.line,
+                col: edge.site.col,
+                rule,
+                message: format!(
+                    "call reaches an ambient source: {rendered}; contain it with a \
+                     fn-boundary pragma or make the callee deterministic"
+                ),
+                chain,
+            });
+        }
+    }
+}
+
+/// The canonical chain of a resolved call's target set: unique targets
+/// propagate directly; multiple candidates propagate only when all are
+/// tainted (taking the best chain); external never.
+fn target_chain<'a>(targets: &Targets, chains: &'a [Option<Vec<String>>]) -> Option<&'a [String]> {
+    match targets {
+        Targets::External => None,
+        Targets::Unique(t) => chains[*t].as_deref(),
+        Targets::Multiple(ts) => {
+            let mut best: Option<&[String]> = None;
+            for t in ts {
+                let c = chains[*t].as_deref()?; // any untainted candidate → not tainted
+                if better(c, best) {
+                    best = Some(c);
+                }
+            }
+            best
+        }
+    }
+}
+
+/// Strictly-better ordering for canonical chains: shorter wins, then
+/// lexicographically smaller.
+fn better(cand: &[String], cur: Option<&[String]>) -> bool {
+    match cur {
+        None => true,
+        Some(c) => cand.len() < c.len() || (cand.len() == c.len() && cand < c),
+    }
+}
+
+/// Whether the policy suppresses *reporting* this rule in the file
+/// (carrier status is unaffected — see module docs).
+fn exempt(rule: &str, policy: &FilePolicy) -> bool {
+    rule == names::NO_AMBIENT_TIME && policy.allow_time
+}
+
+/// The source description (`` `Instant` (file:line) ``) when fn `ii` of
+/// `file` contains an unsuppressed source token for `rule`.
+fn source_in(
+    rule: &'static str,
+    file: &FileItems,
+    ii: usize,
+    pragmas: &[rules::Pragma],
+) -> Option<String> {
+    let item = &file.fns[ii];
+    let (start, end) = item.body;
+    let float_sites: Vec<usize> = if rule == names::FLOAT_REDUCTION_ORDER {
+        if rules::is_parallel_bearing(&file.toks) {
+            rules::float_sum_sites(&file.toks)
+        } else {
+            Vec::new()
+        }
+    } else {
+        Vec::new()
+    };
+    for i in start..end.min(file.toks.len()) {
+        let t = &file.toks[i];
+        let hit = match rule {
+            names::NO_AMBIENT_TIME => t.is_ident("Instant") || t.is_ident("SystemTime"),
+            names::NO_AMBIENT_ENTROPY => {
+                t.is_ident("thread_rng") || t.is_ident("from_entropy") || t.is_ident("RandomState")
+            }
+            _ => t.kind == TokKind::Ident && float_sites.contains(&i),
+        };
+        if !hit || file.in_test_region(t.line) {
+            continue;
+        }
+        if rules::pragma_covers(pragmas, file, rule, t.line) {
+            continue; // contained at the source
+        }
+        return Some(format!("`{}` ({}:{})", t.text, file.rel, t.line));
+    }
+    None
+}

@@ -1,0 +1,31 @@
+//! Codec-coverage fixture: the `label` field is dropped by both codec
+//! halves, `legacy_mark` is emitted but never parsed, and `retries` is
+//! parsed but never emitted.
+
+pub struct WindowSpec {
+    pub start: u64,
+    pub len: u64,
+    pub label: String,
+}
+
+impl WindowSpec {
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("start", JsonValue::int(self.start as i128)),
+            ("len", JsonValue::int(self.len as i128)),
+            ("legacy_mark", JsonValue::bool(true)),
+        ])
+    }
+
+    pub fn from_json(v: &JsonValue) -> Result<WindowSpec, JsonError> {
+        let mut obj = v.as_obj()?;
+        let start = obj.req("start")?.as_u64()?;
+        let len = obj.req("len")?.as_u64()?;
+        let _retries = obj.opt("retries");
+        Ok(WindowSpec {
+            start,
+            len,
+            label: String::new(),
+        })
+    }
+}

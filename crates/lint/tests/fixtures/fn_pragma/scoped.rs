@@ -1,0 +1,13 @@
+//! A fn-scoped pragma: the allow on the line above the header contains
+//! every finding inside the function, including the taint it would
+//! otherwise leak to its caller.
+
+// arvis-lint: allow(no-ambient-time, "fixture: wall-clock is contained here")
+pub fn timed_section() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+pub fn caller() -> u128 {
+    timed_section()
+}

@@ -1,0 +1,4 @@
+// arvis-lint: allow(no-ambient-entropy, "fixture: nothing here rolls entropy")
+pub fn quiet() -> u64 {
+    42
+}

@@ -1,0 +1,1 @@
+﻿pub fn seed_map() -> u64 { let s = RandomState::new(); 0 }

@@ -1,0 +1,23 @@
+//! Nested cfg scopes: `all(test, …)` is test-only, but `any(test, …)`
+//! and `not(any(test, …))` can compile into shipping builds.
+
+#[cfg(all(test, feature = "slow"))]
+mod gated_tests {
+    pub fn decode(v: &str) -> u64 {
+        v.parse().unwrap()
+    }
+}
+
+#[cfg(any(test, feature = "slow"))]
+mod maybe_shipping {
+    pub fn decode(v: &str) -> u64 {
+        v.parse().unwrap()
+    }
+}
+
+#[cfg(not(any(test, feature = "slow")))]
+mod shipping {
+    pub fn decode(v: &str) -> u64 {
+        v.parse().unwrap()
+    }
+}

@@ -1,0 +1,17 @@
+//! Raw identifiers: `r#unsafe` is a name, not the keyword, and raw path
+//! segments (`r#type::r#fn`) resolve like ordinary ones — the clock
+//! taint below flows through both.
+
+pub fn r#unsafe() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}
+
+pub mod r#type {
+    pub fn r#fn() -> u128 {
+        super::r#unsafe()
+    }
+}
+
+pub fn call_raw() -> u128 {
+    r#type::r#fn()
+}

@@ -1,0 +1,4 @@
+#!/usr/bin/env run-cargo-script
+pub fn roll_seed() -> u64 {
+    thread_rng().next_u64()
+}

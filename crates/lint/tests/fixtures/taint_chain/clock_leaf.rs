@@ -1,0 +1,6 @@
+//! Leaf of the seeded taint chain: reads the ambient clock directly.
+
+pub fn read_clock() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

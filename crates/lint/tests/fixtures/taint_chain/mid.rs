@@ -1,0 +1,11 @@
+//! Middle hop: an impl method that forwards to the clock leaf.
+
+pub struct Probe {
+    pub ticks: u64,
+}
+
+impl Probe {
+    pub fn sample(&self) -> u128 {
+        crate::clock_leaf::read_clock()
+    }
+}

@@ -1,0 +1,12 @@
+//! Top of the chain: two more hops above the clock, one through a
+//! method call on the middle hop's impl type.
+
+use crate::mid::Probe;
+
+pub fn launch(p: &Probe) -> u128 {
+    p.sample()
+}
+
+pub fn relay(p: &Probe) -> u128 {
+    launch(p)
+}

@@ -20,6 +20,7 @@ fn strict() -> FilePolicy {
         allow_time: false,
         allow_unsafe: false,
         is_codec: false,
+        is_coverage: false,
     }
 }
 
@@ -157,14 +158,186 @@ fn bad_pragmas_are_themselves_findings() {
 #[test]
 fn strict_walk_covers_every_rule() {
     let report = lint_workspace(&LintConfig::strict_at(fixtures_root())).expect("walk fixtures");
-    assert_eq!(report.files_scanned, 15, "fixture corpus size drifted");
-    assert_eq!(report.findings.len(), 21, "\n{}", report.render_text());
+    assert_eq!(report.files_scanned, 25, "fixture corpus size drifted");
+    assert_eq!(report.findings.len(), 37, "\n{}", report.render_text());
     for (rule, _) in arvis_lint::RULES {
         assert!(
             !report.by_rule(rule).is_empty(),
             "rule {rule} has no live fixture coverage"
         );
     }
+}
+
+/// Workspace-lints the fixture corpus and returns findings in one file.
+fn walk_findings(file: &str) -> Vec<arvis_lint::Finding> {
+    let report = lint_workspace(&LintConfig::strict_at(fixtures_root())).expect("walk fixtures");
+    report
+        .findings
+        .into_iter()
+        .filter(|f| f.file == file)
+        .collect()
+}
+
+/// The seeded cross-file chain: `relay → launch → Probe::sample →
+/// read_clock → Instant`. Every hop is pinned to its exact call-site
+/// position and its full rendered chain.
+#[test]
+fn taint_chain_exact_positions_and_chains() {
+    let tail = [
+        "taint_chain::clock_leaf::read_clock".to_string(),
+        "`Instant` (taint_chain/clock_leaf.rs:4)".to_string(),
+    ];
+
+    // The leaf itself is a plain per-file finding, chainless.
+    let leaf = walk_findings("taint_chain/clock_leaf.rs");
+    assert_eq!(leaf.len(), 1);
+    assert_eq!(
+        (leaf[0].line, leaf[0].col, leaf[0].rule),
+        (4, 25, "no-ambient-time")
+    );
+    assert!(leaf[0].chain.is_empty(), "direct findings carry no chain");
+
+    // One hop: the impl method's call into the leaf.
+    let mid = walk_findings("taint_chain/mid.rs");
+    assert_eq!(mid.len(), 1, "{mid:?}");
+    assert_eq!(
+        (mid[0].line, mid[0].col, mid[0].rule),
+        (9, 28, "no-ambient-time")
+    );
+    let mut want = vec!["taint_chain::mid::Probe::sample".to_string()];
+    want.extend(tail.iter().cloned());
+    assert_eq!(mid[0].chain, want);
+
+    // Two and three hops, the deeper one through the method call.
+    let top = walk_findings("taint_chain/top.rs");
+    assert_eq!(top.len(), 2, "{top:?}");
+    assert_eq!((top[0].line, top[0].col), (7, 7));
+    assert_eq!(
+        top[0].chain,
+        [
+            "taint_chain::top::launch".to_string(),
+            "taint_chain::mid::Probe::sample".to_string(),
+            tail[0].clone(),
+            tail[1].clone(),
+        ]
+    );
+    assert_eq!((top[1].line, top[1].col), (11, 5));
+    assert_eq!(top[1].chain.len(), 5, "{:?}", top[1].chain);
+    assert_eq!(top[1].chain[0], "taint_chain::top::relay");
+    assert!(
+        top[1].message.contains(
+            "taint_chain::top::relay → taint_chain::top::launch → \
+             taint_chain::mid::Probe::sample → taint_chain::clock_leaf::read_clock → \
+             `Instant` (taint_chain/clock_leaf.rs:4)"
+        ),
+        "rendered chain drifted: {}",
+        top[1].message
+    );
+}
+
+/// Raw-identifier paths (`r#type::r#fn`, `super::r#unsafe`) resolve like
+/// ordinary ones, so the clock taint flows through them — and `r#unsafe`
+/// the *name* never trips the `no-unsafe` keyword rule.
+#[test]
+fn raw_ident_paths_resolve_and_carry_taint() {
+    let found = walk_findings("lexer_edge/raw_path.rs");
+    let triples: Vec<_> = found.iter().map(|f| (f.line, f.col, f.rule)).collect();
+    assert_eq!(
+        triples,
+        [
+            (6, 16, "no-ambient-time"),
+            (11, 16, "no-ambient-time"),
+            (16, 13, "no-ambient-time"),
+        ],
+        "{found:?}"
+    );
+    assert_eq!(
+        found[1].chain,
+        [
+            "lexer_edge::raw_path::type::fn".to_string(),
+            "lexer_edge::raw_path::unsafe".to_string(),
+            "`Instant` (lexer_edge/raw_path.rs:6)".to_string(),
+        ]
+    );
+    assert_eq!(found[2].chain.len(), 4);
+    assert_eq!(found[2].chain[0], "lexer_edge::raw_path::call_raw");
+}
+
+/// The codec-coverage pass: a field dropped from both halves is reported
+/// on each, and one-sided undeclared keys are reported on their side.
+#[test]
+fn codec_coverage_exact_positions() {
+    let found = walk_findings("codec_coverage/scenario.rs");
+    let triples: Vec<_> = found.iter().map(|f| (f.line, f.col, f.rule)).collect();
+    assert_eq!(
+        triples,
+        [
+            (12, 12, "codec-coverage"), // to_json: drops `label`
+            (12, 12, "codec-coverage"), // to_json: emit-only `legacy_mark`
+            (20, 12, "codec-coverage"), // from_json: drops `label`
+            (20, 12, "codec-coverage"), // from_json: parse-only `retries`
+        ],
+        "{found:?}"
+    );
+    assert!(found[0]
+        .message
+        .contains("never emits declared field `label`"));
+    assert!(found[1].message.contains("emits key \"legacy_mark\""));
+    assert!(found[2]
+        .message
+        .contains("never parses declared field `label`"));
+    assert!(found[3].message.contains("parses key \"retries\""));
+}
+
+/// Lexer hardening: a shebang line and a UTF-8 BOM shift neither lines
+/// nor columns.
+#[test]
+fn shebang_and_bom_do_not_shift_positions() {
+    let sh = walk_findings("lexer_edge/shebang.rs");
+    assert_eq!(sh.len(), 1, "{sh:?}");
+    assert_eq!(
+        (sh[0].line, sh[0].col, sh[0].rule),
+        (3, 5, "no-ambient-entropy")
+    );
+
+    let bom = walk_findings("lexer_edge/bom.rs");
+    assert_eq!(bom.len(), 1, "{bom:?}");
+    assert_eq!(
+        (bom[0].line, bom[0].col, bom[0].rule),
+        (1, 36, "no-ambient-entropy")
+    );
+}
+
+/// Nested cfg evaluation: `all(test, …)` is a test region (unwrap
+/// exempt), `any(test, …)` and `not(any(test, …))` are not.
+#[test]
+fn nested_cfg_test_regions_are_exact() {
+    let found = walk_findings("lexer_edge/cfg_nest/json.rs");
+    let triples: Vec<_> = found.iter().map(|f| (f.line, f.col, f.rule)).collect();
+    assert_eq!(
+        triples,
+        [(14, 19, "panic-free-codecs"), (21, 19, "panic-free-codecs")],
+        "{found:?}"
+    );
+}
+
+/// Fn-scoped pragmas: an allow on the line above a `fn` header covers the
+/// whole item — the source inside is suppressed AND the taint it would
+/// hand to callers is contained; an unused fn-scoped pragma self-flags.
+#[test]
+fn fn_scoped_pragmas_contain_and_self_flag() {
+    let scoped = walk_findings("fn_pragma/scoped.rs");
+    assert!(scoped.is_empty(), "taint must be contained: {scoped:?}");
+
+    let unused = walk_findings("fn_pragma/unused.rs");
+    assert_eq!(unused.len(), 1, "{unused:?}");
+    assert_eq!(
+        (unused[0].line, unused[0].col, unused[0].rule),
+        (1, 1, "lint-pragma")
+    );
+    assert!(unused[0]
+        .message
+        .contains("suppresses nothing in its scope"));
 }
 
 /// The CI contract: the binary exits nonzero when findings exist (so a
