@@ -1,0 +1,103 @@
+//! Churn-plane throughput: a 10k-session fleet whose geometric lifetimes
+//! (mean 10 of 400 slots) retire ~90% of the fleet within the first 25
+//! slots, with SoA compaction on versus off.
+//!
+//! Both runs simulate exactly the same sessions and produce bit-identical
+//! telemetry (the `session_churn` differential suite's acceptance bar), so
+//! the recorded `session_churn/speedup` ratio isolates compaction's
+//! contribution: physically evicting dead rows shrinks every per-slot SoA
+//! walk (backlog/demand fill, grant scatter, liveness checks) to the live
+//! survivors, where dead-row skipping alone still walks — and allocates
+//! logical-width vectors for — the full 10k rows every slot.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use std::hint::black_box;
+
+use arvis_core::churn::{ChurnSpec, LifetimeSpec};
+use arvis_core::experiment::{ExperimentConfig, ServiceSpec};
+use arvis_core::scenario::{ControllerSpec, Scenario};
+use arvis_core::uplink::run_contended;
+use arvis_quality::DepthProfile;
+
+const SESSIONS: usize = 10_000;
+const SLOTS: u64 = 400;
+const MEAN_LIFETIME: f64 = 10.0;
+
+/// The paper-shaped synthetic profile (quadrupling arrivals, saturating
+/// quality) — `from_parts` so the bench measures the control plane, not
+/// octree profiling.
+fn profile() -> DepthProfile {
+    DepthProfile::from_parts(
+        5,
+        vec![100.0, 400.0, 1600.0, 6400.0, 25600.0, 102400.0],
+        vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+    )
+}
+
+/// 10k proposed-scheduler sessions on heterogeneous devices, decorrelated
+/// seeds, dying off with geometric lifetimes; `compact` is the only knob.
+fn scenario(compact: bool) -> Scenario {
+    let base = ExperimentConfig::new(profile(), 2_000.0, SLOTS).with_controller_v(1e7);
+    let mut scenario = Scenario::replicated(
+        &base,
+        ControllerSpec::Proposed {
+            v: base.controller_v,
+        },
+        SESSIONS,
+    );
+    for (i, spec) in scenario.sessions.iter_mut().enumerate() {
+        let frac = i as f64 / (SESSIONS - 1) as f64;
+        spec.service = ServiceSpec::Constant(2_000.0 * (0.75 + 0.5 * frac));
+    }
+    scenario.with_churn(
+        ChurnSpec::new()
+            .with_lifetime(LifetimeSpec::Geometric {
+                mean: MEAN_LIFETIME,
+                seed: 0xC4ABE,
+            })
+            .with_compaction(compact),
+    )
+}
+
+fn bench_session_churn(c: &mut Criterion) {
+    let compacted = scenario(true);
+    let uncompacted = scenario(false);
+
+    let mut group = c.benchmark_group("session_churn");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SESSIONS as u64 * SLOTS));
+
+    group.bench_function("compact_10k_churn", |b| {
+        b.iter(|| {
+            let run = run_contended(black_box(&compacted));
+            black_box(run.summaries.len())
+        });
+    });
+
+    group.bench_function("dead_rows_10k_churn", |b| {
+        b.iter(|| {
+            let run = run_contended(black_box(&uncompacted));
+            black_box(run.summaries.len())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_churn);
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let mut c = Criterion::from_args();
+    benches(&mut c);
+    c.final_summary();
+    if !smoke {
+        // Records "session_churn/speedup": dead-row skipping's median over
+        // the compacting runtime's median.
+        arvis_bench::report::record_speedups(&[(
+            "session_churn",
+            "dead_rows_10k_churn",
+            "compact_10k_churn",
+        )]);
+    }
+}

@@ -1,4 +1,4 @@
-//! The E1–E7 extension experiments as declarative scenario presets.
+//! The E1–E8 extension experiments as declarative scenario presets.
 //!
 //! Each preset is a pure function of nothing — the same construction every
 //! time, on the same [`crate::paper_profile`] workload at a fixed point
@@ -14,6 +14,7 @@
 //! the `experiments` binary: golden replay wants seconds, not minutes, and
 //! conformance only needs the construction to be exact, not large.
 
+use arvis_core::churn::{ChurnArrivalSpec, ChurnSpec, LifetimeSpec};
 use arvis_core::distributed::FleetSpec;
 use arvis_core::experiment::ServiceSpec;
 use arvis_core::fault::{CrashPolicy, DegradationGuardSpec, FaultEvent, FaultPlan, ShedMode};
@@ -40,6 +41,7 @@ pub const SCENARIO_PRESETS: &[&str] = &[
     "e5_shared_uplink",
     "e6_diurnal_adaptive",
     "e7_fault_outage",
+    "e8_churn",
 ];
 
 /// Builds a preset scenario by name (`None` for unknown names; see
@@ -186,6 +188,47 @@ pub fn scenario_preset(name: &str) -> Option<Scenario> {
                         }),
                 )
         }
+        // E8: session churn — 6 weighted tenants against a constant
+        // backhaul, with open-loop Poisson joins (capped at 12), geometric
+        // lifetimes around a third of the horizon, and SoA compaction of
+        // departed tenants (bitwise invisible; see `arvis_core::churn`).
+        "e8_churn" => {
+            let scenario = contended_fleet(&cfg, 6);
+            let demand: f64 = scenario
+                .sessions
+                .iter()
+                .map(|s| s.service.mean_rate())
+                .sum();
+            let n = scenario.len();
+            let slots = scenario.slots;
+            let mut template = scenario.sessions[0].clone();
+            template.service = ServiceSpec::Constant(cfg.service.mean_rate());
+            template.seed = 0xE8;
+            scenario
+                .with_uplink(UplinkSpec::new(
+                    0.7 * demand,
+                    UplinkPolicy::WeightedMaxWeight {
+                        weights: (0..n).map(|i| 1.0 + (i % 4) as f64).collect(),
+                    },
+                ))
+                .with_churn(
+                    ChurnSpec::new()
+                        .with_arrivals(
+                            ChurnArrivalSpec::Poisson {
+                                lambda: 0.01,
+                                seed: 0xE8_11,
+                            },
+                            template,
+                            12,
+                        )
+                        .with_weight(2.0)
+                        .with_lifetime(LifetimeSpec::Geometric {
+                            mean: (slots / 3) as f64,
+                            seed: 0xE8_13,
+                        })
+                        .with_compaction(true),
+                )
+        }
         _ => return None,
     })
 }
@@ -252,14 +295,36 @@ mod tests {
         let fault = e7.fault.as_ref().expect("e7 has a fault plan");
         assert_eq!(fault.events.len(), 4);
         assert!(fault.guard.is_some());
-        // E1–E6 stay fault-free and therefore schema-1 on disk.
-        for &name in SCENARIO_PRESETS.iter().filter(|&&n| n != "e7_fault_outage") {
+        // E1–E6 stay fault-free and churn-free and therefore schema-1 on
+        // disk.
+        for &name in SCENARIO_PRESETS
+            .iter()
+            .filter(|&&n| n != "e7_fault_outage" && n != "e8_churn")
+        {
             let scenario = scenario_preset(name).unwrap();
             assert!(scenario.fault.is_none(), "{name} must stay fault-free");
+            assert!(scenario.churn.is_none(), "{name} must stay churn-free");
             let text = scenario.to_json_string().unwrap();
             assert!(text.starts_with("{\n  \"schema\": 1,"), "{name} schema 1");
         }
         let text = e7.to_json_string().unwrap();
         assert!(text.starts_with("{\n  \"schema\": 2,"), "e7 schema 2");
+    }
+
+    #[test]
+    fn churn_preset_declares_joins_departures_and_compaction() {
+        let e8 = scenario_preset("e8_churn").unwrap();
+        let churn = e8.churn.as_ref().expect("e8 has churn");
+        assert!(churn.arrivals.is_some());
+        assert!(churn.template.is_some());
+        assert!(churn.lifetime.is_some());
+        assert!(churn.compact);
+        assert_eq!(churn.weight, Some(2.0), "weighted uplink needs a weight");
+        assert!(matches!(
+            e8.uplink.as_ref().unwrap().policy,
+            UplinkPolicy::WeightedMaxWeight { .. }
+        ));
+        let text = e8.to_json_string().unwrap();
+        assert!(text.starts_with("{\n  \"schema\": 3,"), "e8 schema 3");
     }
 }

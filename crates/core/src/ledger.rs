@@ -78,7 +78,8 @@ pub struct RunRecord {
     /// SHA-256 of the scenario's canonical bytes
     /// ([`crate::Scenario::content_hash`]), 64 lowercase hex digits.
     pub scenario_hash: String,
-    /// The schema version the scenario emits (1 fault-free, 2 faulted).
+    /// The schema version the scenario emits (1 plain, 2 faulted,
+    /// 3 churned).
     pub scenario_schema: u64,
     /// The [`CODE_VERSION`] that produced the record.
     pub code_version: String,
@@ -95,8 +96,8 @@ pub struct RunRecord {
 impl RunRecord {
     /// Replays `scenario` and captures its summary surface — through the
     /// shared-uplink contention plane when the scenario declares an
-    /// `uplink` or a `fault` plan (the `experiments run` auto-selection),
-    /// as uncoupled summary-only sessions otherwise.
+    /// `uplink`, a `fault` plan, or `churn` (the `experiments run`
+    /// auto-selection), as uncoupled summary-only sessions otherwise.
     ///
     /// # Errors
     ///
@@ -104,15 +105,15 @@ impl RunRecord {
     /// therefore no content address.
     pub fn replay(name: impl Into<String>, scenario: &Scenario) -> Result<RunRecord, JsonError> {
         let scenario_hash = scenario.content_hash()?;
-        let (sessions, uplink, downtime) = if scenario.uplink.is_some() || scenario.fault.is_some()
-        {
-            let run = run_contended(scenario);
-            (run.summaries, Some(run.uplink), Some(run.downtime))
-        } else {
-            let mut batch = SessionBatch::summary_only(scenario);
-            batch.run();
-            (batch.into_summaries(), None, None)
-        };
+        let (sessions, uplink, downtime) =
+            if scenario.uplink.is_some() || scenario.fault.is_some() || scenario.churn.is_some() {
+                let run = run_contended(scenario);
+                (run.summaries, Some(run.uplink), Some(run.downtime))
+            } else {
+                let mut batch = SessionBatch::summary_only(scenario);
+                batch.run();
+                (batch.into_summaries(), None, None)
+            };
         Ok(RunRecord {
             scenario: name.into(),
             scenario_hash,

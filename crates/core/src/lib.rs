@@ -45,6 +45,14 @@
 //!   [`fault::DegradationGuardSpec`] admission guard that sheds the
 //!   lowest-weight tenants under sustained contention, all declared in
 //!   schema-2 scenario files and replayed bit-identically;
+//! - [`churn`]: the open-loop session-churn plane — arrivals-driven
+//!   mid-run joins ([`churn::ChurnArrivalSpec`]: Poisson / MMPP-2 / trace
+//!   on dedicated seeded streams), per-session lifetime distributions
+//!   ([`churn::LifetimeSpec`]), and SoA slot compaction
+//!   ([`SessionBatch::compact`]) that physically evicts departed sessions
+//!   while stable session ids keep telemetry, uplink weights, and CSV
+//!   rows coherent — declared in schema-3 scenario files, replayed
+//!   bit-identically, and bitwise invariant to compaction on/off;
 //! - [`telemetry`]: pluggable [`telemetry::TelemetrySink`]s (full trace,
 //!   streaming summary-only, CSV) and the shared CSV helpers;
 //! - [`device`]: mobile-device rendering capacity models;
@@ -122,12 +130,12 @@
 //! `tests/scenario_files.rs` pins that a file replays **bit-identically**
 //! to the same scenario built in Rust.
 //!
-//! The format (schema versions 1–2; every object rejects unknown keys,
+//! The format (schema versions 1–3; every object rejects unknown keys,
 //! and all errors carry line/column):
 //!
 //! ```json
 //! {
-//!   "schema": 1,                    // required; this build reads 1 and 2
+//!   "schema": 1,                    // required; this build reads 1 through 3
 //!   "slots": 800,                   // shared horizon
 //!   "sessions": [
 //!     {
@@ -180,21 +188,38 @@
 //!       "backlog_limit": "inf", "shed_fraction": 0.25,
 //!       "mode": { "type": "defer" } // | { "type": "clamp", "factor": … }
 //!     }
+//!   },
+//!   "churn": {                      // optional; requires "schema": 3
+//!     "arrivals": {                 // "poisson" | "mmpp2" | "trace"
+//!       "type": "poisson", "lambda": 0.05, "seed": 11
+//!     },
+//!     "template": { "...": "a session spec, cloned per joiner" },
+//!     "max_joins": 12,              // required with "arrivals"
+//!     "weight": 1,                  // required iff the uplink is weighted
+//!     "lifetime": {                 // "fixed" | "geometric" | "uniform"
+//!       "type": "geometric", "mean": 500, "seed": 13
+//!     },
+//!     "compact": true               // evict departed SoA rows (bitwise no-op)
 //!   }
 //! }
 //! ```
 //!
-//! **Versioning / migration.** Schema 2 (this build) adds the optional
-//! `"fault"` member — see [`fault`] for the event semantics and the
-//! determinism contract (faulted replays are bit-identical; an empty plan
-//! is bitwise the fault-free path; a cold restart's trajectory is bitwise
-//! a fresh session over the residual horizon). Fault-free scenarios keep
-//! *emitting* schema 1, and this build *reads* versions 1 through 2, so
-//! every schema-1 file parses unchanged and fault-free emission stays
-//! byte-identical with older builds. To migrate a schema-1 file to the
-//! fault surface, bump `"schema"` to 2 and add the `"fault"` member —
-//! declaring `"fault"` while still at `"schema": 1` is a positioned
-//! error, so stale version stamps cannot smuggle faults past older
+//! **Versioning / migration.** Schema 2 adds the optional `"fault"`
+//! member — see [`fault`] for the event semantics and the determinism
+//! contract (faulted replays are bit-identical; an empty plan is bitwise
+//! the fault-free path; a cold restart's trajectory is bitwise a fresh
+//! session over the residual horizon). Schema 3 (this build) adds the
+//! optional `"churn"` member — see [`churn`]: joiner trajectories are
+//! bitwise fresh sessions over the residual horizon (the cold-restart
+//! construction), a churned file replays bit-identically including
+//! mid-run joins, and `"compact"` never changes a single output bit.
+//! Emission always uses the lowest schema version that can express the
+//! scenario, and this build *reads* versions 1 through 3, so every
+//! schema-1/2 file parses unchanged and fault-free (or churn-free)
+//! emission stays byte-identical with older builds. To migrate, bump
+//! `"schema"` to 3 and add the `"churn"` member — declaring `"churn"` at
+//! a lower `"schema"` (like `"fault"` at `"schema": 1`) is a positioned
+//! error, so stale version stamps cannot smuggle new surfaces past older
 //! readers.
 //!
 //! Floats print in shortest round-trip form and parse back bit-identically;
@@ -229,6 +254,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod churn;
 pub mod controller;
 pub mod device;
 pub mod distributed;
@@ -246,6 +272,7 @@ pub mod sweep;
 pub mod telemetry;
 pub mod uplink;
 
+pub use churn::{ChurnArrivalSpec, ChurnPlane, ChurnSpec, LifetimeSpec};
 pub use controller::{DepthController, ProposedDpp};
 pub use experiment::{Experiment, ExperimentConfig, ExperimentResult};
 pub use fault::{CrashPolicy, DegradationGuardSpec, FaultEvent, FaultPlan, FaultPlane, ShedMode};

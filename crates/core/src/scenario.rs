@@ -35,11 +35,13 @@ use crate::stream::ArStream;
 /// loudly instead of misreading new files.
 ///
 /// Version history: 1 = the original format; 2 = adds the optional
-/// top-level `"fault"` plan ([`crate::fault::FaultPlan`]). Version-1 files
-/// parse unchanged, and emission stays at version 1 unless the scenario
-/// actually declares a fault plan — so fault-free files are bitwise
+/// top-level `"fault"` plan ([`crate::fault::FaultPlan`]); 3 = adds the
+/// optional top-level `"churn"` spec ([`crate::churn::ChurnSpec`]).
+/// Version-1 and version-2 files parse unchanged, and emission stays at
+/// the lowest version that can express the scenario (1 without fault or
+/// churn, 2 with only a fault plan) — so existing files are bitwise
 /// backwards-compatible both ways.
-pub const SCENARIO_SCHEMA_VERSION: u64 = 2;
+pub const SCENARIO_SCHEMA_VERSION: u64 = 3;
 
 /// Factory for a user-defined depth controller, pluggable into a
 /// [`ControllerSpec`] (and therefore into scenarios and batches) without
@@ -587,6 +589,11 @@ pub struct Scenario {
     /// (with an unconstrained uplink). `None` keeps the fault-free path,
     /// bit-identically.
     pub fault: Option<crate::fault::FaultPlan>,
+    /// Optional session churn (mid-run joins, departures, SoA compaction —
+    /// see [`crate::churn`]). Churn acts on the contended path, like
+    /// faults. `None` — or an empty spec — keeps the fixed-N path,
+    /// bit-identically.
+    pub churn: Option<crate::churn::ChurnSpec>,
 }
 
 impl Scenario {
@@ -597,6 +604,7 @@ impl Scenario {
             sessions: Vec::new(),
             uplink: None,
             fault: None,
+            churn: None,
         }
     }
 
@@ -626,6 +634,61 @@ impl Scenario {
         plan.validate(self.sessions.len());
         self.fault = Some(plan);
         self
+    }
+
+    /// Attaches a churn spec (see [`crate::churn`]), validating it against
+    /// the uplink and fault plan declared so far — call last, after
+    /// [`Scenario::with_uplink`] / [`Scenario::with_fault`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`crate::churn::ChurnSpec::validate`] rejects the spec,
+    /// when the weight pairing is wrong for this scenario's uplink policy
+    /// (a `weighted_max_weight` uplink requires a churn weight for joiners
+    /// and any other policy forbids one), or when churn lifetimes are
+    /// combined with `session_crash` fault events (the two would race for
+    /// the same sessions' liveness).
+    #[must_use]
+    pub fn with_churn(mut self, churn: crate::churn::ChurnSpec) -> Scenario {
+        churn.validate();
+        // arvis-lint: allow(panic-free-codecs, "the documented panicking builder; from_json routes the same checks into positioned errors")
+        self.check_churn(&churn, &mut |msg| panic!("{msg}"));
+        self.churn = Some(churn);
+        self
+    }
+
+    /// The scenario-level churn cross-checks shared by
+    /// [`Scenario::with_churn`] (panicking) and [`Scenario::from_json`]
+    /// (positioned errors): weight/policy pairing and the
+    /// lifetime/`session_crash` exclusion.
+    fn check_churn(&self, churn: &crate::churn::ChurnSpec, fail: &mut dyn FnMut(String)) {
+        let weighted = matches!(
+            self.uplink.as_ref().map(|u| &u.policy),
+            Some(crate::uplink::UplinkPolicy::WeightedMaxWeight { .. })
+        );
+        if churn.arrivals.is_some() {
+            if weighted && churn.weight.is_none() {
+                fail(
+                    "a weighted_max_weight uplink requires a churn weight for joiners".to_string(),
+                );
+            }
+            if !weighted && churn.weight.is_some() {
+                fail("a churn weight requires a weighted_max_weight uplink".to_string());
+            }
+        }
+        if churn.lifetime.is_some()
+            && self.fault.as_ref().is_some_and(|plan| {
+                plan.events
+                    .iter()
+                    .any(|e| matches!(e, crate::fault::FaultEvent::SessionCrash { .. }))
+            })
+        {
+            fail(
+                "churn lifetimes cannot be combined with session_crash fault events \
+                 (both drive session liveness)"
+                    .to_string(),
+            );
+        }
     }
 
     /// A single-session scenario from a legacy config and a policy.
@@ -718,12 +781,13 @@ impl Scenario {
 
     /// Encodes the scenario as a JSON tree (see [`crate::json`] for the
     /// format contract). The top level is
-    /// `{"schema": …, "slots": …, "sessions": […], "uplink": …?, "fault": …?}`
+    /// `{"schema": …, "slots": …, "sessions": […], "uplink": …?, "fault": …?, "churn": …?}`
     /// with members in that fixed order — the schema version plus
-    /// unknown-key rejection keeps files forward-diffable. A fault-free
-    /// scenario emits `"schema": 1` (the file is a valid version-1 file,
-    /// byte-identical to what older builds wrote); a fault plan bumps the
-    /// file to [`SCENARIO_SCHEMA_VERSION`].
+    /// unknown-key rejection keeps files forward-diffable. Emission uses
+    /// the lowest schema version that can express the scenario
+    /// ([`Scenario::schema_version`]): fault-free churn-free files stay
+    /// byte-identical to what version-1 builds wrote, faulted files to
+    /// version-2 output.
     ///
     /// # Errors
     ///
@@ -747,6 +811,9 @@ impl Scenario {
         }
         if let Some(fault) = &self.fault {
             members.push(("fault", fault.to_json()?));
+        }
+        if let Some(churn) = &self.churn {
+            members.push(("churn", churn.to_json()?));
         }
         Ok(JsonValue::obj(members))
     }
@@ -814,13 +881,42 @@ impl Scenario {
             }
             None => None,
         };
+        let churn = match obj.opt("churn") {
+            Some(node) => {
+                if schema < 3 {
+                    return Err(JsonError::at(
+                        node.pos,
+                        format!("\"churn\" requires schema version 3 (file declares {schema})"),
+                    ));
+                }
+                Some((crate::churn::ChurnSpec::from_json(node)?, node.pos))
+            }
+            None => None,
+        };
         obj.finish()?;
-        Ok(Scenario {
+        let scenario = Scenario {
             slots,
             sessions,
             uplink,
             fault,
-        })
+            churn: None,
+        };
+        let churn = match churn {
+            Some((spec, pos)) => {
+                let mut first: Option<JsonError> = None;
+                scenario.check_churn(&spec, &mut |msg| {
+                    if first.is_none() {
+                        first = Some(JsonError::at(pos, msg));
+                    }
+                });
+                if let Some(err) = first {
+                    return Err(err);
+                }
+                Some(spec)
+            }
+            None => None,
+        };
+        Ok(Scenario { churn, ..scenario })
     }
 
     /// Renders the scenario in the canonical file form: the
@@ -849,12 +945,15 @@ impl Scenario {
         Scenario::from_json(&crate::json::parse(text)?)
     }
 
-    /// The schema version this scenario *emits*: 1 for a fault-free
-    /// scenario (byte-compatible with older readers),
-    /// [`SCENARIO_SCHEMA_VERSION`] once a fault plan is declared.
+    /// The schema version this scenario *emits* — the lowest version that
+    /// can express it, so files stay byte-compatible with the oldest
+    /// readers that understand them: 1 without fault or churn, 2 with only
+    /// a fault plan, [`SCENARIO_SCHEMA_VERSION`] once churn is declared.
     pub fn schema_version(&self) -> u64 {
-        if self.fault.is_some() {
+        if self.churn.is_some() {
             SCENARIO_SCHEMA_VERSION
+        } else if self.fault.is_some() {
+            2
         } else {
             1
         }

@@ -353,6 +353,17 @@ impl RebuildInfo {
 /// reductions — are identical in serial and parallel execution.
 pub const DEFAULT_SESSIONS_PER_CHUNK: usize = 64;
 
+/// Order-preserving in-place filter by a positional keep mask (the SoA
+/// compaction primitive — every parallel array drops the same rows).
+fn compact_vec<T>(v: &mut Vec<T>, keep: &[bool]) {
+    let mut p = 0;
+    v.retain(|_| {
+        let k = keep[p];
+        p += 1;
+        k
+    });
+}
+
 /// One fan-out work unit: equal-index chunks of every per-session array,
 /// including each session's liveness, local-clock offset and downtime
 /// counter (the fault plane's state; all-`Live`, all-zero when no fault).
@@ -386,6 +397,23 @@ type GrantedChunkTask<'a, S> = (
     &'a mut [u64],
 );
 
+/// A session physically evicted from the SoA arrays by
+/// [`SessionBatch::compact`]: its finished telemetry keeps reporting under
+/// its stable id, and its downtime keeps accruing arithmetically
+/// (`downtime_at_retire + slots_since_retire`) exactly as the dead row
+/// would have counted.
+#[derive(Debug)]
+struct Retired<S> {
+    /// The session's stable id ([`SessionBatch::spawn_at`] order).
+    id: u64,
+    /// The sink, frozen at the crash (dead rows never feed their sink).
+    sink: S,
+    /// Downtime accrued while the dead row was still physically present.
+    downtime: u64,
+    /// The batch slot the row was evicted at.
+    retire_slot: u64,
+}
+
 /// N sessions stepped in lock-step, state stored as struct-of-arrays.
 ///
 /// One `Vec` per component (streams, controllers, service processes,
@@ -394,6 +422,23 @@ type GrantedChunkTask<'a, S> = (
 /// chunks out over [`arvis_par`] workers. Sessions never interact, so the
 /// batch is deterministic regardless of worker count, chunk size, and
 /// session order.
+///
+/// # Stable ids and the logical view
+///
+/// Every session has a stable id — its creation index: scenario order for
+/// the initial fleet, then [`SessionBatch::spawn_at`] order. Without churn,
+/// ids and physical row indices coincide and everything below reduces to
+/// the fixed-N behavior bit-for-bit. With churn, [`SessionBatch::compact`]
+/// may physically evict [`Liveness::Dead`] rows, so the uplink-facing
+/// surface is *id-indexed* ("logical"): [`SessionBatch::fill_backlogs`] /
+/// [`SessionBatch::fill_demands`] scatter by id into vectors of
+/// [`SessionBatch::logical_len`] entries (retired ids contribute the same
+/// `0.0` a dead row would), [`SessionBatch::step_slot_granted`] gathers
+/// grants by id, and [`SessionBatch::downtime`] /
+/// [`SessionBatch::into_summaries`] assemble per-id outputs from live and
+/// retired sessions alike. Compaction is therefore bitwise invisible to
+/// every admission policy, aggregate, and telemetry row — the churn
+/// plane's differential suite (`tests/session_churn.rs`) pins this.
 #[derive(Debug)]
 pub struct SessionBatch<S: TelemetrySink> {
     streams: Vec<ArStream>,
@@ -423,6 +468,20 @@ pub struct SessionBatch<S: TelemetrySink> {
     local_offsets: Vec<u64>,
     /// Per-session slots missed while down (includes permanent death).
     downtime: Vec<u64>,
+    /// Physical row → stable session id (creation order). Identity until
+    /// [`SessionBatch::compact`] evicts a dead row.
+    ids: Vec<u64>,
+    /// The next stable id to assign (== the logical session count).
+    next_id: u64,
+    /// Sessions evicted by [`SessionBatch::compact`], still reporting
+    /// under their stable ids.
+    retired: Vec<Retired<S>>,
+    /// Scratch: per-physical-row grants gathered from the logical grant
+    /// vector by [`SessionBatch::step_slot_granted`].
+    phys_grants: Vec<f64>,
+    /// Physical [`Liveness::Dead`] rows not yet evicted (compaction's
+    /// trigger input).
+    dead_rows: usize,
     slot: u64,
     horizon: u64,
     chunk: usize,
@@ -461,6 +520,11 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
             liveness: vec![Liveness::Live; n],
             local_offsets: vec![0; n],
             downtime: vec![0; n],
+            ids: (0..n as u64).collect(),
+            next_id: n as u64,
+            retired: Vec::new(),
+            phys_grants: Vec::new(),
+            dead_rows: 0,
             slot: 0,
             horizon: scenario.slots,
             chunk: DEFAULT_SESSIONS_PER_CHUNK,
@@ -503,9 +567,25 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
         self
     }
 
-    /// Number of sessions in the batch.
+    /// Number of physical session rows in the batch (excludes sessions
+    /// evicted by [`SessionBatch::compact`]; see
+    /// [`SessionBatch::logical_len`]).
     pub fn len(&self) -> usize {
         self.queues.len()
+    }
+
+    /// Number of sessions ever created (initial fleet + every
+    /// [`SessionBatch::spawn_at`]) — the length of every id-indexed
+    /// ("logical") vector: backlogs, demands, grants, downtime, summaries.
+    /// Equals [`SessionBatch::len`] until compaction evicts a row.
+    pub fn logical_len(&self) -> usize {
+        self.next_id as usize
+    }
+
+    /// Physical [`Liveness::Dead`] rows not yet evicted by
+    /// [`SessionBatch::compact`].
+    pub fn dead_rows(&self) -> usize {
+        self.dead_rows
     }
 
     /// `true` for an empty batch.
@@ -538,12 +618,16 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
         self.controllers[i].name()
     }
 
-    /// The per-session sinks (batch order).
+    /// The per-session sinks (physical row order; sinks of compacted
+    /// sessions live in the retired list and are reachable only through
+    /// [`SessionBatch::into_summaries`]).
     pub fn sinks(&self) -> &[S] {
         &self.sinks
     }
 
-    /// Consumes the batch, returning the per-session sinks (batch order).
+    /// Consumes the batch, returning the physical rows' sinks (retired
+    /// sessions' sinks are dropped — use
+    /// [`SessionBatch::into_summaries`] on churned summary batches).
     pub fn into_sinks(self) -> Vec<S> {
         self.sinks
     }
@@ -560,17 +644,23 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
         .sum()
     }
 
-    /// Writes every session's live backlog `Q_i(τ)` into `out` (batch
-    /// order, resized to the batch length) — the per-session observation a
-    /// cross-session admission policy acts on.
+    /// Writes every session's live backlog `Q_i(τ)` into `out` (stable-id
+    /// order, resized to [`SessionBatch::logical_len`]) — the per-session
+    /// observation a cross-session admission policy acts on. Retired ids
+    /// report `0.0`, exactly what their dead row would (a permanent crash
+    /// rebuilds an empty queue), so compaction cannot change the vector.
     pub fn fill_backlogs(&self, out: &mut Vec<f64>) {
         out.clear();
-        out.extend(self.queues.iter().map(WorkQueue::backlog));
+        out.resize(self.logical_len(), 0.0);
+        for (p, queue) in self.queues.iter().enumerate() {
+            out[self.ids[p] as usize] = queue.backlog();
+        }
     }
 
     /// Draws every session's nominal service capacity for the *next* slot
-    /// into `out` (batch order, resized to the batch length), advancing
-    /// each service process by exactly one slot.
+    /// into `out` (stable-id order, resized to
+    /// [`SessionBatch::logical_len`]; retired ids demand `0.0` like any
+    /// dead row), advancing each service process by exactly one slot.
     ///
     /// This is phase one of a contended slot: poll demands, admit them
     /// against a shared budget, then complete the slot with
@@ -597,8 +687,11 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
         );
         self.demands_drawn = true;
         let slot = self.slot;
-        out.clear();
-        out.resize(self.services.len(), 0.0);
+        // Draw per physical row (the service processes live there), keeping
+        // the draws so step_slot_granted can feed each session's
+        // grant/demand ratio to its uplink-aware V adapter.
+        self.last_demands.clear();
+        self.last_demands.resize(self.services.len(), 0.0);
         let c = self.chunk;
         #[allow(clippy::type_complexity)]
         let tasks: Vec<(&[Liveness], &[u64], &mut [ServiceState], &mut [f64])> = self
@@ -606,7 +699,7 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
             .chunks(c)
             .zip(self.local_offsets.chunks(c))
             .zip(self.services.chunks_mut(c))
-            .zip(out.chunks_mut(c))
+            .zip(self.last_demands.chunks_mut(c))
             .map(|(((li, of), sv), dm)| (li, of, sv, dm))
             .collect();
         arvis_par::for_each_task(tasks, |_, (li, of, services, demands)| {
@@ -621,28 +714,33 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
                 };
             }
         });
-        // Keep the draws so step_slot_granted can feed each session's
-        // grant/demand ratio to its uplink-aware V adapter.
-        self.last_demands.clear();
-        self.last_demands.extend_from_slice(out);
+        // Scatter to the logical (stable-id) view the admission policies
+        // act on; retired ids stay 0.0, bitwise what a dead row writes.
+        out.clear();
+        out.resize(self.logical_len(), 0.0);
+        for (p, &demand) in self.last_demands.iter().enumerate() {
+            out[self.ids[p] as usize] = demand;
+        }
     }
 
     /// Phase two of a contended slot: advances every session by one slot
-    /// with the *granted* service capacities (batch order), instead of
-    /// drawing the service processes (already drawn by
-    /// [`SessionBatch::fill_demands`]).
+    /// with the *granted* service capacities (stable-id order, one entry
+    /// per [`SessionBatch::logical_len`] id), instead of drawing the
+    /// service processes (already drawn by [`SessionBatch::fill_demands`]).
+    /// Grants addressed to retired ids are ignored — they are `0.0` for
+    /// any work-conserving policy, since a retired id demands nothing.
     ///
     /// # Panics
     ///
-    /// Panics when `granted.len() != self.len()` or when
+    /// Panics when `granted.len() != self.logical_len()` or when
     /// [`SessionBatch::fill_demands`] was not called for this slot (the
     /// service processes would otherwise skip a draw and desynchronize
     /// from the uncoupled batch).
     pub fn step_slot_granted(&mut self, granted: &[f64]) {
         assert_eq!(
             granted.len(),
-            self.len(),
-            "granted-service vector length must match the batch"
+            self.logical_len(),
+            "granted-service vector length must match the logical session count"
         );
         assert!(
             self.demands_drawn,
@@ -652,11 +750,16 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
         self.demands_drawn = false;
         let slot = self.slot;
         self.slot += 1;
+        // Gather the logical grant vector onto the physical rows.
+        self.phys_grants.clear();
+        self.phys_grants
+            .extend(self.ids.iter().map(|&id| granted[id as usize]));
         let c = self.chunk;
-        let mut tasks: Vec<GrantedChunkTask<'_, S>> = Vec::with_capacity(granted.len().div_ceil(c));
+        let mut tasks: Vec<GrantedChunkTask<'_, S>> =
+            Vec::with_capacity(self.phys_grants.len().div_ceil(c));
         let mut streams = self.streams.chunks(c);
         let mut controllers = self.controllers.chunks_mut(c);
-        let mut grants = granted.chunks(c);
+        let mut grants = self.phys_grants.chunks(c);
         let mut demands = self.last_demands.chunks(c);
         let mut adapters = self.adapters.chunks_mut(c);
         let mut queues = self.queues.chunks_mut(c);
@@ -718,10 +821,11 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
         });
     }
 
-    /// Crashes session `i` under `policy`, effective immediately: the
-    /// session misses the *next* simulated slot and every slot before
-    /// `restart_at` (ignored — pass any value — for
-    /// [`CrashPolicy::Permanent`]).
+    /// Crashes the session with stable id `i` under `policy`, effective
+    /// immediately: the session misses the *next* simulated slot and every
+    /// slot before `restart_at` (ignored — pass any value — for
+    /// [`CrashPolicy::Permanent`]). Ids equal batch indices until
+    /// compaction evicts a row, so pre-churn callers are unaffected.
     ///
     /// [`CrashPolicy::ColdRestart`] and [`CrashPolicy::Permanent`] discard
     /// the queue and in-flight frames at the crash (the device lost its
@@ -736,28 +840,38 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
     ///
     /// Panics when the session is already down or dead (the scenario
     /// validation in [`crate::fault::FaultPlan::validate`] rejects
-    /// overlapping crash schedules).
+    /// overlapping crash schedules), or when the id was retired by
+    /// compaction (scenario validation forbids churn lifetimes combined
+    /// with `session_crash` events, so fault plans never hit this).
     pub fn crash_session(&mut self, i: usize, policy: CrashPolicy, restart_at: u64) {
+        let p = self
+            .ids
+            .iter()
+            .position(|&id| id == i as u64)
+            .unwrap_or_else(|| {
+                panic!("session {i} is no longer in the batch (departed and compacted)")
+            });
         assert!(
-            self.liveness[i].is_live(),
+            self.liveness[p].is_live(),
             "session {i} is already down or dead"
         );
         match policy {
             CrashPolicy::Permanent => {
-                self.liveness[i] = Liveness::Dead;
-                self.queues[i] = self.rebuild[i].queue();
-                self.latencies[i] = self.rebuild[i].latency();
+                self.liveness[p] = Liveness::Dead;
+                self.dead_rows += 1;
+                self.queues[p] = self.rebuild[p].queue();
+                self.latencies[p] = self.rebuild[p].latency();
             }
             CrashPolicy::ColdRestart => {
-                self.liveness[i] = Liveness::Down {
+                self.liveness[p] = Liveness::Down {
                     until: restart_at,
                     policy,
                 };
-                self.queues[i] = self.rebuild[i].queue();
-                self.latencies[i] = self.rebuild[i].latency();
+                self.queues[p] = self.rebuild[p].queue();
+                self.latencies[p] = self.rebuild[p].latency();
             }
             CrashPolicy::WarmRestart => {
-                self.liveness[i] = Liveness::Down {
+                self.liveness[p] = Liveness::Down {
                     until: restart_at,
                     policy,
                 };
@@ -803,19 +917,141 @@ impl<S: TelemetrySink + Send> SessionBatch<S> {
         }
     }
 
-    /// Session `i`'s liveness.
+    /// Appends one freshly built session to every SoA array, live
+    /// immediately: its first simulated slot is the batch's current slot,
+    /// and its local clock starts there — by the cold-restart construction
+    /// ([`SessionBatch::apply_restarts`]) the joiner's trajectory is
+    /// *identical by construction* to a fresh session with the residual
+    /// horizon. The new session gets the next stable id (`logical_len`
+    /// grows by one). This is the churn plane's join primitive
+    /// ([`crate::churn::ChurnPlane`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics mid-slot (between [`SessionBatch::fill_demands`] and
+    /// [`SessionBatch::step_slot_granted`]) — the slot's logical vectors
+    /// are already sized — and when the spec declares `uplink_v_adapt`
+    /// without a [`crate::scenario::ControllerSpec::Proposed`] controller.
+    pub fn spawn_at(&mut self, spec: &SessionSpec, sink: S) {
+        assert!(
+            !self.demands_drawn,
+            "spawn_at mid-slot: slot {} has polled demands",
+            self.slot
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        self.streams.push(spec.stream.clone());
+        self.controllers.push(spec.controller.build());
+        self.services
+            .push(ServiceState::build(spec.service, spec.seed));
+        self.queues.push(match spec.queue_capacity {
+            Some(c) => WorkQueue::with_capacity(c),
+            None => WorkQueue::new(),
+        });
+        self.latencies.push(spec.latency_tracker());
+        self.warmups.push(spec.warmup);
+        self.sinks.push(sink);
+        self.adapters.push(spec.uplink_v_adapt.map(|adapt| {
+            let base_v = spec.controller.proposed_v().unwrap_or_else(|| {
+                panic!("session {id}: uplink_v_adapt requires a Proposed controller")
+            });
+            adapt.build(base_v)
+        }));
+        self.rebuild.push(RebuildInfo::of(spec));
+        self.liveness.push(Liveness::Live);
+        self.local_offsets.push(self.slot);
+        self.downtime.push(0);
+        self.ids.push(id);
+    }
+
+    /// Physically evicts every [`Liveness::Dead`] row from the SoA arrays
+    /// (order-preserving), moving its sink, downtime and stable id to the
+    /// retired list so telemetry and downtime keep reporting under the
+    /// same id. Returns the number of rows evicted.
+    ///
+    /// Bitwise invisible: the logical (id-indexed) surface — backlogs,
+    /// demands, grants, downtime, summaries, `down_sessions` — is
+    /// identical before and after, because a retired id contributes
+    /// exactly what its dead row did (`0.0` demand/backlog, arithmetic
+    /// downtime). Only the per-slot walk cost changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics mid-slot (between [`SessionBatch::fill_demands`] and
+    /// [`SessionBatch::step_slot_granted`]) — `last_demands` is positional
+    /// and must not shift under a pending grant.
+    pub fn compact(&mut self) -> usize {
+        assert!(
+            !self.demands_drawn,
+            "compact mid-slot: slot {} has polled demands",
+            self.slot
+        );
+        let keep: Vec<bool> = self
+            .liveness
+            .iter()
+            .map(|l| !matches!(l, Liveness::Dead))
+            .collect();
+        let evicted = keep.iter().filter(|k| !**k).count();
+        if evicted == 0 {
+            return 0;
+        }
+        let slot = self.slot;
+        let sinks = std::mem::take(&mut self.sinks);
+        let mut kept = Vec::with_capacity(sinks.len() - evicted);
+        for (p, sink) in sinks.into_iter().enumerate() {
+            if keep[p] {
+                kept.push(sink);
+            } else {
+                self.retired.push(Retired {
+                    id: self.ids[p],
+                    sink,
+                    downtime: self.downtime[p],
+                    retire_slot: slot,
+                });
+            }
+        }
+        self.sinks = kept;
+        compact_vec(&mut self.streams, &keep);
+        compact_vec(&mut self.controllers, &keep);
+        compact_vec(&mut self.services, &keep);
+        compact_vec(&mut self.queues, &keep);
+        compact_vec(&mut self.latencies, &keep);
+        compact_vec(&mut self.warmups, &keep);
+        compact_vec(&mut self.adapters, &keep);
+        compact_vec(&mut self.rebuild, &keep);
+        compact_vec(&mut self.liveness, &keep);
+        compact_vec(&mut self.local_offsets, &keep);
+        compact_vec(&mut self.downtime, &keep);
+        compact_vec(&mut self.ids, &keep);
+        self.dead_rows = 0;
+        evicted
+    }
+
+    /// Physical row `i`'s liveness (rows shift when
+    /// [`SessionBatch::compact`] evicts; without compaction, row == id).
     pub fn liveness(&self, i: usize) -> Liveness {
         self.liveness[i]
     }
 
-    /// Per-session slots missed while down or dead (batch order).
-    pub fn downtime(&self) -> &[u64] {
-        &self.downtime
+    /// Per-session slots missed while down or dead, in stable-id order
+    /// (one entry per [`SessionBatch::logical_len`] id). A retired
+    /// session's downtime keeps accruing arithmetically — exactly the
+    /// per-slot `+1` its dead row would have counted.
+    pub fn downtime(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.logical_len()];
+        for (p, &id) in self.ids.iter().enumerate() {
+            out[id as usize] = self.downtime[p];
+        }
+        for r in &self.retired {
+            out[r.id as usize] = r.downtime + (self.slot - r.retire_slot);
+        }
+        out
     }
 
-    /// Number of sessions currently down or dead.
+    /// Number of sessions currently down or dead (retired sessions are
+    /// dead, so compaction leaves the count unchanged).
     pub fn down_sessions(&self) -> u64 {
-        self.liveness.iter().filter(|l| !l.is_live()).count() as u64
+        self.liveness.iter().filter(|l| !l.is_live()).count() as u64 + self.retired.len() as u64
     }
 
     /// Splits the parallel arrays into equal-index chunk tuples — the work
@@ -967,9 +1203,23 @@ impl SessionBatch<SummarySink> {
         SessionBatch::new(scenario, |_, spec| SummarySink::new(spec.warmup, slots))
     }
 
-    /// Finalizes every session's streaming summary (batch order).
+    /// Finalizes every session's streaming summary, in stable-id order
+    /// (one entry per [`SessionBatch::logical_len`] id): retired sessions
+    /// report their sink frozen at the crash — bitwise the summary their
+    /// dead row would have finished with, since dead rows never feed
+    /// their sink.
     pub fn into_summaries(self) -> Vec<crate::telemetry::SessionSummary> {
-        self.sinks.iter().map(SummarySink::finish).collect()
+        let mut out: Vec<Option<crate::telemetry::SessionSummary>> =
+            (0..self.logical_len()).map(|_| None).collect();
+        for r in &self.retired {
+            out[r.id as usize] = Some(r.sink.finish());
+        }
+        for (p, sink) in self.sinks.iter().enumerate() {
+            out[self.ids[p] as usize] = Some(sink.finish());
+        }
+        out.into_iter()
+            .map(|s| s.expect("every stable id has exactly one sink"))
+            .collect()
     }
 }
 

@@ -1176,10 +1176,31 @@ impl SharedUplink {
         &self.spec
     }
 
-    /// The grants of the most recent slot (batch order; empty before the
-    /// first step).
+    /// The grants of the most recent slot (stable-id order; empty before
+    /// the first step).
     pub fn last_grants(&self) -> &[f64] {
         &self.grants
+    }
+
+    /// Registers a mid-run session join (the churn plane calls this once
+    /// per [`SessionBatch::spawn_at`]): a weighted policy appends the
+    /// joiner's weight so its weight vector tracks the logical session
+    /// count — and with it the degradation guard's weight groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the policy is [`UplinkPolicy::WeightedMaxWeight`] and
+    /// no weight is supplied, or the weight is not finite and positive
+    /// (scenario validation enforces the pairing up front).
+    pub fn register_join(&mut self, weight: Option<f64>) {
+        if let UplinkPolicy::WeightedMaxWeight { weights } = &mut self.spec.policy {
+            let w = weight.expect("a weighted uplink requires a weight for every joiner");
+            assert!(
+                w.is_finite() && w > 0.0,
+                "joiner weight must be finite and positive, got {w}"
+            );
+            weights.push(w);
+        }
     }
 
     /// Advances the batch one slot through the contention plane and
@@ -1232,11 +1253,13 @@ impl SharedUplink {
 
         let granted = invariant_sum(self.grants.iter().copied(), &mut self.scratch.sums);
         let contended = offered > budget;
-        let mut down_sessions = 0;
         if let Some(fault) = self.fault.as_mut() {
             fault.observe_contention(contended);
-            down_sessions = batch.down_sessions();
         }
+        // Unconditional: churned runs count departed sessions with no
+        // fault plane attached; fault-free fixed-N fleets report 0, so
+        // pre-churn aggregates are bitwise unchanged.
+        let down_sessions = batch.down_sessions();
         self.slots += 1;
         self.contended_slots += u64::from(contended);
         self.budget_sum += budget;
@@ -1296,16 +1319,23 @@ impl SharedUplink {
 
 /// A finished contended run: per-session summaries plus the uplink
 /// aggregates.
+///
+/// Under churn, "per-session" means *per stable id* (scenario order, then
+/// join order): a joiner's summary covers its residual horizon and a
+/// departed session's summary is frozen at its departure — partial-horizon
+/// means and percentiles, documented on
+/// [`crate::telemetry::SessionSummary`]. The vectors are identical whether
+/// or not the run compacted departed sessions.
 #[derive(Debug, Clone)]
 pub struct ContendedRun {
     /// The policy that ran.
     pub policy: UplinkPolicy,
-    /// Per-session streaming summaries (batch order).
+    /// Per-session streaming summaries (stable-id order).
     pub summaries: Vec<SessionSummary>,
     /// The uplink's aggregate summary.
     pub uplink: UplinkSummary,
-    /// Per-session slots missed while down or dead (batch order; all zero
-    /// on fault-free runs).
+    /// Per-session slots missed while down or dead (stable-id order; all
+    /// zero on fault-free, churn-free runs).
     pub downtime: Vec<u64>,
 }
 
@@ -1358,7 +1388,9 @@ impl ContendedRun {
 /// Runs a scenario through the contention plane with summary-only sinks:
 /// the scenario's own [`Scenario::uplink`] spec, or
 /// [`UplinkSpec::unconstrained`] when it declares none. The scenario's
-/// fault plan, when present, rides along (see [`crate::fault`]).
+/// fault plan and churn spec, when present, ride along (see
+/// [`crate::fault`] and [`crate::churn`]) — an absent or empty churn spec
+/// takes exactly the pre-churn code path.
 pub fn run_contended(scenario: &Scenario) -> ContendedRun {
     let spec = scenario
         .uplink
@@ -1370,8 +1402,17 @@ pub fn run_contended(scenario: &Scenario) -> ContendedRun {
         Some(plan) => SharedUplink::with_fault(spec, plan, scenario.sessions.len()),
         None => SharedUplink::new(spec),
     };
-    uplink.run(&mut batch);
-    let downtime = batch.downtime().to_vec();
+    match scenario.churn.as_ref().filter(|c| !c.is_empty()) {
+        Some(churn) => {
+            let mut plane = crate::churn::ChurnPlane::new(churn, scenario);
+            while !batch.is_done() {
+                plane.step_summary(&mut batch, &mut uplink);
+                uplink.step_slot(&mut batch);
+            }
+        }
+        None => uplink.run(&mut batch),
+    }
+    let downtime = batch.downtime();
     ContendedRun {
         policy,
         summaries: batch.into_summaries(),

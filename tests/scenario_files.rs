@@ -1,7 +1,7 @@
 //! Scenario files end-to-end: golden conformance, exact round-trips, and
 //! malformed-input hardening.
 //!
-//! 1. **Golden replay** — every checked-in `scenarios/*.json` (the E1–E6
+//! 1. **Golden replay** — every checked-in `scenarios/*.json` (the E1–E8
 //!    presets dumped by `experiments emit`) must (a) be byte-identical to
 //!    the preset built in Rust, (b) survive `parse → emit` byte-identically
 //!    (canonical form), and (c) *run* to bit-identical headline metrics
@@ -26,6 +26,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use arvis::core::churn::{ChurnArrivalSpec, ChurnSpec, LifetimeSpec};
 use arvis::core::experiment::ServiceSpec;
 use arvis::core::scenario::{ControllerSpec, Scenario, SessionSpec};
 use arvis::core::session::SessionBatch;
@@ -127,7 +128,7 @@ fn golden_scenarios_replay_bit_identically() {
         // The same auto-selection the `experiments run` subcommand makes:
         // contended when the scenario declares an uplink, uncoupled
         // summaries otherwise.
-        if from_file.uplink.is_some() || from_file.fault.is_some() {
+        if from_file.uplink.is_some() || from_file.fault.is_some() || from_file.churn.is_some() {
             let run_a = run_contended(&from_file);
             let run_b = run_contended(&from_rust);
             assert_eq!(run_a.summaries.len(), run_b.summaries.len(), "{name}");
@@ -320,36 +321,98 @@ fn random_policy(rng: &mut StdRng, sessions: usize) -> UplinkPolicy {
     }
 }
 
+fn random_session(rng: &mut StdRng) -> SessionSpec {
+    let controller = random_controller(rng);
+    let can_adapt = matches!(&controller, ControllerSpec::Proposed { v } if *v > 0.0);
+    SessionSpec {
+        stream: random_stream(rng),
+        service: random_service(rng),
+        controller,
+        seed: rng.gen(),
+        queue_capacity: rng.gen_bool(0.3).then(|| rng.gen_range(0.0..1e9)),
+        warmup: rng.gen_range(0u64..1_000),
+        frame_cap: rng.gen_bool(0.3).then(|| rng.gen_range(1usize..1 << 20)),
+        uplink_v_adapt: (can_adapt && rng.gen_bool(0.4)).then(|| {
+            let low = rng.gen_range(0.1..0.8);
+            UplinkVAdaptSpec {
+                low,
+                high: rng.gen_range(low..1.0),
+                step: rng.gen_range(0.01..0.5),
+                min_v_scale: rng.gen_range(0.001..1.0),
+            }
+        }),
+    }
+}
+
+/// A random-but-valid churn spec: joins need a template and a cap, a
+/// weight is tied to a weighted uplink policy, and a join-less spec may
+/// still declare lifetimes (departure-only churn).
+fn random_churn(rng: &mut StdRng, weighted: bool) -> ChurnSpec {
+    let mut churn = ChurnSpec::new();
+    let joins = rng.gen_bool(0.7);
+    if joins {
+        let arrivals = match rng.gen_range(0u8..3) {
+            0 => ChurnArrivalSpec::Poisson {
+                lambda: rng.gen_range(0.0..2.0),
+                seed: rng.gen(),
+            },
+            1 => ChurnArrivalSpec::Mmpp2 {
+                lambda_low: rng.gen_range(0.0..0.5),
+                lambda_high: rng.gen_range(0.0..4.0),
+                switch_up: rng.gen_range(0.0..1.0),
+                switch_down: rng.gen_range(0.0..1.0),
+                seed: rng.gen(),
+            },
+            _ => ChurnArrivalSpec::Trace {
+                counts: (0..rng.gen_range(1usize..30))
+                    .map(|_| rng.gen_range(0u64..3))
+                    .collect(),
+            },
+        };
+        churn = churn.with_arrivals(arrivals, random_session(rng), rng.gen_range(1u64..64));
+        if weighted {
+            churn = churn.with_weight(rng.gen_range(0.1..16.0));
+        }
+    }
+    if !joins || rng.gen_bool(0.7) {
+        let lifetime = match rng.gen_range(0u8..3) {
+            0 => LifetimeSpec::Fixed {
+                slots: rng.gen_range(1u64..10_000),
+            },
+            1 => LifetimeSpec::Geometric {
+                mean: rng.gen_range(1.0..5_000.0),
+                seed: rng.gen(),
+            },
+            _ => {
+                let min = rng.gen_range(1u64..500);
+                LifetimeSpec::Uniform {
+                    min,
+                    max: min + rng.gen_range(0u64..5_000),
+                    seed: rng.gen(),
+                }
+            }
+        };
+        churn = churn.with_lifetime(lifetime);
+    }
+    churn.with_compaction(rng.gen_bool(0.5))
+}
+
 fn random_scenario(seed: u64) -> Scenario {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut scenario = Scenario::new(rng.gen_range(1u64..5_000));
     let sessions = rng.gen_range(1usize..6);
     for _ in 0..sessions {
-        let controller = random_controller(&mut rng);
-        let can_adapt = matches!(&controller, ControllerSpec::Proposed { v } if *v > 0.0);
-        let spec = SessionSpec {
-            stream: random_stream(&mut rng),
-            service: random_service(&mut rng),
-            controller,
-            seed: rng.gen(),
-            queue_capacity: rng.gen_bool(0.3).then(|| rng.gen_range(0.0..1e9)),
-            warmup: rng.gen_range(0u64..1_000),
-            frame_cap: rng.gen_bool(0.3).then(|| rng.gen_range(1usize..1 << 20)),
-            uplink_v_adapt: (can_adapt && rng.gen_bool(0.4)).then(|| {
-                let low = rng.gen_range(0.1..0.8);
-                UplinkVAdaptSpec {
-                    low,
-                    high: rng.gen_range(low..1.0),
-                    step: rng.gen_range(0.01..0.5),
-                    min_v_scale: rng.gen_range(0.001..1.0),
-                }
-            }),
-        };
+        let spec = random_session(&mut rng);
         scenario.sessions.push(spec);
     }
+    let mut weighted = false;
     if rng.gen_bool(0.6) {
         let policy = random_policy(&mut rng, sessions);
+        weighted = matches!(policy, UplinkPolicy::WeightedMaxWeight { .. });
         scenario = scenario.with_uplink(UplinkSpec::with_profile(random_budget(&mut rng), policy));
+    }
+    if rng.gen_bool(0.4) {
+        scenario = scenario.with_churn(random_churn(&mut rng, weighted));
     }
     scenario
 }
@@ -379,6 +442,18 @@ proptest! {
             prop_assert_eq!(a.queue_capacity.map(f64::to_bits), b.queue_capacity.map(f64::to_bits));
             prop_assert_eq!(a.frame_cap, b.frame_cap);
             prop_assert_eq!(&a.uplink_v_adapt, &b.uplink_v_adapt);
+        }
+        prop_assert_eq!(back.churn.is_some(), scenario.churn.is_some());
+        if let (Some(a), Some(b)) = (&back.churn, &scenario.churn) {
+            prop_assert_eq!(&a.arrivals, &b.arrivals);
+            prop_assert_eq!(a.max_joins, b.max_joins);
+            prop_assert_eq!(a.weight.map(f64::to_bits), b.weight.map(f64::to_bits));
+            prop_assert_eq!(&a.lifetime, &b.lifetime);
+            prop_assert_eq!(a.compact, b.compact);
+            prop_assert_eq!(
+                a.template.as_ref().map(|t| t.seed),
+                b.template.as_ref().map(|t| t.seed)
+            );
         }
     }
 }
@@ -454,22 +529,30 @@ fn schema_version_is_mandatory_and_checked() {
         "missing required key \"schema\"",
     );
     expect_err(
-        "{\"schema\": 3, \"slots\": 10, \"sessions\": []}",
-        "unsupported schema version 3",
+        "{\"schema\": 4, \"slots\": 10, \"sessions\": []}",
+        "unsupported schema version 4",
     );
     expect_err(
         "{\"schema\": 0, \"slots\": 10, \"sessions\": []}",
         "unsupported schema version 0",
     );
-    // Schema 2 (the fault plane, this build's newest) parses; a schema-1
-    // file smuggling a fault plan does not.
+    // Schemas 2 (fault plane) and 3 (churn, this build's newest) parse; a
+    // lower-versioned file smuggling the newer member does not.
     assert!(
         Scenario::from_json_str("{\"schema\": 2, \"slots\": 10, \"sessions\": []}").is_ok(),
         "schema 2 is supported"
     );
+    assert!(
+        Scenario::from_json_str("{\"schema\": 3, \"slots\": 10, \"sessions\": []}").is_ok(),
+        "schema 3 is supported"
+    );
     expect_err(
         "{\"schema\": 1, \"slots\": 10, \"sessions\": [], \"fault\": {\"events\": []}}",
         "\"fault\" requires schema version 2",
+    );
+    expect_err(
+        "{\"schema\": 2, \"slots\": 10, \"sessions\": [], \"churn\": {\"compact\": true}}",
+        "\"churn\" requires schema version 3",
     );
 }
 
@@ -660,5 +743,20 @@ fn byte_mutation_fuzz_covers_schema_2_fault_bytes() {
         "e7 golden must carry the schema-2 fault surface"
     );
     let errors = fuzz_byte_mutations(&valid, 0x5EED_FA17);
+    assert!(errors > 300, "mutations should mostly fail ({errors}/600)");
+}
+
+/// And over the schema-3 churn surface: mutants of the churned E8 golden
+/// exercise the `"churn"` decoder (arrival processes, lifetimes, the
+/// joiner template, the weighted-uplink cross-checks) byte-by-byte, and
+/// must never panic either.
+#[test]
+fn byte_mutation_fuzz_covers_schema_3_churn_bytes() {
+    let valid = std::fs::read(golden_path("e8_churn")).expect("read e8 golden");
+    assert!(
+        String::from_utf8_lossy(&valid).contains("\"churn\""),
+        "e8 golden must carry the schema-3 churn surface"
+    );
+    let errors = fuzz_byte_mutations(&valid, 0x5EED_C402);
     assert!(errors > 300, "mutations should mostly fail ({errors}/600)");
 }
